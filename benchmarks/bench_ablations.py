@@ -1,0 +1,154 @@
+"""Ablation benches for the design choices Section 4.4 discusses.
+
+Each ablation flips exactly one optimisation knob of the behavioural
+design and reports the area delta, quantifying the individual
+contributions behind the BEH-unopt -> BEH-opt improvement:
+
+* handshake elimination ("Handshaking in loops"),
+* bit-width tightening ("Bit-widths"),
+* cleanup of registered temporaries ("Code proliferation"),
+* register sharing / dead-write pruning (allocation quality),
+* mode-decode folding ("Generality"),
+* scan-chain insertion overhead (Section 5.2's scan inclusion).
+"""
+
+import pytest
+
+from repro.src_design import (BehavioralOptions, build_behavioral_design,
+                              build_rtl_design)
+from repro.synth import report_area, synthesize
+
+
+def _area(params, options, scan=True):
+    module = build_behavioral_design(params, options).module
+    return report_area(synthesize(module, scan=scan))
+
+
+@pytest.fixture(scope="module")
+def unopt_area(bench_params):
+    return _area(bench_params, BehavioralOptions.unoptimized())
+
+
+@pytest.fixture(scope="module")
+def opt_area(bench_params):
+    return _area(bench_params, BehavioralOptions.optimized())
+
+
+def _flip(base: BehavioralOptions, **kw) -> BehavioralOptions:
+    from dataclasses import replace
+
+    return replace(base, **kw)
+
+
+def test_ablation_handshake(bench_params, unopt_area, capsys):
+    """Removing only the handshake from the unoptimised design."""
+    no_hs = _area(bench_params,
+                  _flip(BehavioralOptions.unoptimized(), handshake=False))
+    saved = unopt_area.total - no_hs.total
+    with capsys.disabled():
+        print(f"\nhandshake elimination saves {saved:.0f} GE "
+              f"({saved / unopt_area.total * 100:.1f}% of BEH-unopt)")
+    assert saved > 0
+
+
+def test_ablation_bitwidths(bench_params, unopt_area, capsys):
+    """Tightening only the bit widths."""
+    tight = _area(bench_params,
+                  _flip(BehavioralOptions.unoptimized(),
+                        pessimistic_widths=False))
+    saved = unopt_area.total - tight.total
+    with capsys.disabled():
+        print(f"\nbit-width tightening saves {saved:.0f} GE "
+              f"({saved / unopt_area.total * 100:.1f}% of BEH-unopt)")
+    assert saved > 0
+    # widths are the single biggest lever (the multiplier shrinks)
+    assert saved / unopt_area.total > 0.05
+
+
+def test_ablation_registered_temps(bench_params, unopt_area, capsys):
+    """Cleaning up only the redundant registered temporaries."""
+    clean = _area(bench_params,
+                  _flip(BehavioralOptions.unoptimized(),
+                        registered_temps=False))
+    saved = unopt_area.total - clean.total
+    with capsys.disabled():
+        print(f"\ntemp cleanup saves {saved:.0f} GE")
+    assert saved > 0
+
+
+def test_ablation_register_sharing(bench_params, unopt_area, capsys):
+    """Enabling only register sharing and dead-write pruning."""
+    shared = _area(bench_params,
+                   _flip(BehavioralOptions.unoptimized(),
+                         share_registers=True, prune_dead_writes=True))
+    saved_seq = unopt_area.sequential - shared.sequential
+    with capsys.disabled():
+        print(f"\nregister sharing saves {saved_seq:.0f} GE sequential")
+    assert saved_seq > 0
+
+
+def test_ablation_generic_modes(bench_params, unopt_area, capsys):
+    """Folding only the 8-mode generic decode to the 2 real modes."""
+    folded = _area(bench_params,
+                   _flip(BehavioralOptions.unoptimized(), generic_modes=2))
+    saved = unopt_area.total - folded.total
+    with capsys.disabled():
+        print(f"\nmode folding saves {saved:.0f} GE")
+    assert saved >= 0  # small but never negative
+
+
+def test_ablation_all_knobs_account_for_gap(bench_params, unopt_area,
+                                            opt_area):
+    """Flipping all knobs lands exactly on the optimised design."""
+    assert opt_area.total < unopt_area.total
+    everything = _area(
+        bench_params,
+        _flip(BehavioralOptions.unoptimized(), handshake=False,
+              pessimistic_widths=False, registered_temps=False,
+              share_registers=True, prune_dead_writes=True,
+              generic_modes=0),
+    )
+    assert everything.total == pytest.approx(opt_area.total)
+
+
+def test_ablation_scan_overhead(bench_params, capsys):
+    """Scan-chain insertion cost (the paper includes scan in all area
+    numbers)."""
+    module = build_rtl_design(bench_params, True).module
+    with_scan = report_area(synthesize(module))
+    module2 = build_rtl_design(bench_params, True).module
+    without = report_area(synthesize(module2, scan=False))
+    overhead = with_scan.total - without.total
+    with capsys.disabled():
+        print(f"\nscan chain costs {overhead:.0f} GE "
+              f"({overhead / without.total * 100:.1f}%)")
+    assert overhead > 0
+    assert with_scan.combinational == pytest.approx(without.combinational)
+
+
+def test_ablation_scheduling_clock_budget(bench_params, capsys):
+    """Scheduling under a tighter clock budget needs more states.
+
+    The behavioural scheduler chains operators while the clock budget
+    allows; a faster clock forces deeper pipelining of the control
+    steps (the scheduling-mode lever of Section 4.3).
+    """
+    from repro.hls import Scheduler, SchedulingConstraints
+    from repro.src_design import build_main_program
+
+    prog_a = build_main_program(bench_params, True)
+    slow = Scheduler(prog_a, SchedulingConstraints(
+        clock_ns=bench_params.clock_period_ps / 1000.0)).run()
+    # the tightest clock that still fits the single-statement MAC chain
+    tight_ns = 22.0
+    prog_b = build_main_program(bench_params, True)
+    fast = Scheduler(prog_b, SchedulingConstraints(clock_ns=tight_ns)).run()
+    with capsys.disabled():
+        print(f"\nstates at {bench_params.clock_period_ps / 1000:.0f} ns "
+              f"clock: {len(slow.states)}; at {tight_ns:.0f} ns: "
+              f"{len(fast.states)}")
+    assert len(fast.states) >= len(slow.states)
+
+
+def test_bench_build_behavioral(benchmark, bench_params):
+    benchmark(build_behavioral_design, bench_params, True)

@@ -1,0 +1,65 @@
+"""Figure 8 -- simulation performance on different levels of abstraction.
+
+Regenerates the paper's Figure 8: simulated clock cycles per second for
+the C++ model, the SystemC (channel) model, the synthesisable
+behavioural model and the RTL model, all hosted in the same simulation
+environment.  Unclocked models are scaled by simulated time at the
+system clock, as in the paper.
+
+Asserts the figure's shape: monotone slowdown with decreasing
+abstraction, and a large gap between the compiled algorithmic model and
+the clocked models.
+"""
+
+import pytest
+
+from repro.flow import (format_results, measure_algorithmic,
+                        measure_behavioral, measure_figure8,
+                        measure_kernel_cycle_dut, measure_tlm)
+from repro.rtl import RtlSimulator
+from repro.src_design import build_rtl_design
+
+N_INPUTS = 300
+
+
+@pytest.fixture(scope="module")
+def rtl_module(bench_params):
+    return build_rtl_design(bench_params, optimized=True).module
+
+
+def test_fig08_table(bench_params, rtl_module, capsys):
+    """Prints the Figure 8 series and asserts its shape."""
+    results = measure_figure8(bench_params, N_INPUTS,
+                              rtl_module=rtl_module)
+    with capsys.disabled():
+        print()
+        print(format_results(
+            results, "Figure 8 -- simulation performance (cycles/second)"
+        ))
+    speed = {r.level: r.cycles_per_second for r in results}
+    assert speed["C++"] > speed["SystemC"] > speed["BEH"] > speed["RTL"]
+    assert speed["C++"] > 10 * speed["BEH"]
+
+
+def bench_cpp(benchmark, bench_params):
+    benchmark(measure_algorithmic, bench_params, N_INPUTS)
+
+
+def bench_systemc(benchmark, bench_params):
+    benchmark(measure_tlm, bench_params, N_INPUTS)
+
+
+def bench_behavioral(benchmark, bench_params):
+    benchmark(measure_behavioral, bench_params, 48)
+
+
+def bench_rtl(benchmark, bench_params, rtl_module):
+    sim = RtlSimulator(rtl_module)
+    benchmark(measure_kernel_cycle_dut, bench_params, sim, 24, "RTL")
+
+
+# pytest-benchmark discovers test_* functions; expose the bench points
+test_bench_cpp_level = bench_cpp
+test_bench_systemc_level = bench_systemc
+test_bench_behavioral_level = bench_behavioral
+test_bench_rtl_level = bench_rtl

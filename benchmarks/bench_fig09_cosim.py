@@ -1,0 +1,66 @@
+"""Figure 9 -- co-simulation vs. native HDL simulation.
+
+Regenerates the paper's Figure 9: cycles/second for the three DUTs
+(intermediate RTL Verilog from RTL-SystemC synthesis, gates from the
+behavioural flow, gates from the RTL flow), each simulated once in the
+VHDL testbench (native, fully interpreted) and once in the SystemC
+testbench (compiled testbench through the co-simulation bridge).
+
+Asserts the paper's observation: "the co-simulation of the DUT in the
+SystemC testbench is slightly faster than a native HDL simulation".
+"""
+
+import pytest
+
+from repro.cosim import (CosimSimulation, NativeHdlSimulation, build_dut,
+                         format_figure9, measure_figure9)
+
+CYCLES = 1500
+GATE_CYCLES = 600
+
+
+@pytest.fixture(scope="module")
+def fig9_results(gate_params):
+    return {
+        "RTL": measure_figure9(gate_params, CYCLES, duts=["RTL"])["RTL"],
+        "Gate-BEH": measure_figure9(gate_params, GATE_CYCLES,
+                                    duts=["Gate-BEH"])["Gate-BEH"],
+        "Gate-RTL": measure_figure9(gate_params, GATE_CYCLES,
+                                    duts=["Gate-RTL"])["Gate-RTL"],
+    }
+
+
+def test_fig09_table(fig9_results, capsys):
+    with capsys.disabled():
+        print()
+        print(format_figure9(fig9_results))
+    for dut, pair in fig9_results.items():
+        native = pair["VHDL-Testbench"].cycles_per_second
+        cosim = pair["SystemC-Testbench"].cycles_per_second
+        # co-sim is at least on par, typically slightly faster
+        assert cosim > native * 0.95, dut
+
+
+def test_fig09_rtl_faster_than_gates(fig9_results):
+    rtl = fig9_results["RTL"]["SystemC-Testbench"].cycles_per_second
+    for dut in ("Gate-BEH", "Gate-RTL"):
+        gate = fig9_results[dut]["SystemC-Testbench"].cycles_per_second
+        assert rtl > gate
+
+
+def test_bench_native_rtl(benchmark, gate_params):
+    dut = build_dut(gate_params, "RTL")
+    sim = NativeHdlSimulation(dut, gate_params)
+    benchmark(sim.run, 500)
+
+
+def test_bench_cosim_rtl(benchmark, gate_params):
+    dut = build_dut(gate_params, "RTL")
+    sim = CosimSimulation(dut, gate_params)
+    benchmark(sim.run, 500)
+
+
+def test_bench_cosim_gate_rtl(benchmark, gate_params):
+    dut = build_dut(gate_params, "Gate-RTL")
+    sim = CosimSimulation(dut, gate_params)
+    benchmark(sim.run, 200)

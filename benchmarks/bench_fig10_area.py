@@ -1,0 +1,84 @@
+"""Figure 10 -- comparison of area efficiency (plus Section 4.4 numbers).
+
+Synthesises all five implementations with the paper's settings (minimum
+area under the fixed clock, scan chain included, memories excluded) and
+prints the relative-area table of Figure 10.  Asserts every qualitative
+claim of the paper's Section 5.2 and the Section 4.4 headline numbers:
+
+* the first behavioural synthesis needs ~27.5 % more area than the
+  VHDL reference (we assert the ballpark),
+* SRC_MAIN holds > 90 % of the unoptimised behavioural design's area,
+* every optimised SystemC implementation beats the VHDL reference,
+* even the unoptimised RTL beats the reference,
+* BEH-opt and RTL-opt have nearly the same combinational area; the RTL
+  advantage comes from registers,
+* all designs meet the timing constraint.
+"""
+
+import pytest
+
+from repro.flow import (FIG10_ORDER, main_module_share, run_synthesis_flow)
+from repro.src_design import build_behavioral_design, build_rtl_design
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def flow_results(bench_params):
+    return run_synthesis_flow(bench_params)
+
+
+def test_fig10_table(flow_results, capsys):
+    with capsys.disabled():
+        print()
+        print(flow_results.format_figure10())
+        print(f"\nBEH-unopt overhead vs. reference: "
+              f"+{flow_results.beh_unopt_overhead_percent:.1f}% "
+              f"(paper: +27.5%)")
+    rel = {n: flow_results.relative(n) for n in FIG10_ORDER}
+    assert rel["BEH unopt."].total > 100.0
+    assert rel["BEH opt."].total < 100.0
+    assert rel["RTL unopt."].total < 100.0
+    assert rel["RTL opt."].total < 100.0
+    assert rel["RTL opt."].total == min(r.total for r in rel.values())
+
+
+def test_num1_beh_unopt_overhead(flow_results):
+    assert 10.0 < flow_results.beh_unopt_overhead_percent < 45.0
+
+
+def test_num1_src_main_share(bench_params, capsys):
+    share = main_module_share(bench_params, optimized=False)
+    with capsys.disabled():
+        print(f"\nSRC_MAIN share of BEH-unopt area: {share * 100.0:.1f}% "
+              f"(paper: >90%)")
+    assert share > 0.85
+
+
+def test_comb_area_beh_opt_vs_rtl_opt(flow_results):
+    beh = flow_results.designs["BEH opt."].area.combinational
+    rtl = flow_results.designs["RTL opt."].area.combinational
+    assert abs(beh - rtl) / max(beh, rtl) < 0.15
+
+
+def test_register_savings_dominate_rtl_advantage(flow_results):
+    beh = flow_results.designs["BEH opt."].area
+    rtl = flow_results.designs["RTL opt."].area
+    assert beh.sequential - rtl.sequential > 0
+
+
+def test_timing_goal_met_by_all(flow_results):
+    """Paper: 'the timing goal could be easily achieved by all
+    implementations'."""
+    for design in flow_results.designs.values():
+        assert design.timing.met, design.timing.format()
+        assert design.timing.slack_ns > 0
+
+
+def test_bench_synthesize_beh_opt(benchmark, bench_params):
+    module = build_behavioral_design(bench_params, True).module
+    benchmark(synthesize, module)
+
+
+def test_bench_synthesize_rtl_opt(benchmark, bench_params):
+    module = build_rtl_design(bench_params, True).module
+    benchmark(synthesize, module)

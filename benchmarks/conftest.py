@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+By default the benchmarks run on the paper-scale configuration
+(64 phases, 16-bit stereo, 25 MHz) for everything except gate-level
+simulation, which uses the reduced configuration to keep wall time
+sane.  Set ``REPRO_BENCH_SCALE=small`` to run everything small, or
+``REPRO_BENCH_SCALE=paper`` to force paper scale everywhere.
+"""
+
+import os
+
+import pytest
+
+from repro.src_design.params import PAPER_PARAMS, SMALL_PARAMS
+
+
+def _scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "mixed")
+
+
+@pytest.fixture(scope="session")
+def bench_params():
+    """Parameters for algorithm/RTL-level benchmarks."""
+    return SMALL_PARAMS if _scale() == "small" else PAPER_PARAMS
+
+
+@pytest.fixture(scope="session")
+def gate_params():
+    """Parameters for gate-level benchmarks (reduced by default)."""
+    return PAPER_PARAMS if _scale() == "paper" else SMALL_PARAMS

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Co-simulation vs. native HDL simulation (paper Figure 9).
+
+Takes the gate-level SRC produced by the RTL flow and simulates it
+
+* natively: testbench and DUT both interpreted in the HDL simulator,
+* co-simulated: the compiled "SystemC" testbench drives the HDL DUT
+  through the co-simulation bridge,
+
+checks that both produce identical outputs, and compares throughput.
+Uses the reduced configuration (gate-level simulation at paper scale is
+slow -- which is itself one of the paper's findings).
+"""
+
+from repro.cosim import (CosimSimulation, NativeHdlSimulation, build_dut,
+                         measure_figure9, format_figure9)
+from repro.src_design import SMALL_PARAMS
+
+
+def main() -> None:
+    params = SMALL_PARAMS
+    cycles = 1500
+
+    print("Cross-checking outputs (native vs. co-simulation)...")
+    native_outs = NativeHdlSimulation(
+        build_dut(params, "Gate-RTL"), params).run(cycles)
+    cosim_outs = CosimSimulation(
+        build_dut(params, "Gate-RTL"), params).run(cycles)
+    assert native_outs == cosim_outs, "testbench technologies disagree!"
+    print(f"  identical: {len(native_outs)} output frames\n")
+
+    print("Measuring throughput (this regenerates Figure 9)...")
+    results = measure_figure9(params, cycles=cycles)
+    print(format_figure9(results))
+
+    print("\nObservations (paper Section 5.1):")
+    for dut, pair in results.items():
+        native = pair["VHDL-Testbench"].cycles_per_second
+        cosim = pair["SystemC-Testbench"].cycles_per_second
+        faster = "co-sim faster" if cosim > native else "native faster"
+        print(f"  {dut:10s}: {faster} by {abs(cosim / native - 1) * 100:.1f}%")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Synthesis comparison -- regenerates the paper's Figure 10.
+
+Synthesises all five implementations (VHDL reference, behavioural
+unoptimised/optimised, RTL unoptimised/optimised) with the paper's
+settings: minimum area under the fixed 40 ns clock constraint, scan
+chain included, memories excluded from the report.  Prints per-design
+area/timing reports and the relative comparison of Figure 10.
+"""
+
+import sys
+
+from repro.flow import main_module_share, run_synthesis_flow
+from repro.src_design import PAPER_PARAMS, SMALL_PARAMS
+
+
+def main() -> None:
+    params = SMALL_PARAMS if "--small" in sys.argv else PAPER_PARAMS
+    clock_ns = params.clock_period_ps / 1000.0
+    print(f"Synthesis: minimum area @ {clock_ns:.0f} ns clock, "
+          "scan included, memories excluded\n")
+
+    results = run_synthesis_flow(params)
+    for design in results.designs.values():
+        print(design.area.format())
+        print(design.timing.format())
+        print()
+
+    print(results.format_figure10())
+    print()
+    print(f"Section 4.4 headline: first behavioural synthesis needs "
+          f"+{results.beh_unopt_overhead_percent:.1f}% area vs. the "
+          f"reference (paper: +27.5%)")
+    share = main_module_share(params, optimized=False)
+    print(f"SRC_MAIN holds {share * 100.0:.1f}% of the unoptimised "
+          f"behavioural design's area (paper: >90%)")
+    if not results.all_timing_met():
+        raise SystemExit("timing constraint violated")
+    print("\nAll designs meet timing. OK")
+
+
+if __name__ == "__main__":
+    main()

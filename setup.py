@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables editable installs where the offline
+environment lacks the ``wheel`` package (``pip install -e . --no-use-pep517``).
+Project metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro -- reproduction of the DATE 2004 refinement-driven SystemC flow paper.
+
+The package rebuilds, in pure Python, every system the paper's evaluation
+depends on:
+
+* :mod:`repro.kernel` -- a SystemC-like discrete-event simulation kernel,
+* :mod:`repro.datatypes` -- fixed-width hardware datatypes,
+* :mod:`repro.dsp` -- bandlimited-interpolation reference mathematics,
+* :mod:`repro.hls` -- behavioural synthesis (scheduling/allocation/FSM),
+* :mod:`repro.rtl` -- an RTL intermediate representation and simulator,
+* :mod:`repro.synth` -- logic synthesis down to a 0.25 um-style cell library,
+* :mod:`repro.gatesim` -- event-driven gate-level simulation,
+* :mod:`repro.cosim` -- testbench/DUT co-simulation bridges,
+* :mod:`repro.src_design` -- the sample-rate converter at every abstraction
+  level of the paper's refinement flow, and
+* :mod:`repro.flow` -- the refinement-driven flow itself (verification,
+  synthesis runs, performance measurement).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

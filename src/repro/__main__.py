@@ -1,0 +1,171 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro fig8            # simulation performance (Figure 8)
+    python -m repro fig9            # co-simulation comparison (Figure 9)
+    python -m repro fig10           # area comparison (Figure 10)
+    python -m repro refine          # bit-accuracy verification of the chain
+    python -m repro bug             # the golden-model bug story
+    python -m repro metrics         # model complexity across levels
+    python -m repro profile         # simulation-time split (Section 5.1)
+    python -m repro all             # everything (small config for speed)
+
+Options: ``--small`` forces the reduced configuration, ``--paper`` the
+paper-scale one.  Defaults: paper scale for synthesis/performance,
+reduced for anything gate-level.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .src_design.params import PAPER_PARAMS, SMALL_PARAMS
+
+
+def _params(args, default):
+    if "--small" in args:
+        return SMALL_PARAMS
+    if "--paper" in args:
+        return PAPER_PARAMS
+    return default
+
+
+def cmd_fig8(args) -> None:
+    from .flow import format_results, measure_figure8
+
+    from .flow import render_figure8
+
+    params = _params(args, PAPER_PARAMS)
+    print(render_figure8(measure_figure8(params, 300)))
+
+
+def cmd_fig9(args) -> None:
+    from .cosim import format_figure9, measure_figure9
+
+    from .flow import render_figure9
+
+    params = _params(args, SMALL_PARAMS)
+    print(render_figure9(measure_figure9(params, cycles=1500)))
+
+
+def cmd_fig10(args) -> None:
+    from .flow import main_module_share, run_synthesis_flow
+
+    from .flow import render_figure10
+
+    params = _params(args, PAPER_PARAMS)
+    results = run_synthesis_flow(params)
+    print(render_figure10(results))
+    print()
+    print(results.format_figure10())
+    print(f"\nBEH-unopt overhead: "
+          f"+{results.beh_unopt_overhead_percent:.1f}% (paper: +27.5%)")
+    share = main_module_share(params, optimized=False)
+    print(f"SRC_MAIN share: {share * 100:.1f}% (paper: >90%)")
+
+
+def cmd_refine(args) -> None:
+    from .dsp import sine_samples
+    from .flow import verify_refinement
+
+    params = _params(args, SMALL_PARAMS)
+    tone = sine_samples(160, 1000.0, params.modes[0].f_in,
+                        params.data_width)
+    report = verify_refinement(params, [(s, -s) for s in tone],
+                               mode_changes=((80, 1),))
+    print(report.format())
+    if not report.all_bit_accurate:
+        raise SystemExit(1)
+
+
+def cmd_bug(args) -> None:
+    import runpy
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "examples", "golden_bug_hunt.py")
+    if os.path.exists(path):
+        runpy.run_path(path, run_name="__main__")
+    else:  # installed without the examples directory
+        from .flow import Level, run_level
+        from .dsp import sine_samples
+        from .src_design import make_schedule
+
+        params = _params(args, SMALL_PARAMS)
+        schedule = make_schedule(params, 0, 100, quantized=True)
+        tone = sine_samples(100, 1000.0, params.modes[0].f_in,
+                            params.data_width)
+        hits = []
+        run_level(params, Level.BEH_OPT, schedule,
+                  [(s, -s) for s in tone],
+                  mem_monitor=lambda m, a, d, k: hits.append((m, a))
+                  if a >= d else None)
+        print(f"invalid accesses observed: {len(hits)}")
+
+
+def cmd_metrics(args) -> None:
+    from .flow.metrics import collect_model_metrics, format_metrics
+
+    params = _params(args, SMALL_PARAMS)
+    print(format_metrics(collect_model_metrics(params)))
+
+
+def cmd_profile(args) -> None:
+    from .flow.performance import profile_behavioral_split
+
+    params = _params(args, PAPER_PARAMS)
+    shares = profile_behavioral_split(params, n_inputs=60)
+    print("Behavioural-simulation time split "
+          "(the profiler the paper lacked, Section 5.1):")
+    print(f"  behavioural main process : "
+          f"{shares['main_process'] * 100:5.1f}%")
+    print(f"  RT-level front end       : "
+          f"{shares['rtl_front_end'] * 100:5.1f}%")
+    print(f"  simulation kernel        : {shares['kernel'] * 100:5.1f}%")
+
+
+def cmd_artifacts(args) -> None:
+    from .flow import write_artifacts
+
+    params = _params(args, SMALL_PARAMS)
+    directory = "artifacts"
+    for i, arg in enumerate(args):
+        if arg == "--out" and i + 1 < len(args):
+            directory = args[i + 1]
+    index = write_artifacts(params, directory)
+    print(index.format())
+
+
+COMMANDS = {
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "refine": cmd_refine,
+    "bug": cmd_bug,
+    "metrics": cmd_metrics,
+    "profile": cmd_profile,
+    "artifacts": cmd_artifacts,
+}
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    names = [a for a in args if not a.startswith("-")]
+    if not names or names[0] not in set(COMMANDS) | {"all"}:
+        print(__doc__)
+        return 1
+    if names[0] == "all":
+        small = args + ["--small"]
+        for name, fn in COMMANDS.items():
+            if name == "artifacts":
+                continue  # writes to disk; run explicitly
+            print(f"\n===== {name} =====")
+            fn(small)
+        return 0
+    COMMANDS[names[0]](args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

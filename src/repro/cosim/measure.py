@@ -1,0 +1,89 @@
+"""Throughput measurement of native vs. co-simulation (Figure 9)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..flow.performance import SimPerfResult
+from ..gatesim import GateSimulator
+from ..rtl import RtlSimulator
+from ..src_design.behavioral import build_behavioral_design
+from ..src_design.params import SrcParams
+from ..src_design.rtl_design import build_rtl_design
+from ..synth import synthesize
+from .bridge import CosimSimulation, NativeHdlSimulation
+
+#: Figure 9's three DUTs, in plot order
+FIG9_DUTS = ("RTL", "Gate-BEH", "Gate-RTL")
+#: the two testbench configurations
+FIG9_TBS = ("VHDL-Testbench", "SystemC-Testbench")
+
+
+def build_dut(params: SrcParams, kind: str):
+    """Build one of Figure 9's DUT simulators.
+
+    * ``RTL`` -- the intermediate RTL Verilog from RTL-SystemC synthesis
+      (cycle simulation of the RTL netlist);
+    * ``Gate-BEH`` -- the gate-level design from the behavioural flow;
+    * ``Gate-RTL`` -- the gate-level design from the RTL flow.
+    """
+    if kind == "RTL":
+        return RtlSimulator(build_rtl_design(params, True).module)
+    if kind == "Gate-BEH":
+        module = build_behavioral_design(params, True).module
+        return GateSimulator(synthesize(module))
+    if kind == "Gate-RTL":
+        module = build_rtl_design(params, True).module
+        return GateSimulator(synthesize(module))
+    raise ValueError(f"unknown DUT kind {kind!r}")
+
+
+def measure_native(params: SrcParams, dut_sim, cycles: int,
+                   label: str) -> SimPerfResult:
+    sim = NativeHdlSimulation(dut_sim, params)
+    start = time.perf_counter()
+    outputs = sim.run(cycles)
+    wall = time.perf_counter() - start
+    return SimPerfResult(label, wall, float(cycles), len(outputs))
+
+
+def measure_cosim(params: SrcParams, dut_sim, cycles: int,
+                  label: str) -> SimPerfResult:
+    sim = CosimSimulation(dut_sim, params)
+    start = time.perf_counter()
+    outputs = sim.run(cycles)
+    wall = time.perf_counter() - start
+    return SimPerfResult(label, wall, float(cycles), len(outputs))
+
+
+def measure_figure9(params: SrcParams, cycles: int = 2000,
+                    duts: Optional[List[str]] = None
+                    ) -> Dict[str, Dict[str, SimPerfResult]]:
+    """All points of Figure 9: {DUT: {testbench: result}}."""
+    results: Dict[str, Dict[str, SimPerfResult]] = {}
+    for kind in (duts or FIG9_DUTS):
+        dut_native = build_dut(params, kind)
+        native = measure_native(params, dut_native, cycles,
+                                f"{kind}/VHDL-TB")
+        dut_cosim = build_dut(params, kind)
+        cosim = measure_cosim(params, dut_cosim, cycles,
+                              f"{kind}/SystemC-TB")
+        results[kind] = {
+            "VHDL-Testbench": native,
+            "SystemC-Testbench": cosim,
+        }
+    return results
+
+
+def format_figure9(results: Dict[str, Dict[str, SimPerfResult]]) -> str:
+    lines = [
+        "Figure 9 -- co-simulation vs. native HDL simulation (cycles/s)",
+        f"{'DUT':10s} {'VHDL-TB':>12s} {'SystemC-TB':>12s}",
+    ]
+    for kind, pair in results.items():
+        native = pair["VHDL-Testbench"].cycles_per_second
+        cosim = pair["SystemC-Testbench"].cycles_per_second
+        lines.append(f"{kind:10s} {native:12.1f} {cosim:12.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Testbenches for the co-simulation experiment (paper Figure 9).
+
+Two functionally equivalent testbenches drive the same DUTs:
+
+* :func:`build_hdl_testbench` -- the **VHDL testbench** "available from
+  the reference design": stimulus generation written as RTL (clock
+  dividers, a sine sample ROM, a boot configurator) and *interpreted by
+  the HDL simulator* together with the DUT;
+* :class:`PythonTestbench` -- the **SystemC testbench**: the same
+  stimulus logic as compiled host code, talking to the HDL simulator
+  through the co-simulation bridge.
+
+Their per-cycle pin waveforms are identical (verified by tests); only
+the execution technology differs -- which is exactly the variable
+Figure 9 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..dsp.stimulus import sine_samples
+from ..rtl.expr import Case, Const, Mux, Ref, Slice
+from ..rtl.ir import RtlModule
+from ..src_design.params import SrcParams
+
+#: sine-table length of the stimulus ROM
+TABLE_SIZE = 64
+
+
+def _dividers(params: SrcParams, mode: int = 0) -> Tuple[int, int]:
+    """Clock divider ratios for input and output sample strobes."""
+    clk = params.clock_period_ps
+    f_in = params.modes[mode].f_in
+    f_out = params.modes[mode].f_out
+    div_in = max(2, round(1e12 / f_in / clk))
+    div_out = max(2, round(1e12 / f_out / clk))
+    return div_in, div_out
+
+
+def _sample_table(params: SrcParams) -> List[int]:
+    return sine_samples(TABLE_SIZE, 1_000.0, params.modes[0].f_in,
+                        params.data_width)
+
+
+def build_hdl_testbench(params: SrcParams, mode: int = 0) -> RtlModule:
+    """The VHDL testbench as an interpreted RTL module.
+
+    Outputs: ``in_valid``, ``in_l``, ``in_r``, ``cfg_valid``,
+    ``cfg_mode``, ``out_req`` -- the DUT's input pins.
+    """
+    p = params
+    dw = p.data_width
+    div_in, div_out = _dividers(p, mode)
+    cb_in = max(1, (div_in - 1).bit_length())
+    cb_out = max(1, (div_out - 1).bit_length())
+    tb_bits = max(1, (TABLE_SIZE - 1).bit_length())
+
+    m = RtlModule("hdl_testbench")
+    booted = m.register("booted", 1, init=0)
+    cnt_in = m.register("cnt_in", cb_in, init=0)
+    cnt_out = m.register("cnt_out", cb_out, init=0)
+    index = m.register("index", tb_bits, init=0)
+
+    table = _sample_table(p)
+    rom = m.memory("stim_rom", TABLE_SIZE, dw, contents=table)
+
+    in_fire = m.assign("in_fire",
+                       cnt_in.eq(Const(cb_in, div_in - 1)))
+    out_fire = m.assign("out_fire",
+                        cnt_out.eq(Const(cb_out, div_out - 1)))
+
+    m.set_next(booted, Const(1, 1))
+    m.set_next(cnt_in, Mux(in_fire, Const(cb_in, 0),
+                           Slice(cnt_in + Const(cb_in, 1), cb_in - 1, 0)))
+    m.set_next(cnt_out, Mux(out_fire, Const(cb_out, 0),
+                            Slice(cnt_out + Const(cb_out, 1),
+                                  cb_out - 1, 0)))
+    m.set_next(index, Mux(in_fire,
+                          Slice(index + Const(tb_bits, 1), tb_bits - 1, 0),
+                          index))
+
+    sample = m.mem_read(rom, index, enable=in_fire)
+    neg = m.assign("sample_neg",
+                   Slice(Const(dw + 1, 0) - sample.sext(dw + 1),
+                         dw - 1, 0))
+
+    m.output("in_valid", in_fire)
+    m.output("in_l", sample)
+    m.output("in_r", neg)
+    m.output("cfg_valid", m.assign("cfg_pulse", ~booted))
+    m.output("cfg_mode", m.assign("cfg_mode_w", Const(p.mode_bits, mode)))
+    m.output("out_req", out_fire)
+    m.validate()
+    return m
+
+
+class PythonTestbench:
+    """The SystemC testbench: identical stimulus, compiled execution."""
+
+    def __init__(self, params: SrcParams, mode: int = 0):
+        self.params = params
+        self.mode = mode
+        self.div_in, self.div_out = _dividers(params, mode)
+        self.table = _sample_table(params)
+        self._cnt_in = 0
+        self._cnt_out = 0
+        self._index = 0
+        self._booted = False
+        self._mask = (1 << params.data_width) - 1
+
+    def cycle(self) -> Dict[str, int]:
+        """Pin values for the next clock cycle."""
+        in_fire = self._cnt_in == self.div_in - 1
+        out_fire = self._cnt_out == self.div_out - 1
+        sample = self.table[self._index]
+        pins = {
+            "in_valid": 1 if in_fire else 0,
+            "in_l": sample & self._mask,
+            "in_r": (-sample) & self._mask,
+            "cfg_valid": 0 if self._booted else 1,
+            "cfg_mode": self.mode,
+            "out_req": 1 if out_fire else 0,
+        }
+        self._booted = True
+        self._cnt_in = 0 if in_fire else self._cnt_in + 1
+        self._cnt_out = 0 if out_fire else self._cnt_out + 1
+        if in_fire:
+            self._index = (self._index + 1) % TABLE_SIZE
+        return pins
+
+    def reset(self) -> None:
+        self._cnt_in = self._cnt_out = self._index = 0
+        self._booted = False

@@ -1,0 +1,20 @@
+"""Hardware datatypes: bit vectors, sized integers, fixed point, 4-valued logic."""
+
+from .bits import Bits, concat, mask
+from .fixed import Fixed, Overflow, Rounding
+from .integers import (SInt, UInt, bits_for_signed, bits_for_unsigned,
+                       max_signed, max_unsigned, min_signed, saturate_signed,
+                       saturate_unsigned, wrap_signed, wrap_unsigned)
+from .logic import (L0, L1, LX, LZ, from_bool, from_char, int_to_vector,
+                    is_known, logic_and, logic_mux, logic_not, logic_or,
+                    logic_xor, resolve, to_char, to_int, vector_to_int)
+
+__all__ = [
+    "Bits", "Fixed", "L0", "L1", "LX", "LZ", "Overflow", "Rounding", "SInt",
+    "UInt", "bits_for_signed", "bits_for_unsigned", "concat", "from_bool",
+    "from_char", "int_to_vector", "is_known", "logic_and", "logic_mux",
+    "logic_not", "logic_or", "logic_xor", "mask", "max_signed",
+    "max_unsigned", "min_signed", "resolve", "saturate_signed",
+    "saturate_unsigned", "to_char", "to_int", "vector_to_int",
+    "wrap_signed", "wrap_unsigned",
+]

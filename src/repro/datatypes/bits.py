@@ -1,0 +1,207 @@
+"""Fixed-width bit vectors (SystemC ``sc_bv``/``sc_lv`` value semantics).
+
+:class:`Bits` is an immutable vector of 0/1 bits with SystemC-style
+inclusive ``[msb:lsb]`` slicing, concatenation, and reduction operators.
+All mutating-style operations return new values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+IntLike = Union[int, "Bits"]
+
+
+def mask(width: int) -> int:
+    """All-ones mask of *width* bits."""
+    if width < 0:
+        raise ValueError(f"negative width: {width}")
+    return (1 << width) - 1
+
+
+class Bits:
+    """An immutable *width*-bit vector holding an unsigned value."""
+
+    __slots__ = ("width", "_value")
+
+    def __init__(self, width: int, value: IntLike = 0):
+        if width < 1:
+            raise ValueError(f"Bits width must be >= 1, got {width}")
+        self.width = width
+        self._value = int(value) & mask(width)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def to_unsigned(self) -> int:
+        """Value as an unsigned integer in ``[0, 2**width)``."""
+        return self._value
+
+    def to_signed(self) -> int:
+        """Value as a two's-complement signed integer."""
+        if self._value & (1 << (self.width - 1)):
+            return self._value - (1 << self.width)
+        return self._value
+
+    def to_binary_string(self) -> str:
+        return format(self._value, f"0{self.width}b")
+
+    @classmethod
+    def from_signed(cls, width: int, value: int) -> "Bits":
+        return cls(width, value)
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "Bits":
+        """Build from an iterable of bits, LSB first."""
+        bit_list = list(bits)
+        value = 0
+        for i, b in enumerate(bit_list):
+            if b not in (0, 1):
+                raise ValueError(f"bit value must be 0 or 1, got {b!r}")
+            value |= b << i
+        return cls(max(1, len(bit_list)), value)
+
+    # ------------------------------------------------------------------
+    # bit and slice access (SystemC inclusive [msb:lsb] convention)
+    # ------------------------------------------------------------------
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            if key.step is not None:
+                raise ValueError("Bits slices do not support a step")
+            hi, lo = key.start, key.stop
+            if hi is None or lo is None:
+                raise ValueError("Bits slices need explicit [msb:lsb] bounds")
+            return self.slice(hi, lo)
+        return self.bit(key)
+
+    def bit(self, index: int) -> int:
+        if not 0 <= index < self.width:
+            raise IndexError(
+                f"bit index {index} out of range for width {self.width}"
+            )
+        return (self._value >> index) & 1
+
+    def slice(self, msb: int, lsb: int) -> "Bits":
+        """Inclusive bit-range ``[msb:lsb]`` as a new :class:`Bits`."""
+        if msb < lsb:
+            raise ValueError(f"slice msb ({msb}) < lsb ({lsb})")
+        if msb >= self.width or lsb < 0:
+            raise IndexError(
+                f"slice [{msb}:{lsb}] out of range for width {self.width}"
+            )
+        return Bits(msb - lsb + 1, self._value >> lsb)
+
+    def set_bit(self, index: int, bit: int) -> "Bits":
+        if not 0 <= index < self.width:
+            raise IndexError(
+                f"bit index {index} out of range for width {self.width}"
+            )
+        if bit not in (0, 1):
+            raise ValueError(f"bit value must be 0 or 1, got {bit!r}")
+        if bit:
+            return Bits(self.width, self._value | (1 << index))
+        return Bits(self.width, self._value & ~(1 << index))
+
+    def set_slice(self, msb: int, lsb: int, value: IntLike) -> "Bits":
+        if msb < lsb:
+            raise ValueError(f"slice msb ({msb}) < lsb ({lsb})")
+        if msb >= self.width or lsb < 0:
+            raise IndexError(
+                f"slice [{msb}:{lsb}] out of range for width {self.width}"
+            )
+        field = mask(msb - lsb + 1)
+        cleared = self._value & ~(field << lsb)
+        return Bits(self.width, cleared | ((int(value) & field) << lsb))
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+    def _coerce(self, other: IntLike) -> int:
+        return int(other)
+
+    def __and__(self, other: IntLike) -> "Bits":
+        return Bits(self.width, self._value & self._coerce(other))
+
+    def __or__(self, other: IntLike) -> "Bits":
+        return Bits(self.width, self._value | self._coerce(other))
+
+    def __xor__(self, other: IntLike) -> "Bits":
+        return Bits(self.width, self._value ^ self._coerce(other))
+
+    __rand__ = __and__
+    __ror__ = __or__
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "Bits":
+        return Bits(self.width, ~self._value)
+
+    def __lshift__(self, amount: int) -> "Bits":
+        return Bits(self.width, self._value << amount)
+
+    def __rshift__(self, amount: int) -> "Bits":
+        return Bits(self.width, self._value >> amount)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Bits):
+            return self.width == other.width and self._value == other._value
+        if isinstance(other, int):
+            return self._value == other & mask(self.width) and other >= 0
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._value))
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def concat(self, *others: "Bits") -> "Bits":
+        """Concatenate, self as the most-significant part."""
+        value = self._value
+        width = self.width
+        for other in others:
+            value = (value << other.width) | other._value
+            width += other.width
+        return Bits(width, value)
+
+    def __matmul__(self, other: "Bits") -> "Bits":
+        return self.concat(other)
+
+    def resize(self, width: int, signed: bool = False) -> "Bits":
+        """Zero- or sign-extend / truncate to *width* bits."""
+        if signed:
+            return Bits(width, self.to_signed())
+        return Bits(width, self._value)
+
+    def reduce_and(self) -> int:
+        return 1 if self._value == mask(self.width) else 0
+
+    def reduce_or(self) -> int:
+        return 1 if self._value else 0
+
+    def reduce_xor(self) -> int:
+        return bin(self._value).count("1") & 1
+
+    def reversed(self) -> "Bits":
+        value = 0
+        for i in range(self.width):
+            value = (value << 1) | ((self._value >> i) & 1)
+        return Bits(self.width, value)
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __repr__(self) -> str:
+        return f"Bits({self.width}, 0b{self.to_binary_string()})"
+
+
+def concat(*parts: Bits) -> Bits:
+    """Concatenate *parts*, first argument most significant."""
+    if not parts:
+        raise ValueError("concat needs at least one part")
+    return parts[0].concat(*parts[1:])

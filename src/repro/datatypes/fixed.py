@@ -1,0 +1,157 @@
+"""Fixed-point values with quantisation and overflow modes (``sc_fixed``).
+
+Used when quantising the SRC's floating-point prototype filter into the
+coefficient ROM: the design flow turns real coefficients into Q-format
+integers with a selectable rounding and overflow behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Union
+
+from .integers import (saturate_signed, saturate_unsigned, wrap_signed,
+                       wrap_unsigned)
+
+
+class Rounding(enum.Enum):
+    """Quantisation behaviour for bits below the LSB."""
+
+    #: round to nearest, ties away from zero (SystemC ``SC_RND``)
+    ROUND = "round"
+    #: truncate toward negative infinity (SystemC ``SC_TRN``)
+    TRUNCATE = "truncate"
+    #: truncate toward zero (SystemC ``SC_TRN_ZERO``)
+    TRUNCATE_ZERO = "truncate_zero"
+
+
+class Overflow(enum.Enum):
+    """Behaviour when the value exceeds the representable range."""
+
+    SATURATE = "saturate"  # SystemC ``SC_SAT``
+    WRAP = "wrap"          # SystemC ``SC_WRAP``
+
+
+class Fixed:
+    """A signed fixed-point number: *wl* total bits, *iwl* integer bits.
+
+    The stored representation is the raw integer ``raw`` with the value
+    ``raw * 2**-(wl - iwl)``.  ``iwl`` counts the sign bit, matching the
+    SystemC convention, so ``Fixed(16, 1)`` is the audio Q1.15 format.
+    """
+
+    __slots__ = ("wl", "iwl", "raw")
+
+    def __init__(self, wl: int, iwl: int, raw: int = 0):
+        if wl < 1:
+            raise ValueError(f"word length must be >= 1, got {wl}")
+        if iwl < 0 or iwl > wl:
+            raise ValueError(f"integer width {iwl} outside [0, {wl}]")
+        self.wl = wl
+        self.iwl = iwl
+        self.raw = wrap_signed(raw, wl)
+
+    @property
+    def frac_bits(self) -> int:
+        return self.wl - self.iwl
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(
+        cls,
+        value: float,
+        wl: int,
+        iwl: int,
+        rounding: Rounding = Rounding.ROUND,
+        overflow: Overflow = Overflow.SATURATE,
+    ) -> "Fixed":
+        """Quantise *value* into the (wl, iwl) format."""
+        scaled = value * (1 << (wl - iwl))
+        if rounding is Rounding.ROUND:
+            raw = int(math.floor(scaled + 0.5))
+        elif rounding is Rounding.TRUNCATE:
+            raw = int(math.floor(scaled))
+        elif rounding is Rounding.TRUNCATE_ZERO:
+            raw = int(scaled)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown rounding {rounding!r}")
+        if overflow is Overflow.SATURATE:
+            raw = saturate_signed(raw, wl)
+        else:
+            raw = wrap_signed(raw, wl)
+        return cls(wl, iwl, raw)
+
+    def to_float(self) -> float:
+        return self.raw / (1 << self.frac_bits)
+
+    # ------------------------------------------------------------------
+    def _align(self, other: "Fixed"):
+        frac = max(self.frac_bits, other.frac_bits)
+        return (
+            self.raw << (frac - self.frac_bits),
+            other.raw << (frac - other.frac_bits),
+            frac,
+        )
+
+    def __add__(self, other: "Fixed") -> "Fixed":
+        a, b, frac = self._align(other)
+        total = a + b
+        iwl = max(self.iwl, other.iwl) + 1
+        return Fixed(iwl + frac, iwl, total)
+
+    def __sub__(self, other: "Fixed") -> "Fixed":
+        a, b, frac = self._align(other)
+        total = a - b
+        iwl = max(self.iwl, other.iwl) + 1
+        return Fixed(iwl + frac, iwl, total)
+
+    def __mul__(self, other: "Fixed") -> "Fixed":
+        raw = self.raw * other.raw
+        return Fixed(self.wl + other.wl, self.iwl + other.iwl, raw)
+
+    def __neg__(self) -> "Fixed":
+        return Fixed(self.wl + 1, self.iwl + 1, -self.raw)
+
+    def quantize(
+        self,
+        wl: int,
+        iwl: int,
+        rounding: Rounding = Rounding.ROUND,
+        overflow: Overflow = Overflow.SATURATE,
+    ) -> "Fixed":
+        """Re-quantise into a new (wl, iwl) format."""
+        shift = self.frac_bits - (wl - iwl)
+        raw = self.raw
+        if shift > 0:
+            if rounding is Rounding.ROUND:
+                raw = (raw + (1 << (shift - 1))) >> shift
+            elif rounding is Rounding.TRUNCATE:
+                raw >>= shift
+            else:  # TRUNCATE_ZERO
+                sign = -1 if raw < 0 else 1
+                raw = sign * (abs(raw) >> shift)
+        elif shift < 0:
+            raw <<= -shift
+        if overflow is Overflow.SATURATE:
+            raw = saturate_signed(raw, wl)
+        else:
+            raw = wrap_signed(raw, wl)
+        return Fixed(wl, iwl, raw)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Fixed):
+            a, b, _ = self._align(other)
+            return a == b
+        return NotImplemented
+
+    def __lt__(self, other: "Fixed") -> bool:
+        a, b, _ = self._align(other)
+        return a < b
+
+    def __hash__(self) -> int:
+        return hash(("Fixed", self.to_float()))
+
+    def __repr__(self) -> str:
+        return f"Fixed({self.wl}, {self.iwl}, raw={self.raw}, value={self.to_float()})"

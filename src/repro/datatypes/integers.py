@@ -1,0 +1,215 @@
+"""Fixed-width integers with SystemC ``sc_int``/``sc_uint`` semantics.
+
+The paper's *type refinement* step replaces native C/C++ integers with
+explicitly-sized SystemC integers.  These classes mirror that: arithmetic
+between fixed-width integers promotes to plain Python ``int`` (SystemC
+promotes to 64-bit), and assignment back into a sized type *truncates*
+(wraps) to the declared width.  Helper functions provide saturation, the
+alternative overflow behaviour hardware designers reach for.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .bits import Bits, mask
+
+IntLike = Union[int, "UInt", "SInt", Bits]
+
+
+def wrap_unsigned(value: int, width: int) -> int:
+    """Truncate *value* to *width* unsigned bits (wrap-around)."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    return value & mask(width)
+
+
+def wrap_signed(value: int, width: int) -> int:
+    """Truncate *value* to *width* signed (two's complement) bits."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        value -= 1 << width
+    return value
+
+
+def saturate_unsigned(value: int, width: int) -> int:
+    """Clamp *value* into ``[0, 2**width - 1]``."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    return min(max(value, 0), mask(width))
+
+
+def saturate_signed(value: int, width: int) -> int:
+    """Clamp *value* into ``[-2**(width-1), 2**(width-1) - 1]``."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return min(max(value, lo), hi)
+
+
+def min_signed(width: int) -> int:
+    return -(1 << (width - 1))
+
+
+def max_signed(width: int) -> int:
+    return (1 << (width - 1)) - 1
+
+
+def max_unsigned(width: int) -> int:
+    return mask(width)
+
+
+def bits_for_unsigned(max_value: int) -> int:
+    """Minimum width holding unsigned values up to *max_value*."""
+    if max_value < 0:
+        raise ValueError(f"max_value must be >= 0, got {max_value}")
+    return max(1, max_value.bit_length())
+
+
+def bits_for_signed(min_value: int, max_value: int) -> int:
+    """Minimum signed width holding the closed range [min, max]."""
+    width = 1
+    while not (min_signed(width) <= min_value and max_value <= max_signed(width)):
+        width += 1
+    return width
+
+
+class _SizedInt:
+    """Common behaviour of :class:`UInt` and :class:`SInt`."""
+
+    __slots__ = ("width", "_value")
+    _signed = False
+
+    def __init__(self, width: int, value: IntLike = 0):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self._value = self._wrap(int(value), width)
+
+    @staticmethod
+    def _wrap(value: int, width: int) -> int:
+        raise NotImplementedError
+
+    # -- conversions ------------------------------------------------------
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __float__(self) -> float:
+        return float(self._value)
+
+    def to_bits(self) -> Bits:
+        return Bits(self.width, self._value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    # -- arithmetic (promotes to int, as SystemC promotes to 64-bit) -------
+    def __add__(self, other: IntLike) -> int:
+        return self._value + int(other)
+
+    def __radd__(self, other: int) -> int:
+        return int(other) + self._value
+
+    def __sub__(self, other: IntLike) -> int:
+        return self._value - int(other)
+
+    def __rsub__(self, other: int) -> int:
+        return int(other) - self._value
+
+    def __mul__(self, other: IntLike) -> int:
+        return self._value * int(other)
+
+    def __rmul__(self, other: int) -> int:
+        return int(other) * self._value
+
+    def __neg__(self) -> int:
+        return -self._value
+
+    def __lshift__(self, amount: int) -> int:
+        return self._value << amount
+
+    def __rshift__(self, amount: int) -> int:
+        return self._value >> amount
+
+    def __and__(self, other: IntLike) -> int:
+        return self._value & int(other)
+
+    def __or__(self, other: IntLike) -> int:
+        return self._value | int(other)
+
+    def __xor__(self, other: IntLike) -> int:
+        return self._value ^ int(other)
+
+    def __floordiv__(self, other: IntLike) -> int:
+        return self._value // int(other)
+
+    def __mod__(self, other: IntLike) -> int:
+        return self._value % int(other)
+
+    def __abs__(self) -> int:
+        return abs(self._value)
+
+    # -- comparisons --------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (_SizedInt, int)):
+            return self._value == int(other)
+        return NotImplemented
+
+    def __lt__(self, other: IntLike) -> bool:
+        return self._value < int(other)
+
+    def __le__(self, other: IntLike) -> bool:
+        return self._value <= int(other)
+
+    def __gt__(self, other: IntLike) -> bool:
+        return self._value > int(other)
+
+    def __ge__(self, other: IntLike) -> bool:
+        return self._value >= int(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.width, self._value))
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    # -- width manipulation ---------------------------------------------
+    def resize(self, width: int) -> "_SizedInt":
+        """Truncate/extend to *width* bits (wrapping on truncation)."""
+        return type(self)(width, self._value)
+
+    def saturated(self, width: int) -> "_SizedInt":
+        """Clamp into the representable range of *width* bits."""
+        if self._signed:
+            return type(self)(width, saturate_signed(self._value, width))
+        return type(self)(width, saturate_unsigned(self._value, width))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.width}, {self._value})"
+
+
+class UInt(_SizedInt):
+    """Unsigned integer of a fixed bit width (``sc_uint``)."""
+
+    _signed = False
+
+    @staticmethod
+    def _wrap(value: int, width: int) -> int:
+        return wrap_unsigned(value, width)
+
+
+class SInt(_SizedInt):
+    """Signed two's-complement integer of a fixed bit width (``sc_int``)."""
+
+    _signed = True
+
+    @staticmethod
+    def _wrap(value: int, width: int) -> int:
+        return wrap_signed(value, width)

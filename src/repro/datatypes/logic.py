@@ -1,0 +1,126 @@
+"""Four-valued logic for gate-level simulation (``sc_logic``).
+
+Values are small integers for speed in the event-driven gate simulator:
+
+* ``L0`` (0) -- strong 0,
+* ``L1`` (1) -- strong 1,
+* ``LX`` (2) -- unknown,
+* ``LZ`` (3) -- high impedance.
+
+Truth tables follow IEEE 1164: anything involving X or Z yields X unless a
+controlling value decides the output (0 AND X = 0, 1 OR X = 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+L0 = 0
+L1 = 1
+LX = 2
+LZ = 3
+
+_CHARS = "01XZ"
+
+#: 4x4 truth tables indexed [a][b]; Z behaves as X on gate inputs.
+AND_TABLE = (
+    (L0, L0, L0, L0),
+    (L0, L1, LX, LX),
+    (L0, LX, LX, LX),
+    (L0, LX, LX, LX),
+)
+
+OR_TABLE = (
+    (L0, L1, LX, LX),
+    (L1, L1, L1, L1),
+    (LX, L1, LX, LX),
+    (LX, L1, LX, LX),
+)
+
+XOR_TABLE = (
+    (L0, L1, LX, LX),
+    (L1, L0, LX, LX),
+    (LX, LX, LX, LX),
+    (LX, LX, LX, LX),
+)
+
+NOT_TABLE = (L1, L0, LX, LX)
+
+
+def logic_and(a: int, b: int) -> int:
+    return AND_TABLE[a][b]
+
+
+def logic_or(a: int, b: int) -> int:
+    return OR_TABLE[a][b]
+
+
+def logic_xor(a: int, b: int) -> int:
+    return XOR_TABLE[a][b]
+
+
+def logic_not(a: int) -> int:
+    return NOT_TABLE[a]
+
+
+def logic_mux(sel: int, a: int, b: int) -> int:
+    """2:1 mux: output = *b* when sel=1 else *a*; X-pessimistic on sel."""
+    if sel == L0:
+        return a
+    if sel == L1:
+        return b
+    # Unknown select: output known only if both inputs agree on 0/1.
+    if a == b and a in (L0, L1):
+        return a
+    return LX
+
+def resolve(drivers: Iterable[int]) -> int:
+    """Resolve multiple drivers on one net (IEEE 1164 'wire' resolution)."""
+    result = LZ
+    for value in drivers:
+        if value == LZ:
+            continue
+        if result == LZ:
+            result = value
+        elif result != value:
+            return LX
+    return result
+
+
+def from_bool(value) -> int:
+    return L1 if value else L0
+
+
+def to_int(value: int) -> int:
+    """Convert a known logic value to 0/1; X/Z raise ``ValueError``."""
+    if value in (L0, L1):
+        return value
+    raise ValueError(f"logic value {to_char(value)} has no integer meaning")
+
+
+def is_known(value: int) -> bool:
+    return value in (L0, L1)
+
+
+def to_char(value: int) -> str:
+    return _CHARS[value]
+
+
+def from_char(ch: str) -> int:
+    try:
+        return _CHARS.index(ch.upper())
+    except ValueError:
+        raise ValueError(f"invalid logic character {ch!r}") from None
+
+
+def vector_to_int(values: Sequence[int]) -> int:
+    """Interpret *values* (LSB first) as an unsigned integer; X/Z raise."""
+    out = 0
+    for i, v in enumerate(values):
+        out |= to_int(v) << i
+    return out
+
+
+def int_to_vector(value: int, width: int) -> list:
+    """Expand an unsigned integer into logic values, LSB first."""
+    return [(value >> i) & 1 for i in range(width)]

@@ -1,0 +1,65 @@
+"""Signal-quality metrics used to validate the SRC implementations."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def snr_db(reference: Sequence[float], measured: Sequence[float]) -> float:
+    """Signal-to-noise ratio of *measured* against *reference*, in dB."""
+    ref = np.asarray(reference, dtype=float)
+    mea = np.asarray(measured, dtype=float)
+    if ref.shape != mea.shape:
+        raise ValueError(
+            f"length mismatch: reference {ref.shape} vs measured {mea.shape}"
+        )
+    noise = mea - ref
+    signal_power = float(np.mean(ref ** 2))
+    noise_power = float(np.mean(noise ** 2))
+    if noise_power == 0.0:
+        return float("inf")
+    if signal_power == 0.0:
+        return float("-inf")
+    return 10.0 * math.log10(signal_power / noise_power)
+
+
+def sine_snr_db(signal: Sequence[float], freq: float, rate: float,
+                skip: int = 0) -> float:
+    """SNR of *signal* against the best-fit sine at *freq* Hz.
+
+    Fits amplitude and phase by least squares (projection onto the sine
+    and cosine at *freq*), then measures residual power.  *skip* discards
+    initial transient samples (filter ramp-in).
+    """
+    x = np.asarray(signal, dtype=float)[skip:]
+    if x.size < 16:
+        raise ValueError("too few samples for a sine fit")
+    n = np.arange(x.size)
+    w = 2.0 * math.pi * freq / rate
+    basis_sin = np.sin(w * n)
+    basis_cos = np.cos(w * n)
+    a = 2.0 * np.mean(x * basis_sin)
+    b = 2.0 * np.mean(x * basis_cos)
+    fit = a * basis_sin + b * basis_cos
+    return snr_db(fit, x)
+
+
+def peak_error(reference: Sequence[float], measured: Sequence[float]) -> float:
+    """Largest absolute difference between the two sequences."""
+    ref = np.asarray(reference, dtype=float)
+    mea = np.asarray(measured, dtype=float)
+    if ref.shape != mea.shape:
+        raise ValueError(
+            f"length mismatch: reference {ref.shape} vs measured {mea.shape}"
+        )
+    if ref.size == 0:
+        return 0.0
+    return float(np.max(np.abs(ref - mea)))
+
+
+def db_to_bits(db: float) -> float:
+    """Effective number of bits corresponding to an SNR in dB."""
+    return (db - 1.76) / 6.02

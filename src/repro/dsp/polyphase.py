@@ -1,0 +1,62 @@
+"""Polyphase decomposition of the prototype filter.
+
+The SRC convolves the input history with one *phase* of the prototype per
+output sample.  Phase ``p`` of an ``L``-branch decomposition holds the
+coefficients ``h[p], h[p + L], h[p + 2L], ...`` -- each branch is the
+impulse response sampled at one fractional offset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def decompose(h: Sequence[float], n_phases: int) -> List[List[float]]:
+    """Split prototype *h* into ``n_phases`` branches.
+
+    ``decompose(h, L)[p][k] == h[p + k * L]``.
+    """
+    n = len(h)
+    if n % n_phases != 0:
+        raise ValueError(
+            f"prototype length {n} not divisible by {n_phases} phases"
+        )
+    taps = n // n_phases
+    return [[float(h[p + k * n_phases]) for k in range(taps)]
+            for p in range(n_phases)]
+
+
+def phase_indices(phase: int, n_phases: int, taps_per_phase: int) -> List[int]:
+    """Prototype indices making up branch *phase*."""
+    if not 0 <= phase < n_phases:
+        raise ValueError(f"phase {phase} out of range [0, {n_phases})")
+    return [phase + k * n_phases for k in range(taps_per_phase)]
+
+
+def mirror_index(index: int, length: int) -> int:
+    """Index of the symmetric partner of *index* in a length-*length* filter."""
+    if not 0 <= index < length:
+        raise ValueError(f"index {index} out of range [0, {length})")
+    return length - 1 - index
+
+
+def stored_index(index: int, length: int) -> int:
+    """Map a prototype index onto the stored (first) half.
+
+    The paper's SRC stores only one half of the symmetric impulse response
+    (Section 3); indices in the second half are mirrored onto the first.
+    ``length`` must be even (true for ``n_phases * taps_per_phase`` with
+    even factors).
+    """
+    half = length // 2
+    if index < half:
+        return index
+    return mirror_index(index, length)
+
+
+def branch_gains(h: Sequence[float], n_phases: int) -> np.ndarray:
+    """DC gain of each branch (should all be close to 1 after design)."""
+    branches = decompose(h, n_phases)
+    return np.array([sum(b) for b in branches])

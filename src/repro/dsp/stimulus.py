@@ -1,0 +1,78 @@
+"""Deterministic stimulus generators for the SRC testbenches.
+
+All generators are seeded and produce integer samples in the signed range
+of the configured data width, so every abstraction level sees bit-identical
+input data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..datatypes.integers import max_signed, min_signed
+
+
+def sine_samples(n: int, freq_hz: float, rate_hz: float, data_width: int,
+                 amplitude: float = 0.8, phase: float = 0.0) -> List[int]:
+    """A sine at *freq_hz*, sampled at *rate_hz*, quantised to *data_width*."""
+    peak = max_signed(data_width) * amplitude
+    samples = []
+    for i in range(n):
+        value = peak * math.sin(2.0 * math.pi * freq_hz * i / rate_hz + phase)
+        samples.append(int(math.floor(value + 0.5)))
+    return samples
+
+
+def random_samples(n: int, data_width: int, seed: int = 1234,
+                   amplitude: float = 1.0) -> List[int]:
+    """Uniform random samples over the signed range (seeded)."""
+    rng = np.random.default_rng(seed)
+    lo = int(min_signed(data_width) * amplitude)
+    hi = int(max_signed(data_width) * amplitude)
+    return [int(v) for v in rng.integers(lo, hi + 1, size=n)]
+
+
+def step_samples(n: int, data_width: int, step_at: int = None,
+                 low_frac: float = -0.5, high_frac: float = 0.5) -> List[int]:
+    """A step from *low_frac* to *high_frac* of full scale at *step_at*."""
+    if step_at is None:
+        step_at = n // 2
+    lo = int(max_signed(data_width) * low_frac)
+    hi = int(max_signed(data_width) * high_frac)
+    return [lo if i < step_at else hi for i in range(n)]
+
+
+def impulse_samples(n: int, data_width: int, at: int = 0,
+                    amplitude: float = 0.9) -> List[int]:
+    """A single impulse at index *at* (everything else zero)."""
+    samples = [0] * n
+    if 0 <= at < n:
+        samples[at] = int(max_signed(data_width) * amplitude)
+    return samples
+
+
+def corner_case_samples(n: int, data_width: int, seed: int = 99) -> List[int]:
+    """Stress stimulus: full-scale swings, DC stretches, random bursts.
+
+    This is the stimulus class that exposes the golden-model buffer bug
+    once the address-checking memory model is in place (paper Section 4.7).
+    """
+    rng = np.random.default_rng(seed)
+    hi = max_signed(data_width)
+    lo = min_signed(data_width)
+    samples: List[int] = []
+    while len(samples) < n:
+        kind = rng.integers(0, 4)
+        run = int(rng.integers(3, 17))
+        if kind == 0:
+            samples.extend([hi, lo] * run)
+        elif kind == 1:
+            samples.extend([0] * run)
+        elif kind == 2:
+            samples.extend(int(v) for v in rng.integers(lo, hi + 1, size=run))
+        else:
+            samples.extend([hi] * run)
+    return samples[:n]

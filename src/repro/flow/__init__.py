@@ -1,0 +1,33 @@
+"""The refinement-driven design flow: verification, synthesis, performance."""
+
+from .artifacts import ArtifactIndex, write_artifacts
+from .compare import ComparisonResult, compare_streams
+from .figures import render_figure8, render_figure9, render_figure10
+from .metrics import (ModelMetrics, collect_model_metrics, format_metrics,
+                      netlist_metrics, program_metrics, rtl_metrics,
+                      tlm_metrics)
+from .performance import (SimPerfResult, default_stimulus, format_results,
+                          measure_algorithmic, measure_behavioral,
+                          measure_cycle_dut, measure_figure8,
+                          measure_kernel_cycle_dut, measure_tlm)
+from .refinement import (Level, REFINEMENT_CHAIN, RefinementReport,
+                         RefinementStep, build_module, run_level,
+                         verify_refinement)
+from .synthesis_flow import (FIG10_ORDER, SynthesisFlowResults,
+                             SynthesizedDesign, build_all_designs,
+                             main_module_share, run_synthesis_flow)
+
+__all__ = [
+    "ArtifactIndex", "ComparisonResult", "FIG10_ORDER", "Level", "ModelMetrics",
+    "REFINEMENT_CHAIN",
+    "RefinementReport", "RefinementStep", "SimPerfResult",
+    "SynthesisFlowResults", "SynthesizedDesign", "build_all_designs",
+    "build_module", "collect_model_metrics", "compare_streams",
+    "render_figure8", "render_figure9", "render_figure10",
+    "default_stimulus", "format_metrics", "netlist_metrics",
+    "program_metrics", "rtl_metrics", "tlm_metrics",
+    "format_results", "main_module_share", "measure_algorithmic",
+    "measure_behavioral", "measure_cycle_dut", "measure_figure8",
+    "measure_kernel_cycle_dut", "measure_tlm", "run_level",
+    "run_synthesis_flow", "verify_refinement", "write_artifacts",
+]

@@ -1,0 +1,120 @@
+"""Design-artefact generation.
+
+Writes the flow's tangible outputs to a directory, mirroring what the
+paper's toolchain left on disk: the intermediate RTL Verilog of every
+design, the gate-level structural Verilog, area/timing reports, lint
+reports, and a gate-level waveform of a short run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..gatesim import GateSimulator, GateVcdTracer
+from ..rtl import emit_verilog, format_lint, lint
+from ..src_design.params import SrcParams
+from ..src_design.schedule import make_schedule
+from ..src_design.testbench import RtlDutDriver
+from ..synth import emit_gate_verilog, report_area, report_timing
+from .performance import default_stimulus
+from .synthesis_flow import SynthesisFlowResults, run_synthesis_flow
+
+
+@dataclass
+class ArtifactIndex:
+    """What was written where."""
+
+    directory: str
+    files: List[str] = field(default_factory=list)
+
+    def add(self, path: str) -> None:
+        self.files.append(path)
+
+    def format(self) -> str:
+        lines = [f"artefacts in {self.directory}:"]
+        lines += [f"  {os.path.relpath(f, self.directory)}"
+                  for f in self.files]
+        return "\n".join(lines)
+
+
+def write_artifacts(params: SrcParams, directory: str,
+                    results: Optional[SynthesisFlowResults] = None,
+                    wave_cycles: int = 256) -> ArtifactIndex:
+    """Generate all flow artefacts for *params* into *directory*."""
+    os.makedirs(directory, exist_ok=True)
+    index = ArtifactIndex(directory)
+    results = results or run_synthesis_flow(params)
+
+    summary_lines: List[str] = []
+    for name, design in results.designs.items():
+        slug = name.lower().replace(" ", "_").replace("-", "_") \
+            .replace(".", "")
+        # intermediate RTL Verilog (the Figure 9 'RTL' artefact)
+        rtl_path = os.path.join(directory, f"{slug}.v")
+        with open(rtl_path, "w", encoding="ascii") as fh:
+            fh.write(emit_verilog(design.module))
+        index.add(rtl_path)
+        # gate-level structural Verilog
+        gate_path = os.path.join(directory, f"{slug}_gates.v")
+        with open(gate_path, "w", encoding="ascii") as fh:
+            fh.write(emit_gate_verilog(design.netlist))
+        index.add(gate_path)
+        # reports
+        report_path = os.path.join(directory, f"{slug}_reports.txt")
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(design.area.format() + "\n\n")
+            fh.write(design.timing.format() + "\n\n")
+            fh.write(format_lint(lint(design.module), name) + "\n")
+        index.add(report_path)
+        summary_lines.append(
+            f"{name:12s} total={design.area.total:9.1f} GE  "
+            f"crit={design.timing.critical_path_ns:6.2f} ns"
+        )
+
+    # Figure 10 summary
+    fig10_path = os.path.join(directory, "figure10.txt")
+    with open(fig10_path, "w", encoding="utf-8") as fh:
+        fh.write(results.format_figure10() + "\n\n")
+        fh.write("\n".join(summary_lines) + "\n")
+    index.add(fig10_path)
+
+    # gate-level waveform of a short run (RTL-opt design)
+    design = results.designs["RTL opt."]
+    sim = GateSimulator(design.netlist)
+    tracer = GateVcdTracer(
+        sim,
+        ports=["in_valid", "in_l", "in_r", "out_req", "out_valid",
+               "out_l", "out_r"],
+        timescale_ns=params.clock_period_ps / 1000.0,
+    )
+    driver = RtlDutDriver(sim, params)
+    n_inputs = max(8, wave_cycles // 40)
+    schedule = make_schedule(params, 0, n_inputs, quantized=True)
+    inputs = default_stimulus(params, n_inputs)
+    clk = params.clock_period_ps
+    by_tick: Dict[int, list] = {}
+    for ev in schedule:
+        by_tick.setdefault(int(ev.time_ps // clk), []).append(ev)
+    for tick in range(wave_cycles):
+        frame = cfg = None
+        req = False
+        for ev in by_tick.get(tick, ()):
+            if ev.kind == "in":
+                frame = inputs[ev.value]
+            elif ev.kind == "out":
+                req = True
+            else:
+                cfg = ev.value
+        driver.cycle(frame=frame, cfg=cfg, req=req)
+        tracer.sample()
+    wave_path = os.path.join(directory, "rtl_opt_gates.vcd")
+    tracer.write(wave_path)
+    index.add(wave_path)
+
+    index_path = os.path.join(directory, "INDEX.txt")
+    with open(index_path, "w", encoding="utf-8") as fh:
+        fh.write(index.format() + "\n")
+    index.add(index_path)
+    return index

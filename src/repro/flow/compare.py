@@ -1,0 +1,59 @@
+"""Bit-accurate comparison of output streams (paper Section 2).
+
+Every refinement step is re-validated by comparing output samples for
+exact integer equality against the previous level -- never by tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of a bit-accurate stream comparison."""
+
+    equal: bool
+    length_a: int
+    length_b: int
+    first_mismatch: Optional[int] = None
+    sample_a: Optional[Tuple[int, ...]] = None
+    sample_b: Optional[Tuple[int, ...]] = None
+    mismatch_count: int = 0
+
+    def format(self, name_a: str = "a", name_b: str = "b") -> str:
+        if self.equal:
+            return (f"bit-accurate: {name_a} == {name_b} "
+                    f"({self.length_a} output frames)")
+        lines = [f"MISMATCH between {name_a} and {name_b}:"]
+        if self.length_a != self.length_b:
+            lines.append(
+                f"  lengths differ: {self.length_a} vs {self.length_b}"
+            )
+        if self.first_mismatch is not None:
+            lines.append(
+                f"  first difference at frame {self.first_mismatch}: "
+                f"{self.sample_a} vs {self.sample_b} "
+                f"({self.mismatch_count} frames differ)"
+            )
+        return "\n".join(lines)
+
+
+def compare_streams(a: Sequence[Tuple[int, ...]],
+                    b: Sequence[Tuple[int, ...]]) -> ComparisonResult:
+    """Compare two output streams for exact equality."""
+    first = None
+    sa = sb = None
+    count = 0
+    for i, (fa, fb) in enumerate(zip(a, b)):
+        if tuple(fa) != tuple(fb):
+            count += 1
+            if first is None:
+                first, sa, sb = i, tuple(fa), tuple(fb)
+    equal = (len(a) == len(b)) and count == 0
+    return ComparisonResult(
+        equal=equal, length_a=len(a), length_b=len(b),
+        first_mismatch=first, sample_a=sa, sample_b=sb,
+        mismatch_count=count,
+    )

@@ -1,0 +1,90 @@
+"""Terminal rendering of the paper's figures.
+
+ASCII bar charts mirroring Figures 8, 9 and 10, for the CLI and the
+examples: a log-scale bar chart for simulation performance, grouped bars
+for the testbench comparison, and stacked combinational/sequential bars
+for the area comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from .performance import SimPerfResult
+from .synthesis_flow import FIG10_ORDER, SynthesisFlowResults
+
+BAR_WIDTH = 46
+
+
+def _bar(fraction: float, char: str = "#", width: int = BAR_WIDTH) -> str:
+    n = max(0, min(width, int(round(fraction * width))))
+    return char * n
+
+
+def render_figure8(results: Sequence[SimPerfResult]) -> str:
+    """Log-scale horizontal bars of cycles/second per abstraction level."""
+    speeds = [max(1.0, r.cycles_per_second) for r in results]
+    lo = min(speeds) / 2.0
+    hi = max(speeds)
+    span = math.log10(hi / lo)
+    lines = [
+        "Figure 8 -- simulation performance "
+        "(cycles/second, log scale)",
+    ]
+    for result, speed in zip(results, speeds):
+        frac = math.log10(speed / lo) / span if span > 0 else 1.0
+        lines.append(
+            f"  {result.level:10s} |{_bar(frac):{BAR_WIDTH}s}| "
+            f"{speed:12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure9(results: Dict[str, Dict[str, SimPerfResult]]) -> str:
+    """Grouped bars: each DUT under both testbenches (log scale)."""
+    all_speeds = [
+        pair[tb].cycles_per_second
+        for pair in results.values() for tb in pair
+    ]
+    lo = min(all_speeds) / 2.0
+    hi = max(all_speeds)
+    span = math.log10(hi / lo) if hi > lo else 1.0
+    lines = ["Figure 9 -- co-simulation vs. native HDL simulation "
+             "(cycles/second, log scale)"]
+    for dut, pair in results.items():
+        for tb, char in (("VHDL-Testbench", "="),
+                         ("SystemC-Testbench", "#")):
+            speed = pair[tb].cycles_per_second
+            frac = math.log10(max(speed, lo) / lo) / span
+            label = "VHDL-TB " if tb.startswith("VHDL") else "SysC-TB "
+            lines.append(
+                f"  {dut:9s} {label}|{_bar(frac, char):{BAR_WIDTH}s}| "
+                f"{speed:10.0f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_figure10(results: SynthesisFlowResults) -> str:
+    """Stacked bars: combinational ('#') + sequential ('+') area,
+    relative to the reference total (the '|' marks 100 %)."""
+    rels = {name: results.relative(name) for name in FIG10_ORDER}
+    peak = max(rel.total for rel in rels.values())
+    scale = BAR_WIDTH / max(peak, 100.0)
+    ref_mark = int(round(100.0 * scale))
+    lines = [
+        "Figure 10 -- area relative to the VHDL reference "
+        "('#' combinational, '+' sequential, '|' = 100%)",
+    ]
+    for name in FIG10_ORDER:
+        rel = rels[name]
+        comb = int(round(rel.combinational * scale))
+        seq = int(round(rel.sequential * scale))
+        bar = "#" * comb + "+" * seq
+        if len(bar) < ref_mark:
+            bar = bar + " " * (ref_mark - len(bar)) + "|"
+        else:
+            bar = bar[:ref_mark] + "|" + bar[ref_mark:]
+        lines.append(f"  {name:11s} {bar}  {rel.total:6.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Model-complexity metrics across abstraction levels (paper §3, §4.7).
+
+The paper characterises each refinement step's effort qualitatively
+("the refinement effort is comparable to the recoding effort") and
+mentions the final RTL-SystemC implementation's size (~3000 lines of
+code).  This module provides measurable proxies: structural element
+counts per abstraction level -- statements/expressions for the
+behavioural source, registers/assigns for RTL, cells for gates, plus
+process/channel counts for the TLM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..hls.ir import (Assign, For, HlsProgram, If, MemReadStmt,
+                      MemWriteStmt, PortWrite, Stmt, WaitCycle, WaitUntil)
+from ..rtl.expr import traverse
+from ..rtl.ir import RtlModule
+from ..src_design.behavioral import build_behavioral_design
+from ..src_design.params import SrcParams
+from ..src_design.rtl_design import build_rtl_design
+from ..src_design.tlm import SrcChannelRefined
+from ..src_design.vhdl_ref import build_vhdl_reference
+from ..synth import synthesize
+
+
+@dataclass
+class ModelMetrics:
+    """Size proxies of one model."""
+
+    level: str
+    #: statements (behavioural) / assigns+register updates (RTL) / cells
+    elements: int
+    #: registers (clocked state bits holders); 0 for untimed models
+    registers: int
+    #: concurrent processes (threads/methods); 1 for sequential models
+    processes: int
+    #: expression nodes across the model (datapath complexity proxy)
+    expr_nodes: int
+
+    def format(self) -> str:
+        return (f"{self.level:16s} elements={self.elements:6d} "
+                f"registers={self.registers:4d} "
+                f"processes={self.processes:3d} "
+                f"expr nodes={self.expr_nodes:6d}")
+
+
+def _count_statements(block: List[Stmt]) -> int:
+    total = 0
+    for stmt in block:
+        total += 1
+        if isinstance(stmt, If):
+            total += _count_statements(stmt.then)
+            total += _count_statements(stmt.orelse)
+        elif isinstance(stmt, For):
+            total += _count_statements(stmt.body)
+    return total
+
+
+def _count_expr_nodes_program(program: HlsProgram) -> int:
+    nodes = 0
+
+    def count(expr) -> int:
+        return sum(1 for _ in traverse(expr))
+
+    def walk(block: List[Stmt]) -> None:
+        nonlocal nodes
+        for stmt in block:
+            if isinstance(stmt, Assign):
+                nodes += count(stmt.expr)
+            elif isinstance(stmt, MemReadStmt):
+                nodes += count(stmt.addr)
+            elif isinstance(stmt, MemWriteStmt):
+                nodes += count(stmt.addr) + count(stmt.data)
+            elif isinstance(stmt, PortWrite):
+                nodes += count(stmt.expr)
+            elif isinstance(stmt, WaitUntil):
+                nodes += count(stmt.cond)
+            elif isinstance(stmt, If):
+                nodes += count(stmt.cond)
+                walk(stmt.then)
+                walk(stmt.orelse)
+            elif isinstance(stmt, For):
+                walk(stmt.body)
+
+    walk(program.body)
+    return nodes
+
+
+def program_metrics(program: HlsProgram, level: str) -> ModelMetrics:
+    return ModelMetrics(
+        level=level,
+        elements=_count_statements(program.body),
+        registers=len(program.variables),
+        processes=1,
+        expr_nodes=_count_expr_nodes_program(program),
+    )
+
+
+def rtl_metrics(module: RtlModule, level: str) -> ModelMetrics:
+    expr_nodes = 0
+    for assign in module.assigns:
+        expr_nodes += sum(1 for _ in traverse(assign.expr))
+    for reg in module.registers:
+        if reg.next is not None:
+            expr_nodes += sum(1 for _ in traverse(reg.next))
+    register_bits = sum(r.width for r in module.registers)
+    return ModelMetrics(
+        level=level,
+        elements=len(module.assigns) + len(module.registers),
+        registers=register_bits,
+        processes=1 + len(module.registers),  # one always block per reg
+        expr_nodes=expr_nodes,
+    )
+
+
+def netlist_metrics(netlist, level: str) -> ModelMetrics:
+    return ModelMetrics(
+        level=level,
+        elements=len(netlist.cells),
+        registers=len(netlist.flops()),
+        processes=len(netlist.cells),
+        expr_nodes=len(netlist.cells),
+    )
+
+
+def tlm_metrics(params: SrcParams, level: str = "tlm_refined"
+                ) -> ModelMetrics:
+    channel = SrcChannelRefined("metrics_probe", params)
+    modules = list(channel.iter_modules())
+    processes = sum(len(m._processes) for m in modules)
+    return ModelMetrics(
+        level=level,
+        elements=len(modules),
+        registers=0,
+        processes=max(1, processes),
+        expr_nodes=0,
+    )
+
+
+def collect_model_metrics(params: SrcParams) -> List[ModelMetrics]:
+    """Size metrics for the main levels of the refinement chain.
+
+    The growth pattern mirrors the paper's effort discussion: model size
+    (and hence refinement/recoding effort) grows steeply toward the
+    lower levels.
+    """
+    beh = build_behavioral_design(params, optimized=True)
+    rtl = build_rtl_design(params, optimized=True)
+    gates = synthesize(rtl.module)
+    return [
+        ModelMetrics("algorithmic", elements=8, registers=0, processes=1,
+                     expr_nodes=0),
+        tlm_metrics(params),
+        program_metrics(beh.program, "behavioural"),
+        rtl_metrics(beh.module, "behavioural RTL"),
+        rtl_metrics(rtl.module, "hand RTL"),
+        netlist_metrics(gates, "gate level"),
+    ]
+
+
+def format_metrics(metrics: List[ModelMetrics]) -> str:
+    lines = ["Model complexity across abstraction levels:"]
+    lines += [f"  {m.format()}" for m in metrics]
+    return "\n".join(lines)

@@ -1,0 +1,325 @@
+"""Simulation-performance measurement (paper Section 5.1, Figure 8).
+
+Measures wall-clock throughput of every abstraction level in *simulated
+clock cycles per second*.  As in the paper, "implementations without a
+clock were scaled appropriately according to the ratio of simulation
+time and simulated time", assuming the system clock (25 MHz for the
+paper configuration).
+
+Absolute numbers depend on the host; only the ordering and rough ratios
+are meaningful -- which is precisely how the paper presents Figure 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..gatesim import GateSimulator
+from ..kernel import Clock, Module, Simulation
+from ..rtl import RtlSimulator
+from ..src_design.algorithmic import AlgorithmicSrc
+from ..src_design.behavioral import BehavioralSimulation
+from ..src_design.params import SrcParams
+from ..src_design.schedule import (KIND_IN, KIND_MODE, KIND_OUT,
+                                   SampleEvent, make_schedule)
+from ..src_design.testbench import RtlDutDriver, run_clocked, run_tlm
+from ..dsp.stimulus import sine_samples
+
+
+@dataclass
+class SimPerfResult:
+    """One measured point of Figure 8 / Figure 9."""
+
+    level: str
+    wall_seconds: float
+    simulated_cycles: float
+    output_frames: int
+
+    @property
+    def cycles_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.simulated_cycles / self.wall_seconds
+
+    def format(self) -> str:
+        return (f"{self.level:18s} {self.cycles_per_second:12.1f} cyc/s "
+                f"({self.simulated_cycles:.0f} cycles in "
+                f"{self.wall_seconds:.3f} s)")
+
+
+def default_stimulus(params: SrcParams, n_inputs: int,
+                     mode: int = 0) -> List[Tuple[int, int]]:
+    """Standard stereo sine stimulus used by all performance runs."""
+    samples = sine_samples(n_inputs, 1_000.0, params.modes[mode].f_in,
+                           params.data_width)
+    return [(s, -s) for s in samples]
+
+
+def _simulated_cycles(params: SrcParams,
+                      schedule: Sequence[SampleEvent]) -> float:
+    end_ps = max(float(ev.time_ps) for ev in schedule)
+    return end_ps / params.clock_period_ps
+
+
+def measure_algorithmic(params: SrcParams, n_inputs: int) -> SimPerfResult:
+    """The pure C++ model: fastest, untimed, scaled to clock cycles."""
+    schedule = make_schedule(params, 0, n_inputs)
+    inputs = default_stimulus(params, n_inputs)
+    src = AlgorithmicSrc(params, 0)
+    start = time.perf_counter()
+    outputs = src.process_schedule(schedule, inputs)
+    wall = time.perf_counter() - start
+    return SimPerfResult("C++", wall, _simulated_cycles(params, schedule),
+                         len(outputs))
+
+
+def measure_tlm(params: SrcParams, n_inputs: int,
+                refined: bool = True) -> SimPerfResult:
+    """SystemC with channels, inside the discrete-event kernel."""
+    schedule = make_schedule(params, 0, n_inputs)
+    inputs = default_stimulus(params, n_inputs)
+    start = time.perf_counter()
+    outputs = run_tlm(params, schedule, inputs, refined=refined)
+    wall = time.perf_counter() - start
+    return SimPerfResult("SystemC", wall,
+                         _simulated_cycles(params, schedule), len(outputs))
+
+
+class _KernelBehavioralBench(Module):
+    """Kernel-hosted behavioural simulation: one FSM step per clock edge."""
+
+    def __init__(self, name: str, params: SrcParams,
+                 schedule: Sequence[SampleEvent],
+                 inputs: Sequence[Tuple[int, int]],
+                 optimized: bool = True):
+        super().__init__(name)
+        self.params = params
+        self.beh = BehavioralSimulation(params, optimized)
+        self.outputs: List[Tuple[int, int]] = []
+        clk_ps = params.clock_period_ps
+        self._by_tick: Dict[int, List[SampleEvent]] = {}
+        self._expected = 0
+        self._last_tick = 0
+        for ev in schedule:
+            tick = int(-(-ev.time_ps // clk_ps))
+            self._by_tick.setdefault(tick, []).append(ev)
+            self._last_tick = max(self._last_tick, tick)
+            if ev.kind == KIND_OUT:
+                self._expected += 1
+        self._inputs = inputs
+        self.clock = Clock(f"{name}.clk", clk_ps)
+        self.add_thread(self._drive, name=f"{name}.drive")
+
+    def _drive(self):
+        from ..kernel import current_simulation
+
+        params = self.params
+        tick = 0
+        limit = self._last_tick + params.max_latency_cycles + 8
+        while tick <= limit and len(self.outputs) < self._expected:
+            yield self.clock.posedge
+            for ev in self._by_tick.get(tick, ()):
+                if ev.kind == KIND_IN:
+                    frame = self._inputs[ev.value]
+                    self.beh.drive_input(frame[0], frame[1])
+                elif ev.kind == KIND_OUT:
+                    self.beh.drive_req()
+                else:
+                    self.beh.drive_cfg(ev.value)
+            result = self.beh.step()
+            if result is not None:
+                self.outputs.append(result)
+            tick += 1
+        # the free-running clock would keep the kernel alive forever
+        current_simulation().stop()
+
+
+def measure_behavioral(params: SrcParams, n_inputs: int,
+                       optimized: bool = True) -> SimPerfResult:
+    """Synthesisable behavioural level, hosted in the kernel."""
+    schedule = make_schedule(params, 0, n_inputs, quantized=True)
+    inputs = default_stimulus(params, n_inputs)
+    bench = _KernelBehavioralBench("beh_bench", params, schedule, inputs,
+                                   optimized)
+    start = time.perf_counter()
+    with Simulation(bench) as sim:
+        sim.run()
+    wall = time.perf_counter() - start
+    return SimPerfResult("BEH", wall, _simulated_cycles(params, schedule),
+                         len(bench.outputs))
+
+
+def measure_cycle_dut(params: SrcParams, sim, n_inputs: int,
+                      label: str) -> SimPerfResult:
+    """RTL or gate-level DUT through the standard clocked testbench
+    (bare cycle loop -- the standalone HDL-simulator view of Figure 9)."""
+    schedule = make_schedule(params, 0, n_inputs, quantized=True)
+    inputs = default_stimulus(params, n_inputs)
+    driver = RtlDutDriver(sim, params)
+    start = time.perf_counter()
+    outputs = run_clocked(params, driver, schedule, inputs)
+    wall = time.perf_counter() - start
+    return SimPerfResult(label, wall,
+                         _simulated_cycles(params, schedule), len(outputs))
+
+
+class _KernelCycleDutBench(Module):
+    """Kernel-hosted cycle DUT: the RTL-SystemC simulation of Figure 8.
+
+    The RTL model lives in the same SystemC kernel as the testbench, one
+    full design evaluation per clock edge.
+    """
+
+    def __init__(self, name: str, params: SrcParams, dut_sim,
+                 schedule: Sequence[SampleEvent],
+                 inputs: Sequence[Tuple[int, int]]):
+        super().__init__(name)
+        self.params = params
+        self.driver = RtlDutDriver(dut_sim, params)
+        self.outputs: List[Tuple[int, int]] = []
+        clk_ps = params.clock_period_ps
+        self._by_tick: Dict[int, List[SampleEvent]] = {}
+        self._expected = 0
+        self._last_tick = 0
+        for ev in schedule:
+            tick = int(-(-ev.time_ps // clk_ps))
+            self._by_tick.setdefault(tick, []).append(ev)
+            self._last_tick = max(self._last_tick, tick)
+            if ev.kind == KIND_OUT:
+                self._expected += 1
+        self._inputs = inputs
+        self.clock = Clock(f"{name}.clk", clk_ps)
+        self.add_thread(self._drive, name=f"{name}.drive")
+
+    def _drive(self):
+        from ..kernel import current_simulation
+
+        tick = 0
+        limit = self._last_tick + self.params.max_latency_cycles + 8
+        while tick <= limit and len(self.outputs) < self._expected:
+            yield self.clock.posedge
+            frame = None
+            cfg = None
+            req = False
+            for ev in self._by_tick.get(tick, ()):
+                if ev.kind == KIND_IN:
+                    frame = self._inputs[ev.value]
+                elif ev.kind == KIND_OUT:
+                    req = True
+                else:
+                    cfg = ev.value
+            result = self.driver.cycle(frame=frame, cfg=cfg, req=req)
+            if result is not None:
+                self.outputs.append(result)
+            tick += 1
+        current_simulation().stop()
+
+
+def measure_kernel_cycle_dut(params: SrcParams, dut_sim, n_inputs: int,
+                             label: str) -> SimPerfResult:
+    """A cycle DUT hosted inside the kernel (Figure 8's RTL point)."""
+    schedule = make_schedule(params, 0, n_inputs, quantized=True)
+    inputs = default_stimulus(params, n_inputs)
+    bench = _KernelCycleDutBench("dut_bench", params, dut_sim, schedule,
+                                 inputs)
+    start = time.perf_counter()
+    with Simulation(bench) as sim:
+        sim.run()
+    wall = time.perf_counter() - start
+    return SimPerfResult(label, wall, _simulated_cycles(params, schedule),
+                         len(bench.outputs))
+
+
+def measure_figure8(params: SrcParams, n_inputs: int = 400,
+                    rtl_module=None) -> List[SimPerfResult]:
+    """All four points of Figure 8, most abstract first.
+
+    Every point runs inside the SystemC kernel, as in the paper (the
+    abstraction level changes, the simulation environment does not).
+    """
+    from ..src_design.rtl_design import build_rtl_design
+
+    results = [
+        measure_algorithmic(params, n_inputs),
+        measure_tlm(params, n_inputs),
+        measure_behavioral(params, max(40, n_inputs // 4)),
+    ]
+    module = rtl_module or build_rtl_design(params, optimized=True).module
+    rtl_inputs = max(20, n_inputs // 8)
+    results.append(
+        measure_kernel_cycle_dut(params, RtlSimulator(module), rtl_inputs,
+                                 "RTL")
+    )
+    return results
+
+
+def profile_behavioral_split(params: SrcParams, n_inputs: int = 60,
+                             optimized: bool = True) -> Dict[str, float]:
+    """Answer the paper's open profiling question (Section 5.1).
+
+    "Due to the lack of proper profiling tools for the SystemC
+    simulation, it could not be checked whether the RTL parts dominated
+    the overall simulation" -- so we built the profiler.  Runs the
+    kernel-hosted behavioural simulation with per-process wall-time
+    accounting plus an internal split of the behavioural model into its
+    main FSM process vs. the RT-level front end, and returns the time
+    shares::
+
+        {"main_process": ..., "rtl_front_end": ..., "kernel": ...}
+
+    (fractions of total simulation time; they sum to ~1.0).
+    """
+    import time as _time
+
+    from ..kernel import SimulationProfiler
+
+    schedule = make_schedule(params, 0, n_inputs, quantized=True)
+    inputs = default_stimulus(params, n_inputs)
+    bench = _KernelBehavioralBench("profile_bench", params, schedule,
+                                   inputs, optimized)
+
+    # split the behavioural model internally: time the FSM interpreter
+    # separately from the front-end mirror
+    beh = bench.beh
+    interp_step = beh.interp.step
+    interp_time = [0.0]
+
+    def timed_step(cycles: int = 1):
+        t0 = _time.perf_counter()
+        try:
+            return interp_step(cycles)
+        finally:
+            interp_time[0] += _time.perf_counter() - t0
+
+    beh.interp.step = timed_step  # type: ignore[method-assign]
+
+    start = _time.perf_counter()
+    with Simulation(bench) as sim:
+        profiler = SimulationProfiler(sim)
+        sim.run()
+        report = profiler.report()
+    total = _time.perf_counter() - start
+
+    drive = sum(p.wall_seconds for p in report.profiles
+                if "drive" in p.name)
+    clock = sum(p.wall_seconds for p in report.profiles
+                if "clk" in p.name)
+    main = min(interp_time[0], drive)
+    front_end = max(0.0, drive - main)
+    kernel = max(0.0, total - drive - clock) + clock
+    return {
+        "main_process": main / total,
+        "rtl_front_end": front_end / total,
+        "kernel": kernel / total,
+        "total_seconds": total,
+    }
+
+
+def format_results(results: Sequence[SimPerfResult],
+                   title: str = "Simulation performance") -> str:
+    lines = [title, f"{'level':18s} {'cycles/second':>14s}"]
+    for r in results:
+        lines.append(f"{r.level:18s} {r.cycles_per_second:14.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""The synthesis side of the evaluation (paper Section 5.2, Figure 10).
+
+Synthesises all five gate-level implementations with identical
+constraints (minimum area under the fixed 40 ns clock, scan chain
+included, memories excluded from the report) and produces the
+relative-area comparison of Figure 10 plus the Section 4.4 headline
+numbers (first behavioural synthesis vs. reference, SRC_MAIN share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..rtl.ir import RtlModule
+from ..src_design.behavioral import build_behavioral_design
+from ..src_design.params import SrcParams
+from ..src_design.rtl_design import build_rtl_design
+from ..src_design.vhdl_ref import build_vhdl_reference
+from ..synth import (AreaReport, Netlist, RelativeArea, insert_scan_chain,
+                     map_to_gates, optimize, report_area, report_timing,
+                     synthesize)
+from ..synth.timing import TimingReport
+
+#: canonical design order of Figure 10
+FIG10_ORDER = ("VHDL-Ref", "BEH unopt.", "BEH opt.", "RTL unopt.",
+               "RTL opt.")
+
+
+@dataclass
+class SynthesizedDesign:
+    name: str
+    module: RtlModule
+    netlist: Netlist
+    area: AreaReport
+    timing: TimingReport
+
+
+@dataclass
+class SynthesisFlowResults:
+    """All five implementations, synthesised and measured."""
+
+    params: SrcParams
+    designs: Dict[str, SynthesizedDesign] = field(default_factory=dict)
+
+    @property
+    def reference(self) -> SynthesizedDesign:
+        return self.designs["VHDL-Ref"]
+
+    def relative(self, name: str) -> RelativeArea:
+        return self.designs[name].area.relative_to(self.reference.area)
+
+    @property
+    def beh_unopt_overhead_percent(self) -> float:
+        """Section 4.4's headline: first behavioural synthesis result
+        relative to the VHDL reference, as percent extra area."""
+        return self.relative("BEH unopt.").total - 100.0
+
+    def all_timing_met(self) -> bool:
+        return all(d.timing.met for d in self.designs.values())
+
+    def format_figure10(self) -> str:
+        """Render the Figure 10 bar data as a text table."""
+        lines = [
+            "Figure 10 -- area relative to the VHDL reference (= 100%)",
+            f"{'design':12s} {'comb %':>8s} {'seq %':>8s} {'total %':>9s}",
+        ]
+        for name in FIG10_ORDER:
+            rel = self.relative(name)
+            lines.append(
+                f"{name:12s} {rel.combinational:8.1f} "
+                f"{rel.sequential:8.1f} {rel.total:9.1f}"
+            )
+        return "\n".join(lines)
+
+
+def build_all_designs(params: SrcParams) -> Dict[str, RtlModule]:
+    """The five implementations of Figure 10, in canonical order."""
+    return {
+        "VHDL-Ref": build_vhdl_reference(params).module,
+        "BEH unopt.": build_behavioral_design(params, False).module,
+        "BEH opt.": build_behavioral_design(params, True).module,
+        "RTL unopt.": build_rtl_design(params, False).module,
+        "RTL opt.": build_rtl_design(params, True).module,
+    }
+
+
+def run_synthesis_flow(params: SrcParams,
+                       scan: bool = True) -> SynthesisFlowResults:
+    """Synthesise all five designs with the paper's settings."""
+    results = SynthesisFlowResults(params=params)
+    clock_ns = params.clock_period_ps / 1000.0
+    for name, module in build_all_designs(params).items():
+        netlist = synthesize(module, scan=scan)
+        results.designs[name] = SynthesizedDesign(
+            name=name,
+            module=module,
+            netlist=netlist,
+            area=report_area(netlist, name),
+            timing=report_timing(netlist, clock_ns, name),
+        )
+    return results
+
+
+def main_module_share(params: SrcParams, optimized: bool = False) -> float:
+    """Fraction of the behavioural design's area in SRC_MAIN.
+
+    The paper reports that SRC_MAIN held more than 90 % of the total
+    area after the first behavioural synthesis.  Measured by
+    synthesising the full design and the front end separately.
+    """
+    design = build_behavioral_design(params, optimized)
+    full = report_area(synthesize(design.module)).total
+
+    from ..src_design.io_interfaces import FrontEnd, FrontEndOptions
+    from ..src_design.behavioral import UNOPT_GENERIC_MODES
+    from ..rtl.expr import Const
+
+    fe_module = RtlModule("front_end_only")
+    generic = (len(params.modes) if optimized else UNOPT_GENERIC_MODES)
+    fe = FrontEnd(fe_module, params, FrontEndOptions(generic_modes=generic))
+    fe.declare()
+    take = fe_module.register("take_stub", 1)
+    fe_module.set_next(take, fe.out_req)
+    buf_l = fe_module.memory("buf_l", params.buffer_depth,
+                             params.data_width)
+    buf_r = fe_module.memory("buf_r", params.buffer_depth,
+                             params.data_width)
+    fe.finish(take=take, buf_l=buf_l, buf_r=buf_r)
+    fe_module.output("phase_out", fe.phase)
+    fe_module.output("wr_out", fe.wr_ptr)
+    fe_module.output("fill_out", fe.fill)
+    fe_area = report_area(synthesize(fe_module)).total
+    return (full - fe_area) / full

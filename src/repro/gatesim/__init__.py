@@ -1,0 +1,10 @@
+"""Gate-level simulation: 4-valued selective-trace simulator, memory models."""
+
+from .memory import AccessViolation, CheckingMemoryModel, MemoryModel
+from .simulator import GateSimError, GateSimulator
+from .trace import GateVcdTracer
+
+__all__ = [
+    "AccessViolation", "CheckingMemoryModel", "GateSimError",
+    "GateSimulator", "GateVcdTracer", "MemoryModel",
+]

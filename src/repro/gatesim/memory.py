@@ -1,0 +1,122 @@
+"""Behavioural memory simulation models for gate-level simulation.
+
+Two flavours, mirroring the paper's Section 4.7:
+
+* :class:`MemoryModel` -- a plain array model: out-of-range reads return
+  0 silently (the stale-cell behaviour the C++ golden model exhibits);
+* :class:`CheckingMemoryModel` -- "an automatically generated simulation
+  model that includes a check for valid addresses": every enabled access
+  is validated and violations are reported.  This is the model that made
+  the golden-model bug "become obvious" during gate-level simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..datatypes import logic as L
+from ..datatypes.bits import mask
+from ..kernel.report import Reporter, Severity
+
+
+@dataclass
+class AccessViolation:
+    """One recorded invalid memory access."""
+
+    memory: str
+    kind: str      # 'read' | 'write'
+    address: int   # -1 when the address contained X/Z bits
+    cycle: int
+
+
+class MemoryModel:
+    """Plain behavioural RAM/ROM: silent on invalid addresses."""
+
+    def __init__(self, name: str, depth: int, width: int,
+                 contents: Optional[Sequence[int]] = None):
+        self.name = name
+        self.depth = depth
+        self.width = width
+        self.writable = contents is None
+        if contents is not None:
+            if len(contents) != depth:
+                raise ValueError(
+                    f"{name}: {len(contents)} init values for depth {depth}"
+                )
+            self._data: List[int] = [v & mask(width) for v in contents]
+            self._init = list(self._data)
+        else:
+            self._data = [0] * depth
+            self._init = None
+
+    # ------------------------------------------------------------------
+    def read(self, address: Optional[int], enabled: bool = True,
+             cycle: int = 0) -> List[int]:
+        """Read as a list of logic values (LSB first).
+
+        *address* is ``None`` when the address bus carries X/Z bits.
+        """
+        if address is None:
+            return [L.LX] * self.width
+        if not 0 <= address < self.depth:
+            self._on_invalid("read", address, enabled, cycle)
+            return [L.L0] * self.width
+        value = self._data[address]
+        return [(value >> i) & 1 for i in range(self.width)]
+
+    def write(self, address: Optional[int], value: int,
+              cycle: int = 0) -> None:
+        if not self.writable:
+            raise ValueError(f"{self.name} is a ROM")
+        if address is None:
+            self._on_invalid("write", -1, True, cycle)
+            return
+        if not 0 <= address < self.depth:
+            self._on_invalid("write", address, True, cycle)
+            return
+        self._data[address] = value & mask(self.width)
+
+    def reset(self) -> None:
+        if self._init is not None:
+            self._data[:] = self._init
+        else:
+            self._data[:] = [0] * self.depth
+
+    def peek(self) -> List[int]:
+        return list(self._data)
+
+    # hook for the checking subclass
+    def _on_invalid(self, kind: str, address: int, enabled: bool,
+                    cycle: int) -> None:
+        """Plain model: invalid accesses pass silently (C++ semantics)."""
+
+
+class CheckingMemoryModel(MemoryModel):
+    """Address-checking memory model (paper Section 4.7).
+
+    Validates every *enabled* access; violations are recorded and
+    reported through the :class:`~repro.kernel.report.Reporter` at ERROR
+    severity.  Data behaviour is identical to :class:`MemoryModel`, so
+    swapping models never changes simulation outputs -- only visibility.
+    """
+
+    def __init__(self, name: str, depth: int, width: int,
+                 contents: Optional[Sequence[int]] = None,
+                 reporter: Optional[Reporter] = None):
+        super().__init__(name, depth, width, contents)
+        self.reporter = reporter or Reporter(raise_at=Severity.FATAL)
+        self.violations: List[AccessViolation] = []
+
+    def _on_invalid(self, kind: str, address: int, enabled: bool,
+                    cycle: int) -> None:
+        if kind == "read" and not enabled:
+            return  # chip-select inactive: address is a don't-care
+        self.violations.append(
+            AccessViolation(self.name, kind, address, cycle)
+        )
+        self.reporter.error(
+            "MEM-ADDR",
+            f"{self.name}: invalid {kind} address {address} "
+            f"(valid 0..{self.depth - 1}) at cycle {cycle}",
+        )

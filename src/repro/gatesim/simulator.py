@@ -1,0 +1,339 @@
+"""Event-driven gate-level simulation with 4-valued logic.
+
+The simulator levelises the netlist once, then uses selective-trace
+evaluation: only cells whose inputs changed are re-evaluated, in level
+order -- the classic compiled event-driven algorithm of gate-level
+simulators.  Flops commit on an explicit :meth:`GateSimulator.step`
+(clock edge); memory macros are bound to behavioural models from
+:mod:`repro.gatesim.memory` (checking or plain).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..datatypes import logic as L
+from ..datatypes.bits import mask
+from ..synth.library import EVAL
+from ..synth.netlist import CellInstance, MemoryMacro, Net, Netlist
+from .memory import CheckingMemoryModel, MemoryModel
+
+
+class GateSimError(RuntimeError):
+    """Raised for X-valued observations and structural problems."""
+
+
+class _Unit:
+    """One evaluation unit: a combinational cell or a memory read port."""
+
+    __slots__ = ("level", "eval", "out_uids", "dirty")
+
+    def __init__(self, level: int, eval_fn, out_uids: Sequence[int]):
+        self.level = level
+        self.eval = eval_fn
+        self.out_uids = list(out_uids)
+        self.dirty = True
+
+
+class GateSimulator:
+    """Cycle-oriented 4-valued simulator for a :class:`Netlist`."""
+
+    def __init__(self, netlist: Netlist, checking_memories: bool = False,
+                 reporter=None):
+        netlist.validate()
+        self.netlist = netlist
+        self.cycles = 0
+        n = len(netlist.nets)
+        #: net values indexed by uid; everything unknown until driven
+        self.values: List[int] = [L.LX] * n
+
+        self.values[netlist.const0.uid] = L.L0
+        self.values[netlist.const1.uid] = L.L1
+
+        # memory models
+        self.memories: Dict[str, MemoryModel] = {}
+        for macro in netlist.memories:
+            if checking_memories:
+                model: MemoryModel = CheckingMemoryModel(
+                    macro.name, macro.depth, macro.width, macro.contents,
+                    reporter=reporter,
+                )
+            else:
+                model = MemoryModel(
+                    macro.name, macro.depth, macro.width, macro.contents
+                )
+            self.memories[macro.name] = model
+
+        self._build_units()
+
+        # flops
+        lib = netlist.library
+        self._flops: List[CellInstance] = netlist.flops()
+        for flop in self._flops:
+            self.values[flop.outputs["Q"].uid] = flop.init & 1
+
+        # inputs default to 0 (testbenches override)
+        for nets in netlist.inputs.values():
+            for net in nets:
+                self.values[net.uid] = L.L0
+
+        self._settle_all()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_units(self) -> None:
+        nl = self.netlist
+        lib = nl.library
+        comb = [c for c in nl.cells if not lib[c.cell_type].sequential]
+
+        # dependency levelisation over units
+        unit_of_net: Dict[int, object] = {}
+        deps: Dict[object, List[int]] = {}
+        outs: Dict[object, List[int]] = {}
+        for cell in comb:
+            key = cell
+            deps[key] = [n.uid for n in cell.pins.values()]
+            outs[key] = [n.uid for n in cell.outputs.values()]
+            for uid in outs[key]:
+                unit_of_net[uid] = key
+        for macro in nl.memories:
+            for idx, rp in enumerate(macro.read_ports):
+                key = (macro, idx)
+                deps[key] = [n.uid for n in rp.addr]
+                outs[key] = [n.uid for n in rp.data]
+                for uid in outs[key]:
+                    unit_of_net[uid] = key
+
+        levels: Dict[object, int] = {}
+
+        def level_of(key) -> int:
+            if key in levels:
+                lvl = levels[key]
+                if lvl == -1:
+                    raise GateSimError("combinational loop in netlist")
+                return lvl
+            levels[key] = -1
+            lvl = 0
+            for uid in deps[key]:
+                src = unit_of_net.get(uid)
+                if src is not None:
+                    lvl = max(lvl, level_of(src) + 1)
+            levels[key] = lvl
+            return lvl
+
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, len(deps) * 2 + 100))
+        try:
+            for key in deps:
+                level_of(key)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        values = self.values
+        self._units: List[_Unit] = []
+        unit_objs: Dict[object, _Unit] = {}
+        for key, lvl in levels.items():
+            if isinstance(key, CellInstance):
+                fn = self._make_cell_eval(key)
+            else:
+                fn = self._make_mem_read_eval(*key)
+            unit = _Unit(lvl, fn, outs[key])
+            self._units.append(unit)
+            unit_objs[key] = unit
+        self._units.sort(key=lambda u: u.level)
+        self._max_level = max((u.level for u in self._units), default=0)
+
+        # fanout: net uid -> list of units to mark dirty
+        self._fanout: Dict[int, List[_Unit]] = {}
+        for key, unit in unit_objs.items():
+            for uid in deps[key]:
+                self._fanout.setdefault(uid, []).append(unit)
+
+        # level buckets for selective trace
+        self._buckets: List[List[_Unit]] = [
+            [] for _ in range(self._max_level + 1)
+        ]
+        for unit in self._units:
+            self._buckets[unit.level].append(unit)
+
+    def _make_cell_eval(self, cell: CellInstance) -> Callable[[], List[int]]:
+        spec = self.netlist.library[cell.cell_type]
+        fns = [EVAL[(cell.cell_type, pin)] for pin in spec.outputs]
+        in_uids = [cell.pins[pin].uid for pin in spec.inputs]
+        values = self.values
+
+        def run() -> List[int]:
+            args = [values[uid] for uid in in_uids]
+            return [fn(*args) for fn in fns]
+
+        return run
+
+    def _make_mem_read_eval(self, macro: MemoryMacro,
+                            index: int) -> Callable[[], List[int]]:
+        rp = macro.read_ports[index]
+        addr_uids = [n.uid for n in rp.addr]
+        enable_uid = rp.enable.uid if rp.enable is not None else None
+        model = self.memories[macro.name]
+        values = self.values
+
+        def run() -> List[int]:
+            addr: Optional[int] = 0
+            for i, uid in enumerate(addr_uids):
+                v = values[uid]
+                if v == L.L1:
+                    addr |= 1 << i  # type: ignore[operator]
+                elif v != L.L0:
+                    addr = None
+                    break
+            enabled = True
+            if enable_uid is not None:
+                enabled = values[enable_uid] == L.L1
+            return model.read(addr, enabled=enabled, cycle=self.cycles)
+
+        return run
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _settle_all(self) -> None:
+        for unit in self._units:
+            unit.dirty = True
+        self._settle()
+
+    def _mark_net_changed(self, uid: int) -> None:
+        for unit in self._fanout.get(uid, ()):
+            unit.dirty = True
+
+    def _settle(self) -> None:
+        values = self.values
+        for bucket in self._buckets:
+            for unit in bucket:
+                if not unit.dirty:
+                    continue
+                unit.dirty = False
+                outs = unit.eval()
+                for uid, v in zip(unit.out_uids, outs):
+                    if values[uid] != v:
+                        values[uid] = v
+                        self._mark_net_changed(uid)
+
+    # ------------------------------------------------------------------
+    # public API (mirrors RtlSimulator)
+    # ------------------------------------------------------------------
+    def set_input(self, name: str, value: int) -> None:
+        nets = self.netlist.inputs.get(name)
+        if nets is None:
+            raise GateSimError(f"no input named {name!r}")
+        value &= mask(len(nets))
+        for i, net in enumerate(nets):
+            v = (value >> i) & 1
+            if self.values[net.uid] != v:
+                self.values[net.uid] = v
+                self._mark_net_changed(net.uid)
+        self._settle()
+
+    def get(self, name: str) -> int:
+        """Read an output or input port as an integer (X/Z raise)."""
+        nets = self.netlist.outputs.get(name) or self.netlist.inputs.get(name)
+        if nets is None:
+            raise GateSimError(f"no port named {name!r}")
+        out = 0
+        for i, net in enumerate(nets):
+            v = self.values[net.uid]
+            if v == L.L1:
+                out |= 1 << i
+            elif v != L.L0:
+                raise GateSimError(
+                    f"port {name!r} bit {i} is {L.to_char(v)}"
+                )
+        return out
+
+    def get_logic(self, name: str) -> List[int]:
+        """Read a port as raw logic values (LSB first; X/Z allowed)."""
+        nets = self.netlist.outputs.get(name) or self.netlist.inputs.get(name)
+        if nets is None:
+            raise GateSimError(f"no port named {name!r}")
+        return [self.values[n.uid] for n in nets]
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance one or more clock edges."""
+        values = self.values
+        for _ in range(cycles):
+            self._settle()
+            # sample flop inputs
+            updates: List[Tuple[int, int]] = []
+            for flop in self._flops:
+                if flop.cell_type == "SDFF":
+                    se = values[flop.pins["SE"].uid]
+                    if se == L.L1:
+                        d = values[flop.pins["SI"].uid]
+                    elif se == L.L0:
+                        d = values[flop.pins["D"].uid]
+                    else:
+                        d = L.LX
+                else:
+                    d = values[flop.pins["D"].uid]
+                updates.append((flop.outputs["Q"].uid, d))
+            # sample memory writes
+            writes: List[Tuple[MemoryModel, Optional[int], Optional[int]]] = []
+            for macro in self.netlist.memories:
+                model = self.memories[macro.name]
+                for wp in macro.write_ports:
+                    en = values[wp.enable.uid]
+                    if en == L.L0:
+                        continue
+                    addr: Optional[int] = 0
+                    for i, net in enumerate(wp.addr):
+                        v = values[net.uid]
+                        if v == L.L1:
+                            addr |= 1 << i  # type: ignore[operator]
+                        elif v != L.L0:
+                            addr = None
+                            break
+                    data: Optional[int] = 0
+                    for i, net in enumerate(wp.data):
+                        v = values[net.uid]
+                        if v == L.L1:
+                            data |= 1 << i  # type: ignore[operator]
+                        elif v != L.L0:
+                            data = None
+                            break
+                    if en == L.L1:
+                        writes.append((model, addr, data))
+                    else:  # X enable: the write may or may not happen
+                        writes.append((model, addr, None))
+            # commit
+            for model, addr, data in writes:
+                model.write(addr, data if data is not None else 0,
+                            cycle=self.cycles)
+            mem_dirty = bool(writes)
+            for uid, v in updates:
+                if values[uid] != v:
+                    values[uid] = v
+                    self._mark_net_changed(uid)
+            if mem_dirty:
+                # async read data may change after a write commits
+                for macro in self.netlist.memories:
+                    for idx, rp in enumerate(macro.read_ports):
+                        for net in rp.addr:
+                            self._mark_net_changed(net.uid)
+                        # force re-evaluation of the read unit itself
+                        for unit in self._fanout.get(rp.addr[0].uid, ()):
+                            unit.dirty = True
+            self.cycles += 1
+            self._settle()
+
+    def reset(self) -> None:
+        """Restore flops and memories to their initial state."""
+        for flop in self._flops:
+            uid = flop.outputs["Q"].uid
+            v = flop.init & 1
+            if self.values[uid] != v:
+                self.values[uid] = v
+                self._mark_net_changed(uid)
+        for model in self.memories.values():
+            model.reset()
+        self.cycles = 0
+        self._settle_all()

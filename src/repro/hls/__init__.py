@@ -1,0 +1,22 @@
+"""Behavioural synthesis: IR, scheduling, binding, code generation."""
+
+from .binding import RegisterBinding, bind_registers, compute_liveness
+from .codegen import GeneratedFsm, generate_rtl
+from .delay import estimate_delay, node_delay
+from .interpreter import FsmInterpreter
+from .ir import (Assign, For, HlsError, HlsMemory, HlsPort, HlsProgram, If,
+                 MemReadStmt, MemWriteStmt, PortWrite, Stmt, WaitCycle,
+                 WaitUntil)
+from .schedule import (Fsm, FsmState, MemReadOp, MemWriteOp, PortWriteOp,
+                       RegWriteOp, Scheduler, SchedulingConstraints,
+                       Transition, prune_dead_reg_writes)
+
+__all__ = [
+    "Assign", "For", "Fsm", "FsmInterpreter", "FsmState", "GeneratedFsm",
+    "HlsError", "HlsMemory", "HlsPort", "HlsProgram", "If", "MemReadOp",
+    "MemReadStmt", "MemWriteOp", "MemWriteStmt", "PortWrite", "PortWriteOp",
+    "RegWriteOp", "RegisterBinding", "Scheduler", "SchedulingConstraints",
+    "Stmt", "Transition", "WaitCycle", "WaitUntil", "bind_registers",
+    "compute_liveness", "estimate_delay", "generate_rtl", "node_delay",
+    "prune_dead_reg_writes",
+]

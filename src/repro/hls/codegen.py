@@ -1,0 +1,375 @@
+"""RTL generation from a scheduled FSM.
+
+Emits into an existing :class:`~repro.rtl.ir.RtlModule` so the caller can
+compose the generated main process with hand-written RTL blocks (the
+paper's behavioural SRC "already contained RTL modules" for the I/O
+interfaces).  The generator produces:
+
+* a binary-encoded state register with guarded transition logic;
+* one register per bound physical register, next value selected by a
+  ``Case`` over the state;
+* one shared multiplier functional unit with state-multiplexed operands
+  (the single-multiplier allocation of the scheduler);
+* one shared read port and one shared write port per memory, with
+  state-multiplexed address/data and a chip-select covering exactly the
+  reading states (this is what the checking memory model observes);
+* registered output ports; ``pulse`` ports auto-clear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rtl.expr import (Case, Const, Expr, Ext, Mul, Ref, Slice, SMul,
+                        substitute, traverse)
+from ..rtl.ir import RtlMemory, RtlModule
+from .binding import RegisterBinding, bind_registers
+from .ir import HlsError
+from .schedule import Fsm
+
+
+@dataclass
+class GeneratedFsm:
+    """Handles into the module for everything the FSM generator created."""
+
+    state_reg: Ref
+    outputs: Dict[str, Ref]
+    memories: Dict[str, RtlMemory]
+    register_count: int
+    state_count: int
+
+
+def _replace_nodes(expr: Expr, replacements: Dict[int, Expr]) -> Expr:
+    """Replace subtrees by node identity (bottom-up rebuild)."""
+    direct = replacements.get(id(expr))
+    if direct is not None:
+        return direct
+    kids = expr.children()
+    if not kids:
+        return expr
+    new_kids = [_replace_nodes(k, replacements) for k in kids]
+    if all(n is o for n, o in zip(new_kids, kids)):
+        return expr
+    # Reuse substitute()'s reconstruction by wrapping children: easiest is
+    # a name-free rebuild through the same dispatch table.
+    from ..rtl import expr as E
+
+    if isinstance(expr, E.Add):
+        return E.Add(new_kids[0], new_kids[1], expr.width)
+    if isinstance(expr, E.Sub):
+        return E.Sub(new_kids[0], new_kids[1], expr.width)
+    if isinstance(expr, E.Mul):
+        return E.Mul(new_kids[0], new_kids[1])
+    if isinstance(expr, E.SMul):
+        return E.SMul(new_kids[0], new_kids[1])
+    if isinstance(expr, E.BitAnd):
+        return E.BitAnd(new_kids[0], new_kids[1])
+    if isinstance(expr, E.BitOr):
+        return E.BitOr(new_kids[0], new_kids[1])
+    if isinstance(expr, E.BitXor):
+        return E.BitXor(new_kids[0], new_kids[1])
+    if isinstance(expr, E.BitNot):
+        return E.BitNot(new_kids[0])
+    if isinstance(expr, E.Shl):
+        return E.Shl(new_kids[0], expr.amount)
+    if isinstance(expr, E.Shr):
+        return E.Shr(new_kids[0], expr.amount)
+    if isinstance(expr, E.Sra):
+        return E.Sra(new_kids[0], expr.amount)
+    if isinstance(expr, E.Cmp):
+        return E.Cmp(expr.op, new_kids[0], new_kids[1])
+    if isinstance(expr, E.Mux):
+        return E.Mux(new_kids[0], new_kids[1], new_kids[2])
+    if isinstance(expr, E.Case):
+        keys = list(expr.branches.keys())
+        return E.Case(new_kids[0],
+                      dict(zip(keys, new_kids[1:1 + len(keys)])),
+                      new_kids[-1])
+    if isinstance(expr, E.Cat):
+        return E.Cat(*new_kids)
+    if isinstance(expr, E.Slice):
+        return E.Slice(new_kids[0], expr.msb, expr.lsb)
+    if isinstance(expr, E.Ext):
+        return E.Ext(new_kids[0], expr.width, expr.signed)
+    if isinstance(expr, E.Reduce):
+        return E.Reduce(expr.op, new_kids[0])
+    raise HlsError(f"cannot rebuild {type(expr).__name__}")
+
+
+def generate_rtl(
+    fsm: Fsm,
+    module: RtlModule,
+    inputs: Dict[str, Ref],
+    binding: Optional[RegisterBinding] = None,
+    prefix: str = "",
+) -> GeneratedFsm:
+    """Emit *fsm* into *module*.
+
+    *inputs* maps each HLS input-port name to an existing module net.
+    Returns handles to the state register, output registers and memories.
+    """
+    program = fsm.program
+    binding = binding or bind_registers(fsm, share=False)
+    p = f"{prefix}_" if prefix else ""
+
+    for port in program.ports.values():
+        if port.direction == "in" and port.name not in inputs:
+            raise HlsError(f"input port {port.name!r} not wired")
+
+    state_bits = fsm.state_bits
+    state = module.register(f"{p}state", state_bits, init=fsm.entry)
+
+    # physical registers
+    phys: Dict[str, Ref] = {}
+    for reg_name, width in binding.registers.items():
+        phys[reg_name] = module.register(f"{p}{reg_name}", width)
+
+    # output port registers
+    out_regs: Dict[str, Ref] = {}
+    for port in program.ports.values():
+        if port.direction == "out":
+            out_regs[port.name] = module.register(f"{p}{port.name}",
+                                                  port.width)
+
+    # memories + shared read ports
+    memories: Dict[str, RtlMemory] = {}
+    read_data: Dict[str, Ref] = {}
+    for mem in program.memories.values():
+        memories[mem.name] = module.memory(
+            f"{p}{mem.name}", mem.depth, mem.width,
+            contents=mem.contents,
+        )
+
+    # ------------------------------------------------------------------
+    # expression rewriting: program refs -> module nets
+    # ------------------------------------------------------------------
+    def rewrite(expr: Expr, wires: Dict[str, Expr],
+                cache: Dict[int, Expr]) -> Expr:
+        mapping: Dict[str, Expr] = {}
+        for node in traverse(expr):
+            if isinstance(node, Ref) and node.name not in mapping:
+                name = node.name
+                if name in wires:
+                    mapping[name] = wires[name]
+                elif name in program.variables:
+                    reg = phys[binding.assignment[name]]
+                    if reg.width != node.width:
+                        mapping[name] = Slice(reg, node.width - 1, 0)
+                    else:
+                        mapping[name] = reg
+                elif name in inputs:
+                    mapping[name] = inputs[name]
+        # one shared rebuild cache per state keeps shared subtrees (the
+        # multiplier in particular) shared across the state's expressions
+        return substitute(expr, mapping, cache) if mapping else expr
+
+    # First pass: collect per-state rewritten exprs, memory ops, mul ops.
+    n_states = len(fsm.states)
+    state_regs: List[List[Tuple[str, Expr]]] = [[] for _ in range(n_states)]
+    state_ports: List[List[Tuple[str, Expr]]] = [[] for _ in range(n_states)]
+    state_trans: List[List[Tuple[Optional[Expr], int]]] = \
+        [[] for _ in range(n_states)]
+    mem_read_states: Dict[str, List[Tuple[int, Expr]]] = \
+        {m: [] for m in memories}
+    mem_write_states: Dict[str, List[Tuple[int, Expr, Expr]]] = \
+        {m: [] for m in memories}
+
+    for st in fsm.states:
+        wires: Dict[str, Expr] = {}
+        cache: Dict[int, Expr] = {}
+        for op in st.mem_reads:
+            addr = rewrite(op.addr, wires, cache)
+            mem_read_states[op.mem].append((st.index, addr))
+            # Wire for this state's read data: filled in after the shared
+            # port exists (second pass) -- use a placeholder Ref.
+            wires[op.wire] = Ref(f"{p}{op.mem}_rdata", op.width)
+        for op in st.reg_writes:
+            state_regs[st.index].append(
+                (binding.assignment[op.var], rewrite(op.expr, wires, cache))
+            )
+        for op in st.port_writes:
+            state_ports[st.index].append(
+                (op.port, rewrite(op.expr, wires, cache))
+            )
+        for op in st.mem_writes:
+            mem_write_states[op.mem].append(
+                (st.index, rewrite(op.addr, wires, cache),
+                 rewrite(op.data, wires, cache))
+            )
+        for tr in st.transitions:
+            cond = (rewrite(tr.cond, wires, cache)
+                    if tr.cond is not None else None)
+            state_trans[st.index].append((cond, tr.target))
+
+    # ------------------------------------------------------------------
+    # shared memory ports
+    # ------------------------------------------------------------------
+    for mem_name, reads in mem_read_states.items():
+        mem = program.memories[mem_name]
+        macro = memories[mem_name]
+        if reads:
+            abits = mem.addr_bits
+            addr_sel = Case(
+                state,
+                {s: Ext(a, abits, signed=False) if a.width < abits
+                 else (Slice(a, abits - 1, 0) if a.width > abits else a)
+                 for s, a in reads},
+                default=Const(abits, 0),
+            )
+            enable = Case(
+                state,
+                {s: Const(1, 1) for s, _a in reads},
+                default=Const(1, 0),
+            )
+            addr_ref = module.assign(f"{p}{mem_name}_raddr", addr_sel)
+            en_ref = module.assign(f"{p}{mem_name}_ren", enable)
+            module.mem_read(macro, addr_ref, enable=en_ref,
+                            port_name=f"{p}{mem_name}_rdata")
+    for mem_name, writes in mem_write_states.items():
+        mem = program.memories[mem_name]
+        macro = memories[mem_name]
+        if writes:
+            abits = mem.addr_bits
+            addr_sel = Case(
+                state,
+                {s: Ext(a, abits, False) if a.width < abits
+                 else (Slice(a, abits - 1, 0) if a.width > abits else a)
+                 for s, a, _d in writes},
+                default=Const(abits, 0),
+            )
+            data_sel = Case(
+                state,
+                {s: Ext(d, mem.width, False) if d.width < mem.width
+                 else (Slice(d, mem.width - 1, 0)
+                       if d.width > mem.width else d)
+                 for s, _a, d in writes},
+                default=Const(mem.width, 0),
+            )
+            enable = Case(
+                state,
+                {s: Const(1, 1) for s, _a, _d in writes},
+                default=Const(1, 0),
+            )
+            module.mem_write(macro, enable, addr_sel, data_sel)
+
+    # ------------------------------------------------------------------
+    # shared multiplier functional unit
+    # ------------------------------------------------------------------
+    _share_multiplier(module, state, state_regs, state_ports, p)
+
+    # ------------------------------------------------------------------
+    # register next logic
+    # ------------------------------------------------------------------
+    by_reg: Dict[str, Dict[int, Expr]] = {}
+    for s, writes in enumerate(state_regs):
+        for reg_name, expr in writes:
+            by_reg.setdefault(reg_name, {})[s] = expr
+    for reg_name, reg_ref in phys.items():
+        branches = by_reg.get(reg_name)
+        if not branches:
+            module.set_next(reg_ref, reg_ref)
+            continue
+        width = reg_ref.width
+        sized = {
+            s: (Ext(e, width, False) if e.width < width
+                else (Slice(e, width - 1, 0) if e.width > width else e))
+            for s, e in branches.items()
+        }
+        module.set_next(reg_ref, Case(state, sized, default=reg_ref))
+
+    # output port registers
+    by_port: Dict[str, Dict[int, Expr]] = {}
+    for s, writes in enumerate(state_ports):
+        for port_name, expr in writes:
+            by_port.setdefault(port_name, {})[s] = expr
+    for port in program.ports.values():
+        if port.direction != "out":
+            continue
+        reg_ref = out_regs[port.name]
+        width = port.width
+        branches = by_port.get(port.name, {})
+        sized = {
+            s: (Ext(e, width, False) if e.width < width
+                else (Slice(e, width - 1, 0) if e.width > width else e))
+            for s, e in branches.items()
+        }
+        default: Expr = Const(width, 0) if port.kind == "pulse" else reg_ref
+        if sized:
+            module.set_next(reg_ref, Case(state, sized, default=default))
+        else:
+            module.set_next(reg_ref, default)
+
+    # state transition logic
+    next_by_state: Dict[int, Expr] = {}
+    for s, trans in enumerate(state_trans):
+        nxt: Expr = Const(state_bits, trans[-1][1])
+        for cond, target in reversed(trans[:-1]):
+            from ..rtl.expr import Mux
+            nxt = Mux(cond, Const(state_bits, target), nxt)
+        next_by_state[s] = nxt
+    module.set_next(state, Case(state, next_by_state,
+                                default=Const(state_bits, fsm.entry)))
+
+    return GeneratedFsm(
+        state_reg=state,
+        outputs=dict(out_regs),
+        memories=memories,
+        register_count=len(phys) + len(out_regs) + 1,
+        state_count=n_states,
+    )
+
+
+def _share_multiplier(module: RtlModule, state: Ref,
+                      state_regs: List[List[Tuple[str, Expr]]],
+                      state_ports: List[List[Tuple[str, Expr]]],
+                      p: str) -> None:
+    """Replace per-state multiply nodes by one shared FU with operand
+    muxes.  At most one multiply per state (scheduler guarantee)."""
+    # collect (state, mul node) pairs
+    muls: Dict[int, object] = {}
+    for s in range(len(state_regs)):
+        for _name, expr in state_regs[s] + state_ports[s]:
+            for node in traverse(expr):
+                if isinstance(node, (Mul, SMul)):
+                    prior = muls.get(s)
+                    if prior is not None and prior is not node:
+                        raise HlsError(
+                            f"state {s} holds two multiplies after codegen"
+                        )
+                    muls[s] = node
+    if len(muls) <= 1:
+        return  # nothing to share
+
+    a_w = max(n.a.width + (1 if isinstance(n, Mul) else 0)
+              for n in muls.values())
+    b_w = max(n.b.width + (1 if isinstance(n, Mul) else 0)
+              for n in muls.values())
+
+    def op_ext(e: Expr, w: int, signed: bool) -> Expr:
+        if e.width == w:
+            return e
+        return Ext(e, w, signed=signed)
+
+    a_sel = Case(state, {
+        s: op_ext(n.a, a_w, isinstance(n, SMul)) for s, n in muls.items()
+    }, default=Const(a_w, 0))
+    b_sel = Case(state, {
+        s: op_ext(n.b, b_w, isinstance(n, SMul)) for s, n in muls.items()
+    }, default=Const(b_w, 0))
+    a_ref = module.assign(f"{p}mul_a", a_sel)
+    b_ref = module.assign(f"{p}mul_b", b_sel)
+    fu_out = module.assign(f"{p}mul_out", SMul(a_ref, b_ref))
+
+    replacements: Dict[int, Expr] = {}
+    for node in muls.values():
+        replacements[id(node)] = Slice(fu_out, node.width - 1, 0)
+    for s in range(len(state_regs)):
+        state_regs[s] = [
+            (name, _replace_nodes(e, replacements))
+            for name, e in state_regs[s]
+        ]
+        state_ports[s] = [
+            (name, _replace_nodes(e, replacements))
+            for name, e in state_ports[s]
+        ]

@@ -1,0 +1,77 @@
+"""Combinational delay estimation for scheduling (operator chaining).
+
+The scheduler chains operations into one control step as long as the
+estimated path delay fits the clock budget -- the behavioural-synthesis
+equivalent of Design Compiler's timing-driven scheduling.  Estimates are
+deliberately conservative and track the cell delays of
+:mod:`repro.synth.library` (a ripple-carry bit costs one FA delay, a
+multiplier costs roughly its reduction depth plus the final carry chain).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+from ..rtl.expr import (Add, BitAnd, BitNot, BitOr, BitXor, Case, Cat, Cmp,
+                        Const, Expr, Ext, MemRead, Mul, Mux, Reduce, Ref,
+                        Shl, Shr, Slice, SMul, Sra, Sub)
+
+#: full-adder delay (matches the FA cell)
+FA_NS = 0.35
+#: simple-gate delay
+GATE_NS = 0.20
+#: mux delay
+MUX_NS = 0.18
+#: asynchronous memory access time (matches synth.timing)
+MEMORY_NS = 2.5
+
+
+def node_delay(expr: Expr) -> float:
+    """Delay contributed by the operator at the root of *expr*."""
+    if isinstance(expr, (Const, Ref, Shl, Shr, Sra, Slice, Ext, Cat)):
+        return 0.0
+    if isinstance(expr, (Add, Sub)):
+        return FA_NS * expr.width
+    if isinstance(expr, (Mul, SMul)):
+        # partial products + carry-save tree + final carry chain
+        depth = math.ceil(math.log2(max(2, min(expr.a.width,
+                                               expr.b.width))))
+        return GATE_NS + FA_NS * (depth + expr.width / 2.0)
+    if isinstance(expr, Cmp):
+        if expr.op in ("eq", "ne"):
+            w = max(expr.a.width, expr.b.width)
+            return GATE_NS * (1 + math.ceil(math.log2(max(2, w))))
+        return FA_NS * max(expr.a.width, expr.b.width)
+    if isinstance(expr, Mux):
+        return MUX_NS
+    if isinstance(expr, Case):
+        return MUX_NS * max(1, expr.sel.width)
+    if isinstance(expr, (BitAnd, BitOr, BitXor)):
+        return GATE_NS
+    if isinstance(expr, BitNot):
+        return 0.08
+    if isinstance(expr, Reduce):
+        return GATE_NS * math.ceil(math.log2(max(2, expr.a.width)))
+    if isinstance(expr, MemRead):
+        return MEMORY_NS
+    return GATE_NS
+
+
+def estimate_delay(expr: Expr,
+                   wire_delays: Mapping[str, float] = ()) -> float:
+    """Worst-path delay of *expr*; leaf ``Ref`` delays from *wire_delays*."""
+    wire_delays = dict(wire_delays) if not isinstance(wire_delays, dict) \
+        else wire_delays
+
+    def walk(node: Expr) -> float:
+        if isinstance(node, Ref):
+            return wire_delays.get(node.name, 0.0)
+        if isinstance(node, Const):
+            return 0.0
+        arrival = 0.0
+        for child in node.children():
+            arrival = max(arrival, walk(child))
+        return arrival + node_delay(node)
+
+    return walk(expr)

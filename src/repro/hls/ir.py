@@ -1,0 +1,230 @@
+"""Behavioural IR for the synthesisable-behavioural abstraction level.
+
+A :class:`HlsProgram` is a sequential process over named variables,
+input/output ports and memories, with structured control flow::
+
+    Assign(var, expr)            -- combinational computation
+    MemReadStmt(var, mem, addr)  -- asynchronous memory read into a var
+    MemWriteStmt(mem, addr, data)
+    PortWrite(port, expr)        -- load a registered output
+    If(cond, then, orelse)
+    For(var, count, body)        -- constant trip count
+    WaitUntil(cond)              -- stall until cond (handshake waits)
+    WaitCycle()                  -- explicit one-cycle boundary
+
+Expressions reuse :mod:`repro.rtl.expr`; ``Ref`` targets are program
+variables or input ports.  The process body repeats forever (a clocked
+SystemC thread).  The paper's source-level refinements are literal here:
+the unoptimised behavioural SRC contains explicit handshake statements
+(``PortWrite``/``WaitUntil`` pairs around buffer reads), and the
+optimisation removes them from the source, exactly as Section 4.4
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..rtl.expr import Expr, Ref, as_expr, traverse
+
+
+class HlsError(ValueError):
+    """Raised for malformed behavioural programs."""
+
+
+@dataclass(frozen=True)
+class HlsPort:
+    """A module-boundary wire.
+
+    ``kind`` is ``"level"`` (holds its value) or ``"pulse"`` (output
+    auto-clears to zero in every state that does not write it).
+    """
+
+    name: str
+    width: int
+    direction: str  # 'in' | 'out'
+    kind: str = "level"  # 'level' | 'pulse'
+
+
+@dataclass(frozen=True)
+class HlsMemory:
+    """A memory the process accesses.
+
+    ``external_write`` marks memories whose write port belongs to another
+    block (the input interface writes the sample buffers).
+    """
+
+    name: str
+    depth: int
+    width: int
+    contents: Optional[Tuple[int, ...]] = None
+    external_write: bool = False
+
+    @property
+    def addr_bits(self) -> int:
+        # One extra code beyond depth-1 is representable (the invalid
+        # sentinel address the golden-model bug drives).
+        return max(1, self.depth.bit_length())
+
+
+class Stmt:
+    """Base class of behavioural statements."""
+
+
+@dataclass
+class Assign(Stmt):
+    var: str
+    expr: Expr
+
+
+@dataclass
+class MemReadStmt(Stmt):
+    var: str
+    mem: str
+    addr: Expr
+
+
+@dataclass
+class MemWriteStmt(Stmt):
+    mem: str
+    addr: Expr
+    data: Expr
+
+
+@dataclass
+class PortWrite(Stmt):
+    port: str
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: List[Stmt]
+    orelse: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    var: str
+    count: int
+    body: List[Stmt]
+
+
+@dataclass
+class WaitUntil(Stmt):
+    cond: Expr
+
+
+@dataclass
+class WaitCycle(Stmt):
+    pass
+
+
+class HlsProgram:
+    """A complete behavioural process description."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ports: Dict[str, HlsPort] = {}
+        self.variables: Dict[str, int] = {}  # name -> width
+        self.memories: Dict[str, HlsMemory] = {}
+        self.body: List[Stmt] = []
+
+    # -- declaration -----------------------------------------------------
+    def input(self, name: str, width: int) -> Ref:
+        self._check_fresh(name)
+        self.ports[name] = HlsPort(name, width, "in")
+        return Ref(name, width)
+
+    def output(self, name: str, width: int, kind: str = "level") -> str:
+        self._check_fresh(name)
+        self.ports[name] = HlsPort(name, width, "out", kind)
+        return name
+
+    def var(self, name: str, width: int) -> Ref:
+        self._check_fresh(name)
+        self.variables[name] = width
+        return Ref(name, width)
+
+    def memory(self, name: str, depth: int, width: int,
+               contents: Optional[Sequence[int]] = None,
+               external_write: bool = False) -> HlsMemory:
+        self._check_fresh(name)
+        mem = HlsMemory(
+            name, depth, width,
+            tuple(int(v) for v in contents) if contents is not None else None,
+            external_write,
+        )
+        self.memories[name] = mem
+        return mem
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.ports or name in self.variables or \
+                name in self.memories:
+            raise HlsError(f"name {name!r} already declared in {self.name!r}")
+
+    # -- validation --------------------------------------------------------
+    def ref_width(self, name: str) -> int:
+        if name in self.variables:
+            return self.variables[name]
+        port = self.ports.get(name)
+        if port is not None and port.direction == "in":
+            return port.width
+        raise HlsError(f"{name!r} is not a variable or input port")
+
+    def validate(self) -> None:
+        self._validate_block(self.body)
+
+    def _validate_block(self, block: Sequence[Stmt]) -> None:
+        for stmt in block:
+            if isinstance(stmt, Assign):
+                if stmt.var not in self.variables:
+                    raise HlsError(f"assignment to undeclared var {stmt.var!r}")
+                self._validate_expr(stmt.expr)
+            elif isinstance(stmt, MemReadStmt):
+                if stmt.var not in self.variables:
+                    raise HlsError(f"mem read into undeclared var {stmt.var!r}")
+                if stmt.mem not in self.memories:
+                    raise HlsError(f"read of undeclared memory {stmt.mem!r}")
+                self._validate_expr(stmt.addr)
+            elif isinstance(stmt, MemWriteStmt):
+                mem = self.memories.get(stmt.mem)
+                if mem is None:
+                    raise HlsError(f"write to undeclared memory {stmt.mem!r}")
+                if mem.contents is not None:
+                    raise HlsError(f"write to ROM {stmt.mem!r}")
+                self._validate_expr(stmt.addr)
+                self._validate_expr(stmt.data)
+            elif isinstance(stmt, PortWrite):
+                port = self.ports.get(stmt.port)
+                if port is None or port.direction != "out":
+                    raise HlsError(f"write to non-output {stmt.port!r}")
+                self._validate_expr(stmt.expr)
+            elif isinstance(stmt, If):
+                self._validate_expr(stmt.cond)
+                self._validate_block(stmt.then)
+                self._validate_block(stmt.orelse)
+            elif isinstance(stmt, For):
+                if stmt.var not in self.variables:
+                    raise HlsError(f"loop var {stmt.var!r} undeclared")
+                if stmt.count < 1:
+                    raise HlsError(f"loop count must be >= 1, got {stmt.count}")
+                self._validate_block(stmt.body)
+            elif isinstance(stmt, WaitUntil):
+                self._validate_expr(stmt.cond)
+            elif isinstance(stmt, WaitCycle):
+                pass
+            else:
+                raise HlsError(f"unknown statement {type(stmt).__name__}")
+
+    def _validate_expr(self, expr: Expr) -> None:
+        for node in traverse(expr):
+            if isinstance(node, Ref):
+                width = self.ref_width(node.name)
+                if node.width != width:
+                    raise HlsError(
+                        f"Ref({node.name!r}) width {node.width} != "
+                        f"declared {width}"
+                    )

@@ -1,0 +1,36 @@
+"""A SystemC-like discrete-event simulation kernel in pure Python.
+
+The kernel implements the semantics the paper's refinement flow relies on:
+delta cycles with evaluate/update phases, thread and method processes,
+events with immediate/delta/timed notification, signals, clocks, FIFOs,
+ports with interface-method-call forwarding, and hierarchical channels.
+"""
+
+from .channels import Fifo, HierarchicalChannel, Mutex, Semaphore
+from .clock import Clock
+from .context import (NoSimulationError, current_simulation,
+                      current_simulation_or_none, set_current_simulation)
+from .event import AllOf, AnyOf, Event, Timeout, delay
+from .module import Module
+from .ports import Export, Port, SignalInPort, SignalOutPort
+from .process import KernelError, MethodProcess, Process, ThreadProcess
+from .profiling import ProcessProfile, ProfileReport, SimulationProfiler
+from .report import Reporter, ReportError, Severity
+from .resolved import ResolvedSignal
+from .scheduler import Simulation, SimulationError
+from .signal import Signal
+from .simtime import MS, NS, PS, SEC, US, format_time, period_ps, to_ps
+from .tracing import VcdTracer
+
+__all__ = [
+    "AllOf", "AnyOf", "Clock", "Event", "Export", "Fifo",
+    "HierarchicalChannel", "KernelError", "MS", "MethodProcess", "Module",
+    "Mutex", "NS", "NoSimulationError", "PS", "Port", "Process",
+    "ProcessProfile", "ProfileReport", "SimulationProfiler",
+    "ReportError", "Reporter", "ResolvedSignal", "SEC", "Semaphore",
+    "Severity", "Signal",
+    "SignalInPort", "SignalOutPort", "Simulation", "SimulationError",
+    "ThreadProcess", "Timeout", "US", "VcdTracer", "current_simulation",
+    "current_simulation_or_none", "delay", "format_time", "period_ps",
+    "set_current_simulation", "to_ps",
+]

@@ -1,0 +1,141 @@
+"""Standard channels: FIFO, mutex, semaphore, and hierarchical channels.
+
+Blocking channel operations are generator methods and must be invoked with
+``yield from`` inside a thread process, mirroring how SystemC channel
+methods call ``wait()`` internally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generic, TypeVar
+
+from .event import Event
+from .module import Module
+from .process import KernelError
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """Bounded FIFO with blocking read/write (``sc_fifo``)."""
+
+    def __init__(self, capacity: int = 16, name: str = "fifo"):
+        if capacity < 1:
+            raise ValueError(f"fifo capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self.data_written = Event(f"{name}.data_written")
+        self.data_read = Event(f"{name}.data_read")
+
+    # -- non-blocking -----------------------------------------------------
+    def num_available(self) -> int:
+        return len(self._items)
+
+    def num_free(self) -> int:
+        return self.capacity - len(self._items)
+
+    def nb_write(self, item: T) -> bool:
+        if self.num_free() == 0:
+            return False
+        self._items.append(item)
+        self.data_written.notify()
+        return True
+
+    def nb_read(self):
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self.data_read.notify()
+        return True, item
+
+    # -- blocking (generator) ----------------------------------------------
+    def write(self, item: T):
+        """Blocking write; use as ``yield from fifo.write(x)``."""
+        while self.num_free() == 0:
+            yield self.data_read
+        self._items.append(item)
+        self.data_written.notify()
+
+    def read(self):
+        """Blocking read; use as ``x = yield from fifo.read()``."""
+        while not self._items:
+            yield self.data_written
+        item = self._items.popleft()
+        self.data_read.notify()
+        return item
+
+    def default_event(self) -> Event:
+        return self.data_written
+
+
+class Mutex:
+    """A mutual-exclusion lock (``sc_mutex``)."""
+
+    def __init__(self, name: str = "mutex"):
+        self.name = name
+        self._locked = False
+        self.released = Event(f"{name}.released")
+
+    def trylock(self) -> bool:
+        if self._locked:
+            return False
+        self._locked = True
+        return True
+
+    def lock(self):
+        """Blocking lock; use as ``yield from mutex.lock()``."""
+        while self._locked:
+            yield self.released
+        self._locked = True
+
+    def unlock(self) -> None:
+        if not self._locked:
+            raise KernelError(f"unlock of unlocked mutex {self.name!r}")
+        self._locked = False
+        self.released.notify()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+
+class Semaphore:
+    """A counting semaphore (``sc_semaphore``)."""
+
+    def __init__(self, initial: int, name: str = "semaphore"):
+        if initial < 0:
+            raise ValueError(f"semaphore count must be >= 0, got {initial}")
+        self.name = name
+        self._count = initial
+        self.posted = Event(f"{name}.posted")
+
+    def trywait(self) -> bool:
+        if self._count == 0:
+            return False
+        self._count -= 1
+        return True
+
+    def wait(self):
+        """Blocking wait; use as ``yield from sem.wait()``."""
+        while self._count == 0:
+            yield self.posted
+        self._count -= 1
+
+    def post(self) -> None:
+        self._count += 1
+        self.posted.notify()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+
+class HierarchicalChannel(Module):
+    """A module that also implements channel interfaces (SystemC idiom).
+
+    The SRC of the paper's Figure 5 is exactly this: a module exposing
+    ``SRC_CTRL``, ``SampleWriteIF`` and ``SampleReadIF`` to its environment
+    while hiding an internal structure of submodules and threads.
+    """

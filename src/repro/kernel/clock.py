@@ -1,0 +1,78 @@
+"""Clock generator (SystemC ``sc_clock``)."""
+
+from __future__ import annotations
+
+from .event import Timeout
+from .module import Module
+from .signal import Signal
+from .simtime import NS, to_ps
+
+
+class Clock(Module):
+    """A free-running clock signal.
+
+    The clock is a :class:`Module` owning a :class:`Signal`; ``posedge`` /
+    ``negedge`` / ``default_event`` delegate to that signal so a ``Clock``
+    can be used anywhere a signal is expected.
+
+    Parameters
+    ----------
+    name:
+        Instance name.
+    period_ps:
+        Clock period in picoseconds.
+    duty:
+        High-time fraction (default 0.5).
+    start_high:
+        Whether the first transition is a rising edge at t = 0 (default).
+    """
+
+    def __init__(self, name: str, period_ps: int, duty: float = 0.5,
+                 start_high: bool = True):
+        super().__init__(name)
+        if period_ps <= 1:
+            raise ValueError(f"clock period must exceed 1 ps, got {period_ps}")
+        if not 0.0 < duty < 1.0:
+            raise ValueError(f"duty cycle must be in (0, 1), got {duty}")
+        self.period_ps = period_ps
+        self.high_ps = max(1, int(round(period_ps * duty)))
+        self.low_ps = period_ps - self.high_ps
+        if self.low_ps < 1:
+            raise ValueError("duty cycle leaves no low time")
+        self.start_high = start_high
+        self.signal = Signal(0, name=f"{name}.sig")
+        self.add_thread(self._toggle, name=f"{name}.gen")
+
+    def _toggle(self):
+        if not self.start_high:
+            yield Timeout(self.low_ps)
+        while True:
+            self.signal.write(1)
+            yield Timeout(self.high_ps)
+            self.signal.write(0)
+            yield Timeout(self.low_ps)
+
+    # -- signal-like facade ------------------------------------------------
+    def read(self) -> int:
+        return self.signal.read()
+
+    @property
+    def value(self) -> int:
+        return self.signal.read()
+
+    def default_event(self):
+        return self.signal.value_changed
+
+    @property
+    def posedge(self):
+        return self.signal.posedge
+
+    @property
+    def negedge(self):
+        return self.signal.negedge
+
+    @property
+    def frequency_hz(self) -> float:
+        from .simtime import SEC
+
+        return SEC / self.period_ps

@@ -1,0 +1,38 @@
+"""Tracking of the currently-active simulation.
+
+SystemC keeps a single global simulation context; we mirror that so that
+channels, events and signals created anywhere can reach the scheduler
+without threading a handle through every constructor.  Exactly one
+:class:`~repro.kernel.scheduler.Simulation` may be active at a time; tests
+create simulations sequentially, which is fully supported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+_current = None
+
+
+class NoSimulationError(RuntimeError):
+    """Raised when a kernel primitive needs a scheduler but none is active."""
+
+
+def current_simulation():
+    """Return the active :class:`Simulation`, or raise :class:`NoSimulationError`."""
+    if _current is None:
+        raise NoSimulationError(
+            "no active simulation -- create a repro.kernel.Simulation first"
+        )
+    return _current
+
+
+def current_simulation_or_none() -> Optional[object]:
+    """Return the active simulation, or ``None`` when none exists."""
+    return _current
+
+
+def set_current_simulation(sim) -> None:
+    """Install *sim* as the active simulation (``None`` clears it)."""
+    global _current
+    _current = sim

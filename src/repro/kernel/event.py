@@ -1,0 +1,175 @@
+"""Events -- the primitive synchronisation object of the kernel.
+
+Mirrors SystemC's ``sc_event``:
+
+* ``notify_immediate()`` triggers waiting processes within the current
+  evaluation phase,
+* ``notify()`` / ``notify(0)`` triggers at the next delta boundary,
+* ``notify(delay)`` triggers after *delay* picoseconds of simulated time.
+
+Later notifications never override earlier ones (SystemC's "earliest
+notification wins" rule is implemented by cancelling the pending one when a
+strictly earlier notification arrives).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from .context import current_simulation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .process import Process
+
+_NOT_PENDING = 0
+_PENDING_DELTA = 1
+_PENDING_TIMED = 2
+
+
+class Event:
+    """A notifiable synchronisation point processes can wait on."""
+
+    __slots__ = (
+        "name",
+        "_static",
+        "_dynamic",
+        "_pending",
+        "_pending_time",
+        "_pending_handle",
+    )
+
+    def __init__(self, name: str = "event"):
+        self.name = name
+        #: processes statically sensitive to this event
+        self._static: List["Process"] = []
+        #: processes dynamically waiting on this event
+        self._dynamic: List["Process"] = []
+        self._pending = _NOT_PENDING
+        self._pending_time = 0
+        self._pending_handle = None
+
+    # ------------------------------------------------------------------
+    # notification
+    # ------------------------------------------------------------------
+    def notify_immediate(self) -> None:
+        """Trigger now, within the current evaluation phase."""
+        self._cancel_pending()
+        self._trigger()
+
+    def notify(self, delay_ps: int = 0) -> None:
+        """Trigger after *delay_ps* picoseconds (0 = next delta boundary).
+
+        Outside an active simulation (e.g. channel setup in plain unit
+        code) the notification degrades to an immediate trigger.
+        """
+        from .context import current_simulation_or_none
+
+        if delay_ps < 0:
+            raise ValueError(f"negative notification delay: {delay_ps}")
+        sim = current_simulation_or_none()
+        if sim is None:
+            self._trigger()
+            return
+        if delay_ps == 0:
+            if self._pending == _PENDING_DELTA:
+                return  # already pending at the earliest possible point
+            self._cancel_pending()
+            self._pending = _PENDING_DELTA
+            sim._notify_delta(self)
+        else:
+            when = sim.time_ps + delay_ps
+            if self._pending == _PENDING_DELTA:
+                return  # delta beats any timed notification
+            if self._pending == _PENDING_TIMED and self._pending_time <= when:
+                return  # an earlier (or equal) timed notification is pending
+            self._cancel_pending()
+            self._pending = _PENDING_TIMED
+            self._pending_time = when
+            self._pending_handle = sim._notify_timed(self, when)
+
+    def cancel(self) -> None:
+        """Cancel any pending (delta or timed) notification."""
+        self._cancel_pending()
+
+    def _cancel_pending(self) -> None:
+        if self._pending == _PENDING_TIMED and self._pending_handle is not None:
+            self._pending_handle.cancelled = True
+        self._pending = _NOT_PENDING
+        self._pending_handle = None
+
+    # ------------------------------------------------------------------
+    # kernel-side hooks
+    # ------------------------------------------------------------------
+    def _trigger(self) -> None:
+        """Fire the event: wake statically-sensitive and waiting processes."""
+        self._pending = _NOT_PENDING
+        self._pending_handle = None
+        if self._static:
+            for proc in self._static:
+                proc._triggered_static()
+        if self._dynamic:
+            waiting = self._dynamic
+            self._dynamic = []
+            for proc in waiting:
+                proc._triggered_dynamic(self)
+
+    def _add_static(self, proc: "Process") -> None:
+        if proc not in self._static:
+            self._static.append(proc)
+
+    def _add_dynamic(self, proc: "Process") -> None:
+        self._dynamic.append(proc)
+
+    def _remove_dynamic(self, proc: "Process") -> None:
+        try:
+            self._dynamic.remove(proc)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Event({self.name!r})"
+
+
+class Timeout:
+    """Wait specification: resume after a fixed simulated-time delay."""
+
+    __slots__ = ("delay_ps",)
+
+    def __init__(self, delay_ps: int):
+        if delay_ps < 0:
+            raise ValueError(f"negative timeout: {delay_ps}")
+        self.delay_ps = delay_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay_ps} ps)"
+
+
+class AnyOf:
+    """Wait specification: resume when *any* of the events triggers."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event):
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        self.events: Sequence[Event] = events
+
+
+class AllOf:
+    """Wait specification: resume once *all* of the events have triggered."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, *events: Event):
+        if not events:
+            raise ValueError("AllOf requires at least one event")
+        self.events: Sequence[Event] = events
+
+
+def delay(value, unit: Optional[int] = None) -> Timeout:
+    """Build a :class:`Timeout` from *value* (picoseconds, or *value*×*unit*)."""
+    from .simtime import to_ps
+
+    if unit is None:
+        return Timeout(int(value))
+    return Timeout(to_ps(value, unit))

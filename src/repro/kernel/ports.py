@@ -1,0 +1,104 @@
+"""Ports and exports (SystemC ``sc_port`` / ``sc_export``).
+
+A port is a named hole in a module's boundary that is *bound* to a channel
+(a signal, a FIFO, or a hierarchical channel implementing an interface)
+before elaboration.  After binding, interface method calls made on the
+port are forwarded to the channel -- this is SystemC's interface-method-
+call (IMC) mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from .process import KernelError
+
+
+class Port:
+    """A bindable reference to a channel implementing *iface* (optional)."""
+
+    def __init__(self, iface: Optional[Type] = None, name: str = "port"):
+        self.iface = iface
+        self.name = name
+        self.owner = None
+        self.channel = None
+
+    # ------------------------------------------------------------------
+    def bind(self, channel) -> None:
+        """Bind this port to *channel* (or to another, already-bound port)."""
+        if isinstance(channel, Port):
+            if channel.channel is None:
+                raise KernelError(
+                    f"port {self.name!r} bound to unbound port {channel.name!r}"
+                )
+            channel = channel.channel
+        if self.iface is not None and not isinstance(channel, self.iface):
+            raise KernelError(
+                f"port {self.name!r} requires interface "
+                f"{self.iface.__name__}, got {type(channel).__name__}"
+            )
+        self.channel = channel
+
+    def __call__(self, channel) -> None:
+        """SystemC-style binding syntax: ``module.port(channel)``."""
+        self.bind(channel)
+
+    def _check_bound(self) -> None:
+        if self.channel is None:
+            raise KernelError(f"port {self.name!r} left unbound at elaboration")
+
+    # ------------------------------------------------------------------
+    # interface-method-call forwarding
+    # ------------------------------------------------------------------
+    def __getattr__(self, item):
+        channel = object.__getattribute__(self, "channel")
+        if channel is None:
+            raise KernelError(
+                f"interface method {item!r} called on unbound port "
+                f"{object.__getattribute__(self, 'name')!r}"
+            )
+        return getattr(channel, item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        bound = type(self.channel).__name__ if self.channel is not None else "unbound"
+        return f"Port({self.name!r} -> {bound})"
+
+
+class SignalInPort(Port):
+    """Read-only port bound to a :class:`~repro.kernel.signal.Signal`."""
+
+    def read(self):
+        return self.channel.read()
+
+    @property
+    def value(self):
+        return self.channel.read()
+
+    def default_event(self):
+        return self.channel.default_event()
+
+    @property
+    def posedge(self):
+        return self.channel.posedge
+
+    @property
+    def negedge(self):
+        return self.channel.negedge
+
+    def write(self, value):  # pragma: no cover - misuse guard
+        raise KernelError(f"write through input port {self.name!r}")
+
+
+class SignalOutPort(Port):
+    """Write-only port bound to a :class:`~repro.kernel.signal.Signal`."""
+
+    def write(self, value) -> None:
+        self.channel.write(value)
+
+    def read(self):
+        # SystemC sc_out allows reading back the driven value.
+        return self.channel.read()
+
+
+class Export(Port):
+    """An ``sc_export``: exposes an internal channel at a module boundary."""

@@ -1,0 +1,185 @@
+"""Simulation processes: thread processes and method processes.
+
+Thread processes are Python generator functions.  A thread suspends by
+yielding a *wait specification*:
+
+* an :class:`~repro.kernel.event.Event` -- wait for that event,
+* a :class:`~repro.kernel.event.Timeout` (or ``delay(...)``) -- wait for
+  simulated time to pass,
+* an :class:`~repro.kernel.event.AnyOf` / :class:`AllOf` -- composite waits,
+* ``None`` -- wait on the process's static sensitivity list.
+
+Helper coroutines that need to wait must be invoked with ``yield from``,
+exactly like nested blocking calls in SystemC threads.
+
+Method processes are plain callables re-invoked each time an event in their
+static sensitivity list triggers (SystemC ``SC_METHOD``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, List, Optional
+
+from .event import AllOf, AnyOf, Event, Timeout
+
+
+class KernelError(RuntimeError):
+    """Raised for kernel-usage errors (bad wait specs, misbound ports...)."""
+
+
+class Process:
+    """Base class for schedulable processes."""
+
+    __slots__ = ("name", "sim", "_static_events", "_runnable", "terminated",
+                 "_dont_initialize")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.sim = None  # set at elaboration
+        self._static_events: List[Event] = []
+        self._runnable = False
+        self.terminated = False
+        self._dont_initialize = False
+
+    def add_static_sensitivity(self, event: Event) -> None:
+        self._static_events.append(event)
+        event._add_static(self)
+
+    # -- kernel hooks ---------------------------------------------------
+    def _triggered_static(self) -> None:
+        raise NotImplementedError
+
+    def _triggered_dynamic(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _execute(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ThreadProcess(Process):
+    """A coroutine process (SystemC ``SC_THREAD`` / ``SC_CTHREAD``)."""
+
+    __slots__ = ("_factory", "_gen", "_waiting_events", "_all_remaining",
+                 "_timeout_event")
+
+    def __init__(self, name: str, factory: Callable[[], Generator]):
+        super().__init__(name)
+        self._factory = factory
+        self._gen: Optional[Generator] = None
+        self._waiting_events: List[Event] = []
+        self._all_remaining: int = 0
+        self._timeout_event: Optional[Event] = None
+
+    # -- trigger handling -------------------------------------------------
+    def _triggered_static(self) -> None:
+        # A thread waiting dynamically ignores its static sensitivity.
+        if self._waiting_events or self._timeout_event is not None:
+            return
+        self._make_runnable()
+
+    def _triggered_dynamic(self, event: Event) -> None:
+        if self._all_remaining > 1:
+            # AllOf: count down, keep waiting on the rest.
+            self._all_remaining -= 1
+            return
+        self._clear_dynamic_waits(exclude=event)
+        self._make_runnable()
+
+    def _make_runnable(self) -> None:
+        if not self._runnable and not self.terminated:
+            self._runnable = True
+            self.sim._schedule(self)
+
+    def _clear_dynamic_waits(self, exclude: Optional[Event] = None) -> None:
+        for ev in self._waiting_events:
+            if ev is not exclude:
+                ev._remove_dynamic(self)
+        self._waiting_events = []
+        self._all_remaining = 0
+        self._timeout_event = None
+
+    # -- execution --------------------------------------------------------
+    def _execute(self) -> None:
+        self._runnable = False
+        if self._gen is None:
+            self._gen = self._factory()
+            if self._gen is None:
+                # A plain function (no yields): ran to completion already.
+                self.terminated = True
+                return
+        try:
+            spec = next(self._gen)
+        except StopIteration:
+            self.terminated = True
+            return
+        self._apply_wait(spec)
+
+    def _apply_wait(self, spec) -> None:
+        if spec is None:
+            # Wait on static sensitivity; nothing to register -- static
+            # events call back via _triggered_static.
+            if not self._static_events:
+                raise KernelError(
+                    f"thread {self.name!r} waited on static sensitivity "
+                    "but has none"
+                )
+            return
+        if isinstance(spec, Event):
+            self._waiting_events = [spec]
+            spec._add_dynamic(self)
+            return
+        if isinstance(spec, Timeout):
+            ev = Event(f"{self.name}.timeout")
+            self._timeout_event = ev
+            self._waiting_events = [ev]
+            ev._add_dynamic(self)
+            if spec.delay_ps == 0:
+                ev.notify()
+            else:
+                ev.notify(spec.delay_ps)
+            return
+        if isinstance(spec, AnyOf):
+            self._waiting_events = list(spec.events)
+            for ev in spec.events:
+                ev._add_dynamic(self)
+            return
+        if isinstance(spec, AllOf):
+            self._waiting_events = list(spec.events)
+            self._all_remaining = len(spec.events)
+            for ev in spec.events:
+                ev._add_dynamic(self)
+            return
+        # Convenience: signals expose .value_changed / .posedge as Events,
+        # but allow waiting directly on anything with a default_event().
+        default = getattr(spec, "default_event", None)
+        if callable(default):
+            self._apply_wait(default())
+            return
+        raise KernelError(
+            f"thread {self.name!r} yielded invalid wait spec {spec!r}"
+        )
+
+
+class MethodProcess(Process):
+    """A function process re-run on each static trigger (``SC_METHOD``)."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, name: str, fn: Callable[[], None]):
+        super().__init__(name)
+        self._fn = fn
+
+    def _triggered_static(self) -> None:
+        if not self._runnable and not self.terminated:
+            self._runnable = True
+            self.sim._schedule(self)
+
+    def _triggered_dynamic(self, event: Event) -> None:  # pragma: no cover
+        self._triggered_static()
+
+    def _execute(self) -> None:
+        self._runnable = False
+        self._fn()

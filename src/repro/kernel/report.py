@@ -1,0 +1,65 @@
+"""Severity-classified reporting (SystemC ``sc_report``)."""
+
+from __future__ import annotations
+
+import enum
+import sys
+from collections import Counter
+from typing import List, Optional, TextIO, Tuple
+
+
+class Severity(enum.IntEnum):
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+    FATAL = 3
+
+
+class ReportError(RuntimeError):
+    """Raised when a report at or above the raise threshold is issued."""
+
+
+class Reporter:
+    """Collects classified messages and optionally raises on errors.
+
+    The gate-level memory model of the paper's bug story reports invalid
+    accesses through a :class:`Reporter`, so testbenches can either fail
+    hard (raise) or collect violations for later inspection.
+    """
+
+    def __init__(self, raise_at: Severity = Severity.FATAL,
+                 stream: Optional[TextIO] = None):
+        self.raise_at = raise_at
+        self.stream = stream
+        self.records: List[Tuple[Severity, str, str]] = []
+        self.counts: Counter = Counter()
+
+    def report(self, severity: Severity, tag: str, message: str) -> None:
+        self.records.append((severity, tag, message))
+        self.counts[severity] += 1
+        if self.stream is not None:
+            self.stream.write(f"[{severity.name}] {tag}: {message}\n")
+        if severity >= self.raise_at:
+            raise ReportError(f"[{severity.name}] {tag}: {message}")
+
+    def info(self, tag: str, message: str) -> None:
+        self.report(Severity.INFO, tag, message)
+
+    def warning(self, tag: str, message: str) -> None:
+        self.report(Severity.WARNING, tag, message)
+
+    def error(self, tag: str, message: str) -> None:
+        self.report(Severity.ERROR, tag, message)
+
+    def fatal(self, tag: str, message: str) -> None:
+        self.report(Severity.FATAL, tag, message)
+
+    def count(self, severity: Severity) -> int:
+        return self.counts.get(severity, 0)
+
+    def messages(self, severity: Optional[Severity] = None) -> List[str]:
+        return [
+            f"{tag}: {msg}"
+            for sev, tag, msg in self.records
+            if severity is None or sev == severity
+        ]

@@ -1,0 +1,64 @@
+"""Multi-driver resolved signals (SystemC ``sc_signal_resolved``).
+
+A resolved signal accepts writes from several drivers per delta cycle
+and resolves them with IEEE-1164 wire resolution (conflicting 0/1 give
+X, Z yields to any driven value).  Values are 4-valued logic codes from
+:mod:`repro.datatypes.logic`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..datatypes import logic as L
+from .context import current_simulation_or_none
+from .signal import Signal
+
+
+class ResolvedSignal(Signal):
+    """A signal with per-driver values and wire resolution.
+
+    Drivers are identified by an arbitrary hashable key (typically the
+    driving module or process); each driver's last write persists until
+    it writes again or :meth:`release`\\ s the net (drives Z).
+    """
+
+    __slots__ = ("_drivers",)
+
+    def __init__(self, name: str = "resolved"):
+        super().__init__(L.LZ, name)
+        self._drivers: Dict[object, int] = {}
+
+    def drive(self, driver: object, value: int) -> None:
+        """Set *driver*'s contribution; schedules net resolution."""
+        if value not in (L.L0, L.L1, L.LX, L.LZ):
+            raise ValueError(f"invalid logic value {value!r}")
+        self._drivers[driver] = value
+        self._schedule_resolve()
+
+    def release(self, driver: object) -> None:
+        """Remove *driver* from the net (drives Z)."""
+        if driver in self._drivers:
+            del self._drivers[driver]
+            self._schedule_resolve()
+
+    def _schedule_resolve(self) -> None:
+        resolved = L.resolve(self._drivers.values())
+        sim = current_simulation_or_none()
+        if sim is None:
+            self._value = resolved
+            self._next_value = resolved
+            return
+        self._next_value = resolved
+        if not self._update_requested:
+            self._update_requested = True
+            sim._request_update(self)
+
+    def write(self, value: int) -> None:  # pragma: no cover - guard
+        raise TypeError(
+            "ResolvedSignal has multiple drivers: use drive(driver, value)"
+        )
+
+    @property
+    def driver_count(self) -> int:
+        return len(self._drivers)

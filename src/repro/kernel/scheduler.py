@@ -1,0 +1,214 @@
+"""The discrete-event scheduler with SystemC delta-cycle semantics.
+
+Each delta cycle runs in three phases, exactly as the SystemC LRM
+prescribes:
+
+1. **evaluate** -- run every runnable process; immediate notifications may
+   make further processes runnable within the same phase;
+2. **update** -- commit pending primitive-channel updates (signal writes);
+3. **delta notification** -- fire delta-notified events, producing the
+   runnable set of the next delta cycle.
+
+When no process is runnable after the delta-notification phase, time
+advances to the earliest pending timed notification.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Iterable, List, Optional
+
+from . import context
+from .event import Event
+from .module import Module
+from .process import MethodProcess, Process, ThreadProcess
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal scheduler conditions (e.g. delta-cycle livelock)."""
+
+
+class _TimedEntry:
+    """Heap entry for a timed notification (cancellable)."""
+
+    __slots__ = ("time_ps", "seq", "event", "cancelled")
+
+    def __init__(self, time_ps: int, seq: int, event: Event):
+        self.time_ps = time_ps
+        self.seq = seq
+        self.event = event
+        self.cancelled = False
+
+    def __lt__(self, other: "_TimedEntry") -> bool:
+        return (self.time_ps, self.seq) < (other.time_ps, other.seq)
+
+
+class Simulation:
+    """Owns the event queues and executes the simulation.
+
+    Parameters
+    ----------
+    *tops:
+        Top-level :class:`~repro.kernel.module.Module` instances.  Their
+        hierarchies are elaborated (ports bound, processes registered,
+        clocks started).
+    max_deltas_per_step:
+        Safety limit on delta cycles at a single time point; exceeding it
+        raises :class:`SimulationError` (combinational feedback loop).
+    """
+
+    def __init__(self, *tops: Module, max_deltas_per_step: int = 100_000):
+        self.time_ps = 0
+        self.delta_count = 0
+        self._runnable: deque = deque()
+        self._update_queue: List[object] = []
+        self._delta_events: List[Event] = []
+        self._timed: List[_TimedEntry] = []
+        self._seq = itertools.count()
+        self._max_deltas = max_deltas_per_step
+        self._stopped = False
+        self._processes: List[Process] = []
+        #: optional per-execution hook installed by SimulationProfiler:
+        #: called as hook(proc) INSTEAD of proc._execute()
+        self._profile_hook = None
+        self.tops = list(tops)
+        context.set_current_simulation(self)
+        try:
+            for top in self.tops:
+                self._elaborate(top)
+            self._initialize()
+        except Exception:
+            context.set_current_simulation(None)
+            raise
+
+    # ------------------------------------------------------------------
+    # elaboration
+    # ------------------------------------------------------------------
+    def _elaborate(self, module: Module) -> None:
+        module._elaborate(self)
+        for proc in module._processes:
+            proc.sim = self
+            self._processes.append(proc)
+        for child in module._children:
+            self._elaborate(child)
+
+    def _initialize(self) -> None:
+        """Make every process runnable once (SystemC initialisation phase)."""
+        for proc in self._processes:
+            if not proc._dont_initialize:
+                proc._runnable = True
+                self._runnable.append(proc)
+
+    # ------------------------------------------------------------------
+    # kernel-side hooks used by events / signals / processes
+    # ------------------------------------------------------------------
+    def _schedule(self, proc: Process) -> None:
+        self._runnable.append(proc)
+
+    def _notify_delta(self, event: Event) -> None:
+        self._delta_events.append(event)
+
+    def _notify_timed(self, event: Event, when_ps: int) -> _TimedEntry:
+        entry = _TimedEntry(when_ps, next(self._seq), event)
+        heapq.heappush(self._timed, entry)
+        return entry
+
+    def _request_update(self, primitive) -> None:
+        self._update_queue.append(primitive)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, duration_ps: Optional[int] = None) -> int:
+        """Run for *duration_ps* picoseconds (or until no events remain).
+
+        Returns the simulated time at which execution stopped.
+        """
+        end_time = None if duration_ps is None else self.time_ps + duration_ps
+        self._stopped = False
+        deltas_here = 0
+        while not self._stopped:
+            # -- evaluate phase ----------------------------------------
+            if self._runnable:
+                hook = self._profile_hook
+                while self._runnable:
+                    proc = self._runnable.popleft()
+                    if hook is None:
+                        proc._execute()
+                    else:
+                        hook(proc)
+                    if self._stopped:
+                        break
+                if self._stopped:
+                    break
+                # -- update phase --------------------------------------
+                if self._update_queue:
+                    updates, self._update_queue = self._update_queue, []
+                    for prim in updates:
+                        prim._update()
+                # -- delta notification phase --------------------------
+                if self._delta_events:
+                    events, self._delta_events = self._delta_events, []
+                    for ev in events:
+                        ev._trigger()
+                self.delta_count += 1
+                deltas_here += 1
+                if deltas_here > self._max_deltas:
+                    raise SimulationError(
+                        f"more than {self._max_deltas} delta cycles at "
+                        f"t={self.time_ps} ps -- livelock?"
+                    )
+                continue
+            # -- advance time ------------------------------------------
+            deltas_here = 0
+            next_entry = self._pop_next_timed()
+            if next_entry is None:
+                break  # event-starved
+            if end_time is not None and next_entry.time_ps > end_time:
+                heapq.heappush(self._timed, next_entry)
+                self.time_ps = end_time
+                break
+            self.time_ps = next_entry.time_ps
+            next_entry.event._trigger()
+            # Release all other notifications scheduled for this instant.
+            while self._timed and not self._timed[0].cancelled and \
+                    self._timed[0].time_ps == self.time_ps:
+                heapq.heappop(self._timed).event._trigger()
+            self._drop_cancelled_head()
+        if end_time is not None and not self._stopped:
+            self.time_ps = max(self.time_ps, end_time)
+        return self.time_ps
+
+    def _pop_next_timed(self) -> Optional[_TimedEntry]:
+        while self._timed:
+            entry = heapq.heappop(self._timed)
+            if not entry.cancelled:
+                return entry
+        return None
+
+    def _drop_cancelled_head(self) -> None:
+        while self._timed and self._timed[0].cancelled:
+            heapq.heappop(self._timed)
+
+    def stop(self) -> None:
+        """Stop the simulation after the current process returns."""
+        self._stopped = True
+
+    @property
+    def pending_activity(self) -> bool:
+        """True when runnable processes or queued notifications remain."""
+        self._drop_cancelled_head()
+        return bool(self._runnable or self._delta_events or self._timed)
+
+    def close(self) -> None:
+        """Release the global simulation context."""
+        if context.current_simulation_or_none() is self:
+            context.set_current_simulation(None)
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,124 @@
+"""Signals -- primitive channels with evaluate/update semantics.
+
+A write during the evaluate phase is only committed during the update
+phase, so every process reading the signal within the same delta cycle
+sees the old value (``sc_signal`` semantics).  Value-change, positive-edge
+and negative-edge events are created lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+from .context import current_simulation_or_none
+from .event import Event
+
+T = TypeVar("T")
+
+
+class Signal(Generic[T]):
+    """A single-driver signal carrying an arbitrary immutable value."""
+
+    __slots__ = (
+        "name",
+        "_value",
+        "_next_value",
+        "_update_requested",
+        "_changed_event",
+        "_posedge_event",
+        "_negedge_event",
+        "_trace_hooks",
+        "last_change_ps",
+    )
+
+    def __init__(self, initial: T = 0, name: str = "signal"):
+        self.name = name
+        self._value = initial
+        self._next_value = initial
+        self._update_requested = False
+        self._changed_event: Optional[Event] = None
+        self._posedge_event: Optional[Event] = None
+        self._negedge_event: Optional[Event] = None
+        self._trace_hooks = None
+        self.last_change_ps = 0
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def read(self) -> T:
+        """Return the current (committed) value."""
+        return self._value
+
+    @property
+    def value(self) -> T:
+        return self._value
+
+    def write(self, value: T) -> None:
+        """Schedule *value* to be committed at the end of this delta cycle."""
+        sim = current_simulation_or_none()
+        if sim is None:
+            # Pre-simulation initialisation: commit directly.
+            self._value = value
+            self._next_value = value
+            return
+        self._next_value = value
+        if not self._update_requested:
+            self._update_requested = True
+            sim._request_update(self)
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def default_event(self) -> Event:
+        return self.value_changed
+
+    @property
+    def value_changed(self) -> Event:
+        if self._changed_event is None:
+            self._changed_event = Event(f"{self.name}.value_changed")
+        return self._changed_event
+
+    @property
+    def posedge(self) -> Event:
+        """Event fired when the value becomes truthy (e.g. 0 -> 1)."""
+        if self._posedge_event is None:
+            self._posedge_event = Event(f"{self.name}.posedge")
+        return self._posedge_event
+
+    @property
+    def negedge(self) -> Event:
+        """Event fired when the value becomes falsy (e.g. 1 -> 0)."""
+        if self._negedge_event is None:
+            self._negedge_event = Event(f"{self.name}.negedge")
+        return self._negedge_event
+
+    # ------------------------------------------------------------------
+    # kernel hook
+    # ------------------------------------------------------------------
+    def _update(self) -> None:
+        self._update_requested = False
+        new = self._next_value
+        old = self._value
+        if new == old:
+            return
+        self._value = new
+        sim = current_simulation_or_none()
+        if sim is not None:
+            self.last_change_ps = sim.time_ps
+        if self._changed_event is not None:
+            self._changed_event.notify()
+        if self._posedge_event is not None and bool(new) and not bool(old):
+            self._posedge_event.notify()
+        if self._negedge_event is not None and not bool(new) and bool(old):
+            self._negedge_event.notify()
+        if self._trace_hooks:
+            for hook in self._trace_hooks:
+                hook(self)
+
+    def add_trace_hook(self, hook) -> None:
+        if self._trace_hooks is None:
+            self._trace_hooks = []
+        self._trace_hooks.append(hook)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, value={self._value!r})"

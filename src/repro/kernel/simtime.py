@@ -1,0 +1,76 @@
+"""Simulation-time representation.
+
+Simulated time is represented as an integer number of picoseconds, which
+keeps the scheduler exact (no floating-point drift) and fast (plain ``int``
+comparisons in the event heap).  Unit constants convert human-friendly
+quantities to picoseconds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+#: One picosecond -- the base resolution of the kernel.
+PS = 1
+#: One nanosecond in picoseconds.
+NS = 1_000
+#: One microsecond in picoseconds.
+US = 1_000_000
+#: One millisecond in picoseconds.
+MS = 1_000_000_000
+#: One second in picoseconds.
+SEC = 1_000_000_000_000
+
+_UNIT_NAMES = [(SEC, "s"), (MS, "ms"), (US, "us"), (NS, "ns"), (PS, "ps")]
+
+TimeLike = Union[int, float, Fraction]
+
+
+def to_ps(value: TimeLike, unit: int = NS) -> int:
+    """Convert *value* in the given *unit* to integer picoseconds.
+
+    Float and :class:`~fractions.Fraction` values are rounded to the
+    nearest picosecond.
+
+    >>> to_ps(40, NS)
+    40000
+    >>> to_ps(0.5, NS)
+    500
+    """
+    if unit <= 0:
+        raise ValueError(f"time unit must be positive, got {unit}")
+    if isinstance(value, int):
+        return value * unit
+    if isinstance(value, Fraction):
+        return int(round(value * unit))
+    return int(round(value * unit))
+
+
+def period_ps(frequency_hz: TimeLike) -> int:
+    """Return the period of *frequency_hz* in picoseconds (rounded).
+
+    >>> period_ps(25_000_000)
+    40000
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    if isinstance(frequency_hz, Fraction):
+        return int(round(Fraction(SEC) / frequency_hz))
+    return int(round(SEC / frequency_hz))
+
+
+def format_time(time_ps: int) -> str:
+    """Render *time_ps* with the largest unit that divides it cleanly.
+
+    >>> format_time(40000)
+    '40 ns'
+    >>> format_time(1500)
+    '1500 ps'
+    """
+    if time_ps == 0:
+        return "0 ps"
+    for scale, suffix in _UNIT_NAMES:
+        if time_ps % scale == 0 and abs(time_ps) >= scale:
+            return f"{time_ps // scale} {suffix}"
+    return f"{time_ps} ps"

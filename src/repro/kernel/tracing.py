@@ -1,0 +1,88 @@
+"""VCD waveform tracing for signals (SystemC ``sc_trace``)."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from .context import current_simulation_or_none
+from .signal import Signal
+
+
+def _identifier(index: int) -> str:
+    """Short printable VCD identifier for the *index*-th traced signal."""
+    chars = "".join(chr(c) for c in range(33, 127))
+    out = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(chars))
+        out.append(chars[rem])
+    return "".join(out)
+
+
+class VcdTracer:
+    """Collects signal changes and writes a Value Change Dump file.
+
+    Usage::
+
+        tracer = VcdTracer()
+        tracer.trace(sig, "dout", width=16)
+        ...  # run simulation
+        tracer.write("wave.vcd")
+    """
+
+    def __init__(self, timescale: str = "1ps"):
+        self.timescale = timescale
+        self._signals: List[Tuple[Signal, str, int, str]] = []
+        self._changes: List[Tuple[int, str, object, int]] = []
+
+    def trace(self, signal: Signal, name: Optional[str] = None,
+              width: int = 1) -> None:
+        """Register *signal* for tracing as *name* with bit *width*."""
+        ident = _identifier(len(self._signals))
+        self._signals.append((signal, name or signal.name, width, ident))
+        self._changes.append((0, ident, signal.read(), width))
+        signal.add_trace_hook(self._make_hook(ident, width))
+
+    def _make_hook(self, ident: str, width: int):
+        def hook(signal: Signal) -> None:
+            sim = current_simulation_or_none()
+            t = sim.time_ps if sim is not None else 0
+            self._changes.append((t, ident, signal.read(), width))
+
+        return hook
+
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        out = io.StringIO()
+        self._write(out)
+        return out.getvalue()
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="ascii") as fh:
+            self._write(fh)
+
+    def _write(self, fh: TextIO) -> None:
+        fh.write("$date repro kernel trace $end\n")
+        fh.write(f"$timescale {self.timescale} $end\n")
+        fh.write("$scope module top $end\n")
+        for _sig, name, width, ident in self._signals:
+            safe = name.replace(" ", "_")
+            fh.write(f"$var wire {width} {ident} {safe} $end\n")
+        fh.write("$upscope $end\n$enddefinitions $end\n")
+        last_time = None
+        for t, ident, value, width in sorted(
+            self._changes, key=lambda c: c[0]
+        ):
+            if t != last_time:
+                fh.write(f"#{t}\n")
+                last_time = t
+            fh.write(_format_value(value, width, ident))
+
+
+def _format_value(value, width: int, ident: str) -> str:
+    if width == 1:
+        bit = "1" if value else "0"
+        return f"{bit}{ident}\n"
+    ival = int(value) & ((1 << width) - 1)
+    return f"b{ival:0{width}b} {ident}\n"

@@ -1,0 +1,284 @@
+"""RTL module structure: ports, registers, combinational assigns, memories.
+
+An :class:`RtlModule` is a flat, single-clock synchronous design:
+
+* input/output ports,
+* registers with an init value and a next-value expression,
+* named combinational assigns (evaluated in dependency order),
+* memory macros with asynchronous read ports and synchronous write ports.
+
+Memories are *macros*: excluded from the synthesis area report (as the
+paper excludes them) and replaced by behavioural models in both the RTL
+and the gate-level simulator.
+
+The builder-style methods (``input`` / ``register`` / ``assign`` /
+``memory`` ...) make hand-written RTL designs read like the RTL SystemC
+code of the paper's Section 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .expr import Expr, MemRead, Ref, as_expr
+
+
+class RtlError(ValueError):
+    """Raised for malformed RTL modules (duplicate nets, missing nexts...)."""
+
+
+@dataclass
+class RtlPort:
+    name: str
+    width: int
+    direction: str  # 'in' | 'out'
+
+
+@dataclass
+class RtlRegister:
+    name: str
+    width: int
+    init: int = 0
+    next: Optional[Expr] = None
+
+
+@dataclass
+class CombAssign:
+    name: str
+    width: int
+    expr: Expr
+
+
+@dataclass
+class MemWritePort:
+    enable: Expr
+    addr: Expr
+    data: Expr
+
+
+@dataclass
+class MemReadPort:
+    """An asynchronous read port.
+
+    *enable* is the chip-select: it does not gate the data path (async
+    reads are always live) but address-checking memory models only verify
+    accesses while it is asserted, like the "automatically generated
+    simulation model" of the paper's Section 4.7.
+    """
+
+    data_name: str
+    addr: Expr
+    enable: Optional[Expr] = None
+
+
+@dataclass
+class RtlMemory:
+    """A memory macro: optional ROM contents, read/write ports."""
+
+    name: str
+    depth: int
+    width: int
+    contents: Optional[List[int]] = None  # ROM initialisation
+    writable: bool = True
+    read_ports: List[MemReadPort] = field(default_factory=list)
+    write_ports: List[MemWritePort] = field(default_factory=list)
+
+
+class RtlModule:
+    """A flat synchronous RTL design (see module docstring)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ports: List[RtlPort] = []
+        self.registers: List[RtlRegister] = []
+        self.assigns: List[CombAssign] = []
+        self.memories: List[RtlMemory] = []
+        self.outputs: Dict[str, str] = {}  # port name -> driving net
+        self._nets: Dict[str, int] = {}  # name -> width
+        self._registers_by_name: Dict[str, RtlRegister] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _declare(self, name: str, width: int) -> None:
+        if name in self._nets:
+            raise RtlError(f"net {name!r} already declared in {self.name!r}")
+        if name.startswith("$"):
+            raise RtlError(f"net name {name!r} uses the reserved '$' prefix")
+        self._nets[name] = width
+
+    def input(self, name: str, width: int) -> Ref:
+        """Declare an input port; returns a reference to it."""
+        self._declare(name, width)
+        self.ports.append(RtlPort(name, width, "in"))
+        return Ref(name, width)
+
+    def output(self, name: str, source: Expr) -> None:
+        """Declare an output port driven by *source*.
+
+        The driver becomes a combinational assign named ``<name>``; an
+        existing net can be exported by passing a :class:`Ref` to it.
+        """
+        source = as_expr(source)
+        if isinstance(source, Ref) and source.name in self._nets:
+            self.ports.append(RtlPort(name, source.width, "out"))
+            self.outputs[name] = source.name
+            if name not in self._nets:
+                self._nets[name] = source.width
+            return
+        self.assign(name, source)
+        self.ports.append(RtlPort(name, source.width, "out"))
+        self.outputs[name] = name
+
+    def register(self, name: str, width: int, init: int = 0) -> Ref:
+        """Declare a register; set its next value with :meth:`set_next`."""
+        self._declare(name, width)
+        reg = RtlRegister(name, width, init)
+        self.registers.append(reg)
+        self._registers_by_name[name] = reg
+        return Ref(name, width)
+
+    def set_next(self, reg: Ref, expr: Expr) -> None:
+        """Define the next-cycle value of register *reg*."""
+        record = self._registers_by_name.get(reg.name)
+        if record is None:
+            raise RtlError(f"{reg.name!r} is not a register of {self.name!r}")
+        if record.next is not None:
+            raise RtlError(f"register {reg.name!r} already has a next value")
+        expr = as_expr(expr)
+        record.next = expr
+
+    def assign(self, name: str, expr: Expr) -> Ref:
+        """Create a named combinational net driven by *expr*."""
+        expr = as_expr(expr)
+        self._declare(name, expr.width)
+        self.assigns.append(CombAssign(name, expr.width, expr))
+        return Ref(name, expr.width)
+
+    # -- memories ----------------------------------------------------------
+    def memory(self, name: str, depth: int, width: int,
+               contents: Optional[Sequence[int]] = None) -> RtlMemory:
+        """Declare a memory macro (ROM when *contents* is given)."""
+        if any(m.name == name for m in self.memories):
+            raise RtlError(f"memory {name!r} already declared")
+        if depth < 1:
+            raise RtlError(f"memory depth must be >= 1, got {depth}")
+        rom = None
+        if contents is not None:
+            if len(contents) != depth:
+                raise RtlError(
+                    f"ROM {name!r}: {len(contents)} values for depth {depth}"
+                )
+            rom = [int(v) for v in contents]
+        mem = RtlMemory(name, depth, width, contents=rom,
+                        writable=contents is None)
+        self.memories.append(mem)
+        return mem
+
+    def mem_read(self, mem: RtlMemory, addr: Expr,
+                 enable: Optional[Expr] = None,
+                 port_name: Optional[str] = None) -> Ref:
+        """Attach an asynchronous read port; returns the data net.
+
+        *enable* is the chip-select seen by checking memory models.
+        """
+        name = port_name or f"{mem.name}_rd{len(mem.read_ports)}"
+        expr = MemRead(mem.name, as_expr(addr), mem.depth, mem.width)
+        self._declare(name, mem.width)
+        self.assigns.append(CombAssign(name, mem.width, expr))
+        mem.read_ports.append(MemReadPort(
+            name, expr.addr, as_expr(enable) if enable is not None else None
+        ))
+        return Ref(name, mem.width)
+
+    def mem_write(self, mem: RtlMemory, enable: Expr, addr: Expr,
+                  data: Expr) -> None:
+        """Attach a synchronous write port (commits at the clock edge)."""
+        if not mem.writable:
+            raise RtlError(f"memory {mem.name!r} is a ROM")
+        mem.write_ports.append(
+            MemWritePort(as_expr(enable), as_expr(addr), as_expr(data))
+        )
+
+    # ------------------------------------------------------------------
+    # validation / queries
+    # ------------------------------------------------------------------
+    def net_width(self, name: str) -> int:
+        return self._nets[name]
+
+    def input_names(self) -> List[str]:
+        return [p.name for p in self.ports if p.direction == "in"]
+
+    def output_names(self) -> List[str]:
+        return [p.name for p in self.ports if p.direction == "out"]
+
+    def validate(self) -> None:
+        """Check completeness: register nexts defined, refs resolvable."""
+        from .expr import traverse
+
+        for reg in self.registers:
+            if reg.next is None:
+                raise RtlError(
+                    f"register {reg.name!r} of {self.name!r} has no next value"
+                )
+        known = set(self._nets)
+        everything: List[Expr] = [a.expr for a in self.assigns]
+        everything += [r.next for r in self.registers if r.next is not None]
+        for mem in self.memories:
+            for port in mem.write_ports:
+                everything += [port.enable, port.addr, port.data]
+            for rport in mem.read_ports:
+                if rport.enable is not None:
+                    everything.append(rport.enable)
+        for root in everything:
+            for node in traverse(root):
+                if isinstance(node, Ref) and node.name not in known:
+                    raise RtlError(
+                        f"{self.name!r} references undeclared net "
+                        f"{node.name!r}"
+                    )
+                if isinstance(node, Ref) and \
+                        node.width != self._nets[node.name]:
+                    raise RtlError(
+                        f"{self.name!r}: Ref({node.name!r}) has width "
+                        f"{node.width}, net is {self._nets[node.name]}"
+                    )
+
+    # ------------------------------------------------------------------
+    def topo_assign_order(self) -> List[CombAssign]:
+        """Combinational assigns sorted by data dependency.
+
+        Raises :class:`RtlError` on a combinational loop.
+        """
+        by_name = {a.name: a for a in self.assigns}
+        order: List[CombAssign] = []
+        state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(assign: CombAssign) -> None:
+            mark = state.get(assign.name)
+            if mark == 1:
+                return
+            if mark == 0:
+                raise RtlError(
+                    f"combinational loop through {assign.name!r} "
+                    f"in {self.name!r}"
+                )
+            state[assign.name] = 0
+            for ref in assign.expr.refs():
+                dep = by_name.get(ref)
+                if dep is not None:
+                    visit(dep)
+            state[assign.name] = 1
+            order.append(assign)
+
+        for assign in self.assigns:
+            visit(assign)
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RtlModule({self.name!r}: {len(self.ports)} ports, "
+            f"{len(self.registers)} regs, {len(self.assigns)} assigns, "
+            f"{len(self.memories)} memories)"
+        )

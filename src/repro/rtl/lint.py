@@ -1,0 +1,144 @@
+"""Static RTL lint.
+
+Design-entry hygiene checks over an :class:`~repro.rtl.ir.RtlModule`,
+catching the kinds of leftovers the paper attributes to conservative
+cut-and-paste refinement before they reach synthesis:
+
+* ``UNUSED-INPUT``   -- an input port nothing reads;
+* ``UNUSED-NET``     -- a combinational assign nothing consumes;
+* ``DEAD-REGISTER``  -- a register written but never read (and not an
+  output), i.e. logic synthesis will sweep it silently;
+* ``CONST-REGISTER`` -- a register that can only ever hold its initial
+  value (its next-value expression is its own value or a constant equal
+  to the init);
+* ``REDUNDANT-MUX``  -- a mux whose branches are structurally identical.
+
+Lint findings are warnings, not errors: the unoptimised SRC variants
+intentionally contain some of these (that is the point of Section 4.4),
+and the lint report quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from .expr import Const, Expr, Mux, Ref, traverse
+from .ir import RtlModule
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    code: str
+    subject: str
+    message: str
+
+    def format(self) -> str:
+        return f"[{self.code}] {self.subject}: {self.message}"
+
+
+def _structurally_equal(a: Expr, b: Expr) -> bool:
+    if a is b:
+        return True
+    if type(a) is not type(b) or a.width != b.width:
+        return False
+    if isinstance(a, Const):
+        return a.value == b.value
+    if isinstance(a, Ref):
+        return a.name == b.name
+    ka, kb = a.children(), b.children()
+    if len(ka) != len(kb):
+        return False
+    # compare non-child attributes cheaply via repr-free fields
+    for attr in ("op", "amount", "msb", "lsb", "signed", "mem_name"):
+        if getattr(a, attr, None) != getattr(b, attr, None):
+            return False
+    return all(_structurally_equal(x, y) for x, y in zip(ka, kb))
+
+
+def lint(module: RtlModule) -> List[LintWarning]:
+    """Run all lint checks; returns the (possibly empty) warning list."""
+    module.validate()
+    warnings: List[LintWarning] = []
+
+    # ------------------------------------------------------------- usage
+    read_nets: Set[str] = set()
+    all_exprs: List[Expr] = [a.expr for a in module.assigns]
+    all_exprs += [r.next for r in module.registers if r.next is not None]
+    for mem in module.memories:
+        for wp in mem.write_ports:
+            all_exprs += [wp.enable, wp.addr, wp.data]
+        for rp in mem.read_ports:
+            all_exprs.append(rp.addr)
+            if rp.enable is not None:
+                all_exprs.append(rp.enable)
+    for expr in all_exprs:
+        for node in traverse(expr):
+            if isinstance(node, Ref):
+                read_nets.add(node.name)
+    output_sources = set(module.outputs.values())
+
+    for port in module.ports:
+        if port.direction == "in" and port.name not in read_nets:
+            warnings.append(LintWarning(
+                "UNUSED-INPUT", port.name,
+                "input port is never read",
+            ))
+
+    mem_data_nets = {rp.data_name for mem in module.memories
+                     for rp in mem.read_ports}
+    for assign in module.assigns:
+        if assign.name in read_nets or assign.name in output_sources:
+            continue
+        if assign.name in mem_data_nets:
+            continue  # a memory read port kept for its side effect
+        warnings.append(LintWarning(
+            "UNUSED-NET", assign.name,
+            "combinational net is never consumed",
+        ))
+
+    # --------------------------------------------------------- registers
+    reads_per_reg: Dict[str, bool] = {}
+    for reg in module.registers:
+        used = reg.name in read_nets or reg.name in output_sources
+        if not used:
+            warnings.append(LintWarning(
+                "DEAD-REGISTER", reg.name,
+                "register is written but never read; synthesis will "
+                "sweep it",
+            ))
+        nxt = reg.next
+        if isinstance(nxt, Ref) and nxt.name == reg.name:
+            warnings.append(LintWarning(
+                "CONST-REGISTER", reg.name,
+                f"register only ever holds its initial value {reg.init}",
+            ))
+        elif isinstance(nxt, Const) and \
+                nxt.value == (reg.init & ((1 << reg.width) - 1)):
+            warnings.append(LintWarning(
+                "CONST-REGISTER", reg.name,
+                f"register is constantly reloaded with its init "
+                f"value {reg.init}",
+            ))
+
+    # -------------------------------------------------------------- muxes
+    seen_mux_ids: Set[int] = set()
+    for expr in all_exprs:
+        for node in traverse(expr):
+            if isinstance(node, Mux) and id(node) not in seen_mux_ids:
+                seen_mux_ids.add(id(node))
+                if _structurally_equal(node.if_true, node.if_false):
+                    warnings.append(LintWarning(
+                        "REDUNDANT-MUX", f"mux(w={node.width})",
+                        "both branches are structurally identical",
+                    ))
+    return warnings
+
+
+def format_lint(warnings: List[LintWarning],
+                design: str = "design") -> str:
+    if not warnings:
+        return f"lint: {design} is clean"
+    lines = [f"lint: {len(warnings)} warning(s) in {design}"]
+    lines += [f"  {w.format()}" for w in warnings]
+    return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""The initial executable specification -- the paper's C++ golden model.
+
+Structure follows paper Figure 3 exactly:
+
+* :class:`InputBuffer` -- a ring buffer of past input samples whose read /
+  write *iterators* encapsulate the wrap-around (Figure 4);
+* :class:`PolyphaseFilter` -- coefficient storage (symmetric half only)
+  with an iterator hiding the storage order;
+* :func:`filter_sample` -- the free convolution function, deliberately a
+  member of neither class: it consumes samples and coefficients the same
+  way, through their iterators.
+
+The model also carries the **golden-model bug** of paper Section 4.7: in
+the corner case "output requested after a flush but before any input has
+arrived", a leftover prefetch reads buffer address ``buffer_depth`` --
+one past the valid range.  The read value never reaches an output (the
+early-out returns silence), so the bug is functionally invisible and
+survives every refinement step; only an address-checking memory model
+(gate level) exposes it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .coefficients import PolyphaseCoefficientIterator, build_rom, rom_address
+from .params import SrcParams
+from .schedule import KIND_IN, KIND_MODE, KIND_OUT, SampleEvent
+
+#: signature of an optional memory-access monitor: (address, valid_range)
+AccessMonitor = Callable[[int, int], None]
+
+
+class InputBuffer:
+    """Ring buffer of past input samples (paper Figures 3 and 4).
+
+    Valid slots are ``0 .. depth-1``.  Slot ``depth`` exists as a *stale
+    cell* mirroring the C++ out-of-bounds read target: it is never
+    written, always reads 0, and accessing it invokes the monitor (if one
+    is attached) -- silently, like real hardware, otherwise.
+    """
+
+    def __init__(self, depth: int, monitor: Optional[AccessMonitor] = None,
+                 width: Optional[int] = None):
+        if depth < 2:
+            raise ValueError(f"buffer depth must be >= 2, got {depth}")
+        self.depth = depth
+        self._slots = [0] * (depth + 1)  # +1: the invalid stale cell
+        self._newest = depth - 1
+        self.monitor = monitor
+        #: sample width; out-of-range writes wrap like the hardware RAM
+        self.width = width
+
+    def flush(self) -> None:
+        """Zero all valid slots and reset the write position."""
+        for i in range(self.depth):
+            self._slots[i] = 0
+        self._newest = self.depth - 1
+
+    def write(self, sample: int) -> None:
+        if self.width is not None:
+            from ..datatypes.integers import wrap_signed
+
+            sample = wrap_signed(sample, self.width)
+        self._newest += 1
+        if self._newest >= self.depth:
+            self._newest -= self.depth
+        self._slots[self._newest] = sample
+
+    def read_raw(self, address: int) -> int:
+        """Direct addressed read -- the path the refined hardware uses."""
+        if self.monitor is not None:
+            self.monitor(address, self.depth)
+        if not 0 <= address <= self.depth:
+            raise IndexError(
+                f"buffer address {address} outside physical array "
+                f"[0, {self.depth}]"
+            )
+        return self._slots[address]
+
+    @property
+    def newest_index(self) -> int:
+        return self._newest
+
+    def read_iterator(self) -> "RingReadIterator":
+        """Iterator stepping backwards from the newest sample (Figure 4)."""
+        return RingReadIterator(self)
+
+
+class RingReadIterator:
+    """Backward-stepping read pointer with automatic wrap (paper Fig. 4).
+
+    "The iterator internally holds an index to an array and ensures a
+    correct wrap around, because it can only be modified through public
+    methods."
+    """
+
+    def __init__(self, buffer: InputBuffer):
+        self._buffer = buffer
+        self._offset = 0
+
+    def __iter__(self) -> "RingReadIterator":
+        return self
+
+    def __next__(self) -> int:
+        address = self._buffer.newest_index + self._buffer.depth - self._offset
+        if address >= self._buffer.depth:
+            address -= self._buffer.depth
+        self._offset += 1
+        return self._buffer.read_raw(address)
+
+
+class PolyphaseFilter:
+    """Coefficient storage for the time-varying impulse response.
+
+    Stores only the first half of the symmetric prototype; the iterator
+    (from :mod:`repro.src_design.coefficients`) hides the storage order
+    and the mirroring.
+    """
+
+    def __init__(self, params: SrcParams):
+        self.params = params
+        self.rom = build_rom(params)
+
+    def coefficient_iterator(self, phase: int) -> PolyphaseCoefficientIterator:
+        return PolyphaseCoefficientIterator(self.params, phase)
+
+    def coefficient(self, phase: int, tap: int) -> int:
+        return self.rom[rom_address(self.params, phase, tap)]
+
+
+def filter_sample(params: SrcParams, samples: Iterator[int],
+                  coefficients: Iterator[int]) -> int:
+    """One output sample: convolve via the two iterators (paper Fig. 3).
+
+    Associated with *neither* the buffer nor the filter class: "the filter
+    needs the samples from the input buffer in the same way it needs the
+    coefficients of the polyphase filter".
+    """
+    acc = 0
+    for _ in range(params.taps_per_phase):
+        acc = params.wrap_acc(acc + next(samples) * next(coefficients))
+    return params.round_and_saturate(acc)
+
+
+class AlgorithmicSrc:
+    """The untimed sequential SRC -- the golden model.
+
+    Drives the conversion from an event schedule (see
+    :mod:`repro.src_design.schedule`): input events push samples into the
+    per-channel ring buffers, output events run the convolution with the
+    current phase, mode events reconfigure and flush.
+    """
+
+    def __init__(self, params: SrcParams, mode: int = 0,
+                 monitor: Optional[AccessMonitor] = None,
+                 with_corner_bug: bool = True):
+        self.params = params
+        self.filter = PolyphaseFilter(params)
+        self.buffers = [InputBuffer(params.buffer_depth, monitor,
+                                    width=params.data_width)
+                        for _ in range(params.n_channels)]
+        self.with_corner_bug = with_corner_bug
+        self.mode = mode
+        self.position = 0
+        self.fill = 0
+        self.set_mode(mode)
+
+    # ------------------------------------------------------------------
+    def set_mode(self, mode: int) -> None:
+        """Reconfigure the conversion ratio; flushes all state."""
+        if not 0 <= mode < len(self.params.modes):
+            raise ValueError(f"mode {mode} out of range")
+        self.mode = mode
+        self.position = 0
+        self.fill = 0
+        for buf in self.buffers:
+            buf.flush()
+
+    def write_sample(self, frame: Sequence[int]) -> None:
+        """Push one input frame (one sample per channel)."""
+        if len(frame) != self.params.n_channels:
+            raise ValueError(
+                f"expected {self.params.n_channels} channels, got {len(frame)}"
+            )
+        for buf, sample in zip(self.buffers, frame):
+            buf.write(sample)
+        self.position = self.params.pos_after_input(self.position)
+        if self.fill < self.params.taps_per_phase:
+            self.fill += 1
+
+    def read_sample(self) -> Tuple[int, ...]:
+        """Produce one output frame at the current phase."""
+        params = self.params
+        self.position = params.pos_after_output(self.position, self.mode)
+        if self.fill == 0:
+            # Corner case (paper Section 4.7): no sample has arrived since
+            # the flush.  The original code still issues the first buffer
+            # prefetch -- whose address register holds the flush sentinel,
+            # i.e. the *invalid* address 'depth' -- before taking the
+            # silence early-out.  The fetched value is discarded, so the
+            # bug is functionally invisible.
+            if self.with_corner_bug:
+                for buf in self.buffers:
+                    buf.read_raw(buf.depth)
+            return tuple([0] * params.n_channels)
+        phase = params.phase_from_pos(self.position)
+        frame = []
+        for buf in self.buffers:
+            value = filter_sample(
+                params,
+                buf.read_iterator(),
+                self.filter.coefficient_iterator(phase),
+            )
+            frame.append(value)
+        return tuple(frame)
+
+    # ------------------------------------------------------------------
+    def process_schedule(
+        self,
+        schedule: Sequence[SampleEvent],
+        inputs: Sequence[Sequence[int]],
+    ) -> List[Tuple[int, ...]]:
+        """Run the full schedule; returns the list of output frames."""
+        outputs: List[Tuple[int, ...]] = []
+        for event in schedule:
+            if event.kind == KIND_IN:
+                self.write_sample(inputs[event.value])
+            elif event.kind == KIND_OUT:
+                outputs.append(self.read_sample())
+            elif event.kind == KIND_MODE:
+                self.set_mode(event.value)
+            else:  # pragma: no cover - schedule is validated upstream
+                raise ValueError(f"unknown event kind {event.kind!r}")
+        return outputs

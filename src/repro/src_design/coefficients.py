@@ -1,0 +1,98 @@
+"""Coefficient ROM of the SRC (paper Section 3).
+
+The ROM stores only *one half* of the symmetric prototype impulse
+response; the polyphase-filter iterator hides both the polyphase storage
+order and the mirroring (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+import math
+
+from ..datatypes.integers import max_signed, min_signed
+from ..dsp.filter_design import PrototypeSpec, design_prototype
+from ..dsp.polyphase import stored_index
+from .params import SrcParams
+
+
+@lru_cache(maxsize=8)
+def _rom_for(params: SrcParams) -> Tuple[int, ...]:
+    spec = PrototypeSpec(
+        n_phases=params.n_phases,
+        taps_per_phase=params.taps_per_phase,
+        cutoff=params.cutoff,
+        beta=params.kaiser_beta,
+    )
+    prototype = design_prototype(spec)
+    # Quantise with exactly params.coef_frac_bits fractional bits so the
+    # output scaling of round_and_saturate matches the ROM contents.
+    scale = 1 << params.coef_frac_bits
+    lo = min_signed(params.coef_width)
+    hi = max_signed(params.coef_width)
+    quantised = [
+        min(max(int(math.floor(c * scale + 0.5)), lo), hi)
+        for c in prototype
+    ]
+    # Force exact symmetry after quantisation so half-storage is lossless.
+    n = len(quantised)
+    for i in range(n // 2):
+        quantised[n - 1 - i] = quantised[i]
+    return tuple(quantised[: n // 2])
+
+
+def build_rom(params: SrcParams) -> List[int]:
+    """Quantised first half of the prototype, as signed integers."""
+    return list(_rom_for(params))
+
+
+def rom_address(params: SrcParams, phase: int, tap: int) -> int:
+    """ROM address of coefficient *tap* of polyphase branch *phase*.
+
+    Applies both the polyphase interleave (``phase + tap * L``) and the
+    symmetric mirroring onto the stored half.
+    """
+    if not 0 <= phase < params.n_phases:
+        raise ValueError(f"phase {phase} out of range")
+    if not 0 <= tap < params.taps_per_phase:
+        raise ValueError(f"tap {tap} out of range")
+    proto_index = phase + tap * params.n_phases
+    return stored_index(proto_index, params.prototype_length)
+
+
+def coefficient(params: SrcParams, phase: int, tap: int) -> int:
+    """Quantised coefficient for (*phase*, *tap*)."""
+    return build_rom(params)[rom_address(params, phase, tap)]
+
+
+def full_prototype(params: SrcParams) -> List[int]:
+    """The complete (mirror-expanded) quantised prototype."""
+    half = build_rom(params)
+    return half + half[::-1]
+
+
+class PolyphaseCoefficientIterator:
+    """Iterator over one branch's coefficients (paper Figure 3).
+
+    Hides the storage order and the half-storage mirroring, exactly like
+    the C++ ``CPolyphaseFilter`` iterator.  Iteration yields
+    ``taps_per_phase`` quantised coefficients for the configured phase.
+    """
+
+    def __init__(self, params: SrcParams, phase: int):
+        self._params = params
+        self._phase = phase
+        self._tap = 0
+        self._rom = build_rom(params)
+
+    def __iter__(self) -> "PolyphaseCoefficientIterator":
+        return self
+
+    def __next__(self) -> int:
+        if self._tap >= self._params.taps_per_phase:
+            raise StopIteration
+        value = self._rom[rom_address(self._params, self._phase, self._tap)]
+        self._tap += 1
+        return value

@@ -1,0 +1,45 @@
+"""Channel interfaces of the SRC hierarchical channel (paper Figure 5).
+
+The SRC exposes three interfaces to its environment:
+
+* :class:`SrcCtrlIF` -- the configuration port for the operation mode;
+* :class:`SampleWriteIF` -- the producer-side sample stream;
+* :class:`SampleReadIF` -- the consumer-side sample stream.
+
+Blocking interface methods are generator methods (they ``wait()``
+internally), so callers invoke them with ``yield from`` -- the Python
+equivalent of SystemC interface method calls that may suspend.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence, Tuple
+
+
+class SrcCtrlIF(abc.ABC):
+    """Configuration interface: selects the conversion mode."""
+
+    @abc.abstractmethod
+    def set_mode(self, mode: int) -> None:
+        """Switch to operation *mode*; flushes the converter state."""
+
+    @abc.abstractmethod
+    def get_mode(self) -> int:
+        """Return the active operation mode."""
+
+
+class SampleWriteIF(abc.ABC):
+    """Producer interface: push one input frame per call (blocking IMC)."""
+
+    @abc.abstractmethod
+    def write_sample(self, frame: Sequence[int]):
+        """Blocking write of one frame; use as ``yield from``."""
+
+
+class SampleReadIF(abc.ABC):
+    """Consumer interface: pull one output frame per call (blocking IMC)."""
+
+    @abc.abstractmethod
+    def read_sample(self):
+        """Blocking read of one frame; use as ``yield from``; returns it."""

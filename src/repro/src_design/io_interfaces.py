@@ -1,0 +1,186 @@
+"""Shared RTL front end of every synthesisable SRC implementation.
+
+The paper's behavioural design "already contained RT-level modules",
+notably the I/O interfaces (Section 4.3).  We factor them here so the
+behavioural, RTL and reference designs all use the same stream-facing
+logic:
+
+* **input interface** -- write pointer, saturating fill counter and the
+  sample-buffer write ports ("virtual flush": a mode change resets the
+  fill counter instead of spending cycles zeroing the RAM; the MAC gates
+  not-yet-valid slots to zero, which is value-identical to the golden
+  model's zeroed buffer);
+* **position tracker** -- the wrapping position register (see
+  :mod:`repro.src_design.params`), its mode-selected increment table and
+  the combinational *phase preview* (position after the pending output's
+  increment, clamped into one sample and truncated to the branch index).
+
+Because the main process produces the ``take`` pulse, construction is
+two-phase: :meth:`FrontEnd.declare` creates ports and registers before
+the main process is generated, :meth:`FrontEnd.finish` closes the
+register next-value logic once the ``take`` net exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..rtl.expr import Case, Cat, Const, Expr, Ext, Mux, Ref, Slice
+from ..rtl.ir import RtlMemory, RtlModule
+from .params import SrcParams
+
+
+@dataclass
+class FrontEndOptions:
+    """Front-end generality knobs (paper Section 4.4, "Generality").
+
+    ``generic_modes`` sizes the mode decode: the generic C++-derived code
+    kept the mode word and increment table sized for *eight* modes even
+    though only two exist; the optimisation folds it down to the two real
+    ones ("the template mechanism was replaced by #define directives").
+    """
+
+    generic_modes: int = 2
+
+    @property
+    def mode_bits(self) -> int:
+        return max(1, (self.generic_modes - 1).bit_length())
+
+
+class FrontEnd:
+    """Input interface + position tracker emitted into an RtlModule."""
+
+    def __init__(self, module: RtlModule, params: SrcParams,
+                 options: Optional[FrontEndOptions] = None,
+                 stream_inputs: Optional[Dict[str, Expr]] = None):
+        """*stream_inputs* optionally replaces the parallel stream ports
+        (``in_valid``/``in_l``/``in_r``) by existing nets -- used when a
+        serial receiver block feeds the front end instead of top-level
+        pins."""
+        self.module = module
+        self.params = params
+        self.options = options or FrontEndOptions()
+        self.stream_inputs = stream_inputs
+        if self.options.generic_modes < len(params.modes):
+            raise ValueError("generic_modes below the real mode count")
+        self.declared = False
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    def declare(self) -> None:
+        """Create top-level ports and front-end registers/nets."""
+        m = self.module
+        p = self.params
+        opt = self.options
+        mw = opt.mode_bits
+
+        # stream-facing ports (or injected nets from a receiver block)
+        if self.stream_inputs is None:
+            self.in_valid = m.input("in_valid", 1)
+            self.in_l = m.input("in_l", p.data_width)
+            self.in_r = m.input("in_r", p.data_width)
+        else:
+            self.in_valid = self.stream_inputs["in_valid"]
+            self.in_l = self.stream_inputs["in_l"]
+            self.in_r = self.stream_inputs["in_r"]
+        self.cfg_valid = m.input("cfg_valid", 1)
+        self.cfg_mode = m.input("cfg_mode", mw)
+        self.out_req = m.input("out_req", 1)
+
+        # registers
+        ab = p.addr_bits
+        fb = max(1, p.taps_per_phase.bit_length())
+        pw = p.pos_width
+        self.mode = m.register("fe_mode", mw, init=0)
+        self.wr_ptr = m.register("fe_wr_ptr", ab, init=p.buffer_depth - 1)
+        self.fill = m.register("fe_fill", fb, init=0)
+        self.pos = m.register("fe_pos", pw, init=0)
+        self.fill_bits = fb
+
+        # write-pointer increment (wraps at buffer_depth, NOT a power of 2)
+        wrap = self.wr_ptr.eq(Const(ab, p.buffer_depth - 1))
+        inc_ptr = Slice(self.wr_ptr + Const(ab, 1), ab - 1, 0)
+        self.wr_next = m.assign(
+            "fe_wr_next", Mux(wrap, Const(ab, 0), inc_ptr)
+        )
+
+        # mode-selected position increment (generic table: unused mode
+        # codes still decode -- the "generality" cost of the unoptimised
+        # design)
+        incs: Dict[int, Expr] = {}
+        for i in range(opt.generic_modes):
+            real = i % len(p.modes)
+            incs[i] = Const(pw, p.position_increment(real))
+        self.inc_sel = m.assign(
+            "fe_inc", Case(self.mode, incs, default=Const(pw, 0))
+        )
+
+        # phase preview: clamp(pos + inc) -> branch index
+        one_sample = p.one_sample_units
+        pos_after = m.assign(
+            "fe_pos_after",
+            Slice(self.pos + self.inc_sel, pw - 1, 0),
+        )
+        negative = pos_after.bit(pw - 1)
+        too_big = pos_after.sge(Const(pw, one_sample))
+        phase_raw = Slice(pos_after,
+                          p.phase_frac_bits + p.phase_index_bits - 1,
+                          p.phase_frac_bits)
+        self.phase = m.assign(
+            "fe_phase",
+            Mux(negative, Const(p.phase_index_bits, 0),
+                Mux(too_big, Const(p.phase_index_bits, p.n_phases - 1),
+                    phase_raw)),
+        )
+        self.declared = True
+
+    # ------------------------------------------------------------------
+    def finish(self, take: Ref, buf_l: RtlMemory, buf_r: RtlMemory) -> None:
+        """Close register updates; attach buffer write ports.
+
+        *take* is the main process's pulse committing one output's
+        position increment.  *buf_l*/*buf_r* are the sample memories the
+        main process reads (it created them; the front end writes them).
+        """
+        if not self.declared:
+            raise RuntimeError("declare() must run before finish()")
+        m = self.module
+        p = self.params
+        ab = p.addr_bits
+        fb = self.fill_bits
+        pw = p.pos_width
+        taps = p.taps_per_phase
+
+        m.set_next(self.mode, Mux(self.cfg_valid, self.cfg_mode, self.mode))
+        m.set_next(
+            self.wr_ptr,
+            Mux(self.cfg_valid, Const(ab, p.buffer_depth - 1),
+                Mux(self.in_valid, self.wr_next, self.wr_ptr)),
+        )
+        fill_inc = Mux(
+            self.fill.eq(Const(fb, taps)),
+            self.fill,
+            Slice(self.fill + Const(fb, 1), fb - 1, 0),
+        )
+        m.set_next(
+            self.fill,
+            Mux(self.cfg_valid, Const(fb, 0),
+                Mux(self.in_valid, fill_inc, self.fill)),
+        )
+
+        # pos: wrapping add of (take ? +inc) and (in_valid ? -one_sample)
+        one = Const(pw, p.one_sample_units)
+        plus = Mux(take, self.inc_sel, Const(pw, 0))
+        minus = Mux(self.in_valid, one, Const(pw, 0))
+        stepped = Slice(
+            (Slice(self.pos + plus, pw - 1, 0) - minus), pw - 1, 0
+        )
+        m.set_next(
+            self.pos, Mux(self.cfg_valid, Const(pw, 0), stepped)
+        )
+
+        # sample-buffer write ports (the new sample lands at wr_next)
+        m.mem_write(buf_l, self.in_valid, self.wr_next, self.in_l)
+        m.mem_write(buf_r, self.in_valid, self.wr_next, self.in_r)
+        self.finished = True

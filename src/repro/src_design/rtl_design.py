@@ -1,0 +1,262 @@
+"""Hand-written RTL SRC (paper Sections 4.5 / 4.6).
+
+The RTL model was refined from the optimised behavioural description:
+"fine-tuning of the model's scheduling, allocation of registers for the
+variables, creating an FSM that realises the scheduling.  The data-path
+was not modelled explicitly -- it was described implicitly by the state
+transitions of the FSM and then optimised by the Design Compiler."
+
+The hand schedule is tighter than the behavioural one: one MAC per cycle
+alternating channels (a single shared multiplier), a two-cycle prologue
+and a one-cycle rounding epilogue.  The *unoptimised* RTL keeps the
+conservative-refinement leftovers -- a duplicated channel address
+register, a phase copy, and double-buffered rounded outputs with an
+extra DONE state; the *optimised* RTL eliminates them, reusing the MAC
+accumulators as output registers (paper: "the remaining optimisation
+potential results from register usage").
+
+Both variants carry the golden-model bug: the fill==0 corner issues the
+invalid-address prefetch before returning silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rtl.expr import Case, Cat, Const, Expr, Ext, Mux, Ref, Slice, SMul, Sub
+from ..rtl.ir import RtlModule
+from .behavioral import round_saturate_expr
+from .coefficients import build_rom
+from .io_interfaces import FrontEnd, FrontEndOptions
+from .params import SrcParams
+
+# FSM state encoding
+S_IDLE = 0
+S_TAKE = 1
+S_BUG = 2
+S_MAC = 3
+S_ROUND = 4
+S_DONE = 5  # unoptimised variant only
+
+
+@dataclass
+class RtlDesign:
+    """A built RTL SRC."""
+
+    module: RtlModule
+    optimized: bool
+    flop_estimate: int
+    #: net names of the parallel output stream (for wrapper blocks)
+    out_l_net: str = "out_l_w"
+    out_r_net: str = "out_r_w"
+    out_valid_net: str = "out_valid_r"
+
+
+def build_rtl_design(params: SrcParams, optimized: bool,
+                     name: Optional[str] = None,
+                     module: Optional[RtlModule] = None,
+                     stream_inputs=None) -> RtlDesign:
+    """Build the hand-written RTL SRC as one flat RTL module.
+
+    *module* lets a wrapper emit the design into an existing module
+    (e.g. together with serial I/O blocks); *stream_inputs* replaces the
+    parallel stream ports by existing nets (see
+    :class:`~repro.src_design.io_interfaces.FrontEnd`).
+    """
+    p = params
+    dw = p.data_width
+    cw = p.coef_width
+    ab = p.addr_bits
+    fb = max(1, p.taps_per_phase.bit_length())
+    pb = p.phase_index_bits
+    taps = p.taps_per_phase
+    tb = max(1, (taps - 1).bit_length())
+    nb = pb + tb
+    rb = p.rom_addr_bits
+    acc_w = p.acc_width
+    depth = p.buffer_depth
+
+    m = module if module is not None else \
+        RtlModule(name or ("src_rtl_opt" if optimized else "src_rtl"))
+    fe = FrontEnd(m, p, FrontEndOptions(generic_modes=len(p.modes)),
+                  stream_inputs=stream_inputs)
+    fe.declare()
+
+    sb = 3
+    state = m.register("state", sb, init=S_IDLE)
+    ph_s = m.register("ph_s", pb)
+    np_s = m.register("np_s", ab)
+    fl_s = m.register("fl_s", fb)
+    tap = m.register("tap", tb)
+    ch = m.register("ch", 1)
+    acc_l = m.register("acc_l", acc_w)
+    acc_r = m.register("acc_r", acc_w)
+    out_valid = m.register("out_valid_r", 1)
+    take = m.register("take_r", 1)
+    if not optimized:
+        # conservative-refinement leftovers
+        ph_copy = m.register("ph_copy", pb)
+        np_r_s = m.register("np_r_s", ab)   # duplicated channel-R address
+        rnd_l = m.register("rnd_l", dw)
+        rnd_r = m.register("rnd_r", dw)
+        out_l_r = m.register("out_l_r", dw)
+        out_r_r = m.register("out_r_r", dw)
+
+    buf_l = m.memory("buf_l", depth, dw)
+    buf_r = m.memory("buf_r", depth, dw)
+    rom = m.memory("rom", p.rom_depth, cw, contents=build_rom(p))
+
+    in_mac = state.eq(Const(sb, S_MAC))
+    in_bug = state.eq(Const(sb, S_BUG))
+
+    # coefficient address: polyphase interleave + symmetric-half mirror
+    phase_used = ph_s if optimized else Ref("ph_copy", pb)
+    proto = Cat(tap, phase_used)
+    mirrored = Sub(Const(nb, p.prototype_length - 1), proto, width=nb)
+    caddr = m.assign(
+        "caddr",
+        Mux(proto.bit(nb - 1), Slice(mirrored, rb - 1, 0),
+            Slice(proto, rb - 1, 0)),
+    )
+    coef = m.mem_read(rom, caddr, enable=in_mac)
+
+    # sample read: one port per channel RAM, enabled on its turn; the BUG
+    # state drives the invalid sentinel address (== depth)
+    addr_mux = m.assign(
+        "rd_addr",
+        Case(state, {
+            S_BUG: Const(ab, depth),
+            S_MAC: np_s if optimized else
+            Mux(ch, Ref("np_r_s", ab), np_s),
+        }, default=Const(ab, 0)),
+    )
+    en_l = m.assign("rd_en_l", Case(state, {
+        S_BUG: Const(1, 1),
+        S_MAC: ~ch,
+    }, default=Const(1, 0)))
+    en_r = m.assign("rd_en_r", Case(state, {
+        S_BUG: Const(1, 1),
+        S_MAC: ch,
+    }, default=Const(1, 0)))
+    data_l = m.mem_read(buf_l, addr_mux, enable=en_l)
+    data_r = m.mem_read(buf_r, addr_mux, enable=en_r)
+
+    # gated sample and the shared multiplier
+    sample = m.assign("sample", Mux(ch, data_r, data_l))
+    gate = tap.zext(fb + 1).ult(fl_s.zext(fb + 1))
+    gated = m.assign("gated", Mux(gate, sample, Const(dw, 0)))
+    prod = m.assign("prod", SMul(gated, coef))
+    mac_l = m.assign(
+        "mac_l", (acc_l + prod.sext(acc_w)).slice(acc_w - 1, 0)
+    )
+    mac_r = m.assign(
+        "mac_r", (acc_r + prod.sext(acc_w)).slice(acc_w - 1, 0)
+    )
+
+    # address decrement with wrap at 0 (depth is not a power of two)
+    def dec_addr(reg: Ref) -> Expr:
+        return Mux(reg.eq(Const(ab, 0)), Const(ab, depth - 1),
+                   Slice(Sub(reg, Const(ab, 1), width=ab), ab - 1, 0))
+
+    last_mac = ch & tap.eq(Const(tb, taps - 1))
+
+    # ---------------- register next-state logic -----------------------
+    m.set_next(state, Case(state, {
+        S_IDLE: Mux(fe.out_req, Const(sb, S_TAKE), Const(sb, S_IDLE)),
+        S_TAKE: Mux(fe.fill.eq(Const(fe.fill_bits, 0)),
+                    Const(sb, S_BUG), Const(sb, S_MAC)),
+        S_BUG: Const(sb, S_IDLE),
+        S_MAC: Mux(last_mac, Const(sb, S_ROUND), Const(sb, S_MAC)),
+        S_ROUND: Const(sb, S_IDLE if optimized else S_DONE),
+        S_DONE: Const(sb, S_IDLE),
+    }, default=Const(sb, S_IDLE)))
+
+    m.set_next(ph_s, Case(state, {S_TAKE: fe.phase}, default=ph_s))
+    m.set_next(fl_s, Case(state, {S_TAKE: fe.fill}, default=fl_s))
+    m.set_next(take, Case(state, {S_TAKE: Const(1, 1)},
+                          default=Const(1, 0)))
+    m.set_next(tap, Case(state, {
+        S_TAKE: Const(tb, 0),
+        S_MAC: Mux(ch, Slice(tap + Const(tb, 1), tb - 1, 0), tap),
+    }, default=tap))
+    m.set_next(ch, Case(state, {
+        S_TAKE: Const(1, 0),
+        S_MAC: ~ch,
+    }, default=ch))
+
+    if optimized:
+        m.set_next(np_s, Case(state, {
+            S_TAKE: fe.wr_ptr,
+            S_MAC: Mux(ch, dec_addr(np_s), np_s),
+        }, default=np_s))
+        # ROUND folds the rounded result back into the accumulator; the
+        # output ports are its low bits (no separate output registers)
+        m.set_next(acc_l, Case(state, {
+            S_TAKE: Const(acc_w, 0),
+            S_MAC: Mux(ch, acc_l, mac_l),
+            S_ROUND: Ext(round_saturate_expr(acc_l, p), acc_w, signed=True),
+        }, default=acc_l))
+        m.set_next(acc_r, Case(state, {
+            S_TAKE: Const(acc_w, 0),
+            S_MAC: Mux(ch, mac_r, acc_r),
+            S_ROUND: Ext(round_saturate_expr(acc_r, p), acc_w, signed=True),
+        }, default=acc_r))
+        m.set_next(out_valid, Case(state, {
+            S_BUG: Const(1, 1),
+            S_ROUND: Const(1, 1),
+        }, default=Const(1, 0)))
+        m.output("out_l", m.assign("out_l_w", Slice(acc_l, dw - 1, 0)))
+        m.output("out_r", m.assign("out_r_w", Slice(acc_r, dw - 1, 0)))
+        flop_estimate = sb + pb + ab + fb + tb + 1 + 2 * acc_w + 2
+    else:
+        m.set_next(np_s, Case(state, {
+            S_TAKE: fe.wr_ptr,
+            S_MAC: Mux(ch, dec_addr(np_s), np_s),
+        }, default=np_s))
+        m.set_next(Ref("np_r_s", ab), Case(state, {
+            S_TAKE: fe.wr_ptr,
+            S_MAC: Mux(ch, dec_addr(Ref("np_r_s", ab)), Ref("np_r_s", ab)),
+        }, default=Ref("np_r_s", ab)))
+        m.set_next(Ref("ph_copy", pb), Case(state, {S_TAKE: fe.phase},
+                                            default=Ref("ph_copy", pb)))
+        m.set_next(acc_l, Case(state, {
+            S_TAKE: Const(acc_w, 0),
+            S_MAC: Mux(ch, acc_l, mac_l),
+        }, default=acc_l))
+        m.set_next(acc_r, Case(state, {
+            S_TAKE: Const(acc_w, 0),
+            S_MAC: Mux(ch, mac_r, acc_r),
+        }, default=acc_r))
+        m.set_next(Ref("rnd_l", dw), Case(state, {
+            S_ROUND: round_saturate_expr(acc_l, p),
+        }, default=Ref("rnd_l", dw)))
+        m.set_next(Ref("rnd_r", dw), Case(state, {
+            S_ROUND: round_saturate_expr(acc_r, p),
+        }, default=Ref("rnd_r", dw)))
+        m.set_next(Ref("out_l_r", dw), Case(state, {
+            S_BUG: Const(dw, 0),
+            S_DONE: Ref("rnd_l", dw),
+        }, default=Ref("out_l_r", dw)))
+        m.set_next(Ref("out_r_r", dw), Case(state, {
+            S_BUG: Const(dw, 0),
+            S_DONE: Ref("rnd_r", dw),
+        }, default=Ref("out_r_r", dw)))
+        m.set_next(out_valid, Case(state, {
+            S_BUG: Const(1, 1),
+            S_DONE: Const(1, 1),
+        }, default=Const(1, 0)))
+        m.output("out_l", Ref("out_l_r", dw))
+        m.output("out_r", Ref("out_r_r", dw))
+        flop_estimate = (sb + 2 * pb + 2 * ab + fb + tb + 1 +
+                         2 * acc_w + 4 * dw + 2)
+
+    m.output("out_valid", out_valid)
+    fe.finish(take=take, buf_l=buf_l, buf_r=buf_r)
+    m.validate()
+    return RtlDesign(
+        module=m, optimized=optimized, flop_estimate=flop_estimate,
+        out_l_net="out_l_w" if optimized else "out_l_r",
+        out_r_net="out_r_w" if optimized else "out_r_r",
+        out_valid_net="out_valid_r",
+    )

@@ -1,0 +1,253 @@
+"""The SystemC-2.0-with-channels model of the SRC (paper Section 4.2).
+
+Two variants are provided, matching the paper's two structural steps:
+
+* :class:`SrcChannelMonolithic` -- the first structural refinement
+  (Figure 5): the whole algorithm encapsulated in one hierarchical
+  channel implementing ``SRC_CTRL``, ``SampleWriteIF`` and
+  ``SampleReadIF``.
+* :class:`SrcChannelRefined` -- the refined channel (Figure 6): three
+  submodules roughly following the C++ class structure (input buffer,
+  polyphase coefficient storage, main functional behaviour), a third
+  thread modelling the functional behaviour in the main module, explicit
+  ``sc_event`` synchronisation, and method calls translated into
+  interface method calls through the submodule boundaries.
+
+Both are bit-accurate against the algorithmic golden model on the same
+event schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..kernel.channels import HierarchicalChannel
+from ..kernel.event import Event
+from ..kernel.module import Module
+from .algorithmic import (AccessMonitor, InputBuffer, PolyphaseFilter,
+                          filter_sample)
+from .interfaces import SampleReadIF, SampleWriteIF, SrcCtrlIF
+from .params import SrcParams
+
+
+class SrcChannelMonolithic(HierarchicalChannel, SrcCtrlIF, SampleWriteIF,
+                           SampleReadIF):
+    """The SRC as one hierarchical channel (paper Figure 5).
+
+    The algorithm runs inside the channel's interface methods; the only
+    concurrency is between the external producer/consumer threads, which
+    the channel decouples through its internal state.
+    """
+
+    def __init__(self, name: str, params: SrcParams, mode: int = 0,
+                 monitor: Optional[AccessMonitor] = None,
+                 with_corner_bug: bool = True):
+        super().__init__(name)
+        self.params = params
+        self.filter = PolyphaseFilter(params)
+        self.buffers = [InputBuffer(params.buffer_depth, monitor,
+                                    width=params.data_width)
+                        for _ in range(params.n_channels)]
+        self.with_corner_bug = with_corner_bug
+        self._mode = mode
+        self._position = 0
+        self._fill = 0
+
+    # -- SrcCtrlIF ---------------------------------------------------------
+    def set_mode(self, mode: int) -> None:
+        if not 0 <= mode < len(self.params.modes):
+            raise ValueError(f"mode {mode} out of range")
+        self._mode = mode
+        self._position = 0
+        self._fill = 0
+        for buf in self.buffers:
+            buf.flush()
+
+    def get_mode(self) -> int:
+        return self._mode
+
+    # -- SampleWriteIF -------------------------------------------------------
+    def write_sample(self, frame: Sequence[int]):
+        self._push(frame)
+        return
+        yield  # pragma: no cover - makes this a generator (non-suspending IMC)
+
+    def _push(self, frame: Sequence[int]) -> None:
+        for buf, sample in zip(self.buffers, frame):
+            buf.write(sample)
+        self._position = self.params.pos_after_input(self._position)
+        if self._fill < self.params.taps_per_phase:
+            self._fill += 1
+
+    # -- SampleReadIF ---------------------------------------------------------
+    def read_sample(self):
+        frame = self._compute()
+        return frame
+        yield  # pragma: no cover - makes this a generator (non-suspending IMC)
+
+    def _compute(self) -> Tuple[int, ...]:
+        params = self.params
+        self._position = params.pos_after_output(self._position, self._mode)
+        if self._fill == 0:
+            if self.with_corner_bug:
+                for buf in self.buffers:
+                    buf.read_raw(buf.depth)
+            return tuple([0] * params.n_channels)
+        phase = params.phase_from_pos(self._position)
+        return tuple(
+            filter_sample(params, buf.read_iterator(),
+                          self.filter.coefficient_iterator(phase))
+            for buf in self.buffers
+        )
+
+
+# ----------------------------------------------------------------------
+# Refined hierarchical channel (Figure 6)
+# ----------------------------------------------------------------------
+
+class InputBufferModule(Module, SampleWriteIF):
+    """Submodule owning the per-channel ring buffers (Figure 6, left)."""
+
+    def __init__(self, name: str, params: SrcParams,
+                 monitor: Optional[AccessMonitor] = None):
+        super().__init__(name)
+        self.params = params
+        self.buffers = [InputBuffer(params.buffer_depth, monitor,
+                                    width=params.data_width)
+                        for _ in range(params.n_channels)]
+        self.fill = 0
+        self.sample_written = Event(f"{name}.sample_written")
+
+    def write_sample(self, frame: Sequence[int]):
+        for buf, sample in zip(self.buffers, frame):
+            buf.write(sample)
+        if self.fill < self.params.taps_per_phase:
+            self.fill += 1
+        # Explicit event object announcing new data (paper Section 4.2).
+        self.sample_written.notify_immediate()
+        return
+        yield  # pragma: no cover - non-suspending IMC
+
+    def flush(self) -> None:
+        self.fill = 0
+        for buf in self.buffers:
+            buf.flush()
+
+    def read_raw(self, channel: int, address: int) -> int:
+        return self.buffers[channel].read_raw(address)
+
+    def newest_index(self, channel: int) -> int:
+        return self.buffers[channel].newest_index
+
+
+class CoefficientStorageModule(Module):
+    """Submodule owning the polyphase coefficient ROM (Figure 6, middle)."""
+
+    def __init__(self, name: str, params: SrcParams):
+        super().__init__(name)
+        self.params = params
+        self._filter = PolyphaseFilter(params)
+
+    def coefficient(self, phase: int, tap: int) -> int:
+        return self._filter.coefficient(phase, tap)
+
+    def coefficient_iterator(self, phase: int):
+        return self._filter.coefficient_iterator(phase)
+
+
+class SrcMainModule(Module):
+    """Main functional behaviour as a thread (Figure 6, right).
+
+    The consumer's ``read_sample`` IMC posts a request event; this thread
+    wakes, performs the convolution by calling into the buffer and
+    coefficient submodules, and answers with a done event -- the paper's
+    "third thread modelling the functional behaviour", synchronised by
+    explicit event objects.
+    """
+
+    def __init__(self, name: str, params: SrcParams,
+                 input_buffer: InputBufferModule,
+                 coefficients: CoefficientStorageModule,
+                 with_corner_bug: bool = True):
+        super().__init__(name)
+        self.params = params
+        self.input_buffer = input_buffer
+        self.coefficients = coefficients
+        self.with_corner_bug = with_corner_bug
+        self.mode = 0
+        self.position = 0
+        self.request = Event(f"{name}.request")
+        self.done = Event(f"{name}.done")
+        self.result: Tuple[int, ...] = ()
+        # Initialised at simulation start so the thread parks on its
+        # request event before the first consumer call arrives.
+        self.add_thread(self._behaviour, name=f"{name}.behaviour")
+
+    def reconfigure(self, mode: int) -> None:
+        self.mode = mode
+        self.position = 0
+        self.input_buffer.flush()
+
+    def on_input(self) -> None:
+        self.position = self.params.pos_after_input(self.position)
+
+    def _behaviour(self):
+        params = self.params
+        while True:
+            yield self.request
+            self.position = params.pos_after_output(self.position, self.mode)
+            if self.input_buffer.fill == 0:
+                if self.with_corner_bug:
+                    for channel in range(params.n_channels):
+                        self.input_buffer.read_raw(
+                            channel, params.buffer_depth)
+                self.result = tuple([0] * params.n_channels)
+            else:
+                phase = params.phase_from_pos(self.position)
+                frame = []
+                for channel in range(params.n_channels):
+                    buf = self.input_buffer.buffers[channel]
+                    frame.append(filter_sample(
+                        params,
+                        buf.read_iterator(),
+                        self.coefficients.coefficient_iterator(phase),
+                    ))
+                self.result = tuple(frame)
+            self.done.notify_immediate()
+
+
+class SrcChannelRefined(HierarchicalChannel, SrcCtrlIF, SampleWriteIF,
+                        SampleReadIF):
+    """The refined hierarchical channel of paper Figure 6."""
+
+    def __init__(self, name: str, params: SrcParams, mode: int = 0,
+                 monitor: Optional[AccessMonitor] = None,
+                 with_corner_bug: bool = True):
+        super().__init__(name)
+        self.params = params
+        self.input_buffer = InputBufferModule(f"{name}.buffer", params,
+                                              monitor)
+        self.coefficients = CoefficientStorageModule(f"{name}.rom", params)
+        self.main = SrcMainModule(f"{name}.main", params, self.input_buffer,
+                                  self.coefficients, with_corner_bug)
+        self.main.mode = mode
+
+    # -- SrcCtrlIF ----------------------------------------------------------
+    def set_mode(self, mode: int) -> None:
+        if not 0 <= mode < len(self.params.modes):
+            raise ValueError(f"mode {mode} out of range")
+        self.main.reconfigure(mode)
+
+    def get_mode(self) -> int:
+        return self.main.mode
+
+    # -- SampleWriteIF ---------------------------------------------------------
+    def write_sample(self, frame: Sequence[int]):
+        yield from self.input_buffer.write_sample(frame)
+        self.main.on_input()
+
+    # -- SampleReadIF -----------------------------------------------------------
+    def read_sample(self):
+        self.main.request.notify_immediate()
+        yield self.main.done
+        return self.main.result

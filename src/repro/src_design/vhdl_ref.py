@@ -1,0 +1,221 @@
+"""The series-production VHDL reference implementation of the SRC.
+
+The paper's reference design "was created with the conventional flow of
+manually recoding the given C specification in RTL VHDL"; its
+architecture was therefore *frozen by the low-level C specification*
+(paper Section 5.2): the per-channel processing order of the C loops,
+the C code's integer guard bits, and its double-buffered outputs all
+carried straight into the VHDL.  Concretely:
+
+* **channel-major schedule** -- process the left channel completely
+  (MAC loop + rounding), then the right channel, like the C code's
+  ``for channel: for tap:`` nest; separate address registers, tap
+  counters and phase copies per channel;
+* **pessimistic widths** -- multiplier operands carry the C code's two
+  guard bits each; accumulators are eight bits wider than necessary
+  (the C code used a wider integer type);
+* **double-buffered outputs** -- rounded values land in per-channel
+  temporaries before being copied to the output registers.
+
+The model is bit-exact with the golden model (the guard bits never
+change results); only its cost differs.  It also reproduces the
+golden-model bug -- the reference design was recoded from the same C
+specification, so the invalid prefetch exists here too (the paper found
+the bug to be a golden-model bug, present in every implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rtl.expr import Case, Cat, Const, Expr, Mux, Ref, Slice, SMul, Sub
+from ..rtl.ir import RtlModule
+from .behavioral import round_saturate_expr
+from .coefficients import build_rom
+from .io_interfaces import FrontEnd, FrontEndOptions
+from .params import SrcParams
+
+# FSM state encoding (channel-major, as the C loops dictate)
+V_IDLE = 0
+V_TAKE = 1
+V_BUG = 2
+V_MAC_L = 3
+V_RND_L = 4
+V_MAC_R = 5
+V_RND_R = 6
+V_DONE = 7
+
+#: guard bits the C specification carried on each multiplier operand
+GUARD_BITS = 2
+#: accumulator over-width of the C integer type
+ACC_EXTRA = 8
+
+
+@dataclass
+class VhdlReferenceDesign:
+    module: RtlModule
+
+
+def build_vhdl_reference(params: SrcParams,
+                         name: Optional[str] = None) -> VhdlReferenceDesign:
+    """Build the VHDL reference SRC as one flat RTL module."""
+    p = params
+    dw = p.data_width
+    cw = p.coef_width
+    ab = p.addr_bits
+    fb = max(1, p.taps_per_phase.bit_length())
+    pb = p.phase_index_bits
+    taps = p.taps_per_phase
+    tb = max(1, (taps - 1).bit_length())
+    nb = pb + tb
+    rb = p.rom_addr_bits
+    acc_w = p.acc_width + ACC_EXTRA
+    depth = p.buffer_depth
+
+    m = RtlModule(name or "src_vhdl_ref")
+    fe = FrontEnd(m, p, FrontEndOptions(generic_modes=len(p.modes)))
+    fe.declare()
+
+    sb = 3
+    state = m.register("state", sb, init=V_IDLE)
+    fl_s = m.register("fl_s", fb)
+    take = m.register("take_r", 1)
+    out_valid = m.register("out_valid_r", 1)
+    # per-channel duplicated state (the C code kept separate variables)
+    ph_l = m.register("ph_l", pb)
+    ph_r = m.register("ph_r", pb)
+    np_l = m.register("np_l", ab)
+    np_r = m.register("np_r", ab)
+    tap_l = m.register("tap_l", tb)
+    tap_r = m.register("tap_r", tb)
+    acc_l = m.register("acc_l", acc_w)
+    acc_r = m.register("acc_r", acc_w)
+    rnd_l = m.register("rnd_l", dw)
+    rnd_r = m.register("rnd_r", dw)
+    out_l_r = m.register("out_l_r", dw)
+    out_r_r = m.register("out_r_r", dw)
+
+    buf_l = m.memory("buf_l", depth, dw)
+    buf_r = m.memory("buf_r", depth, dw)
+    rom = m.memory("rom", p.rom_depth, cw, contents=build_rom(p))
+
+    in_mac_l = state.eq(Const(sb, V_MAC_L))
+    in_mac_r = state.eq(Const(sb, V_MAC_R))
+    in_bug = state.eq(Const(sb, V_BUG))
+
+    # per-channel coefficient addressing (duplicated mirror logic)
+    def coef_addr(tap_reg: Ref, ph_reg: Ref, tag: str) -> Ref:
+        proto = Cat(tap_reg, ph_reg)
+        mirrored = Sub(Const(nb, p.prototype_length - 1), proto, width=nb)
+        return m.assign(
+            f"caddr_{tag}",
+            Mux(proto.bit(nb - 1), Slice(mirrored, rb - 1, 0),
+                Slice(proto, rb - 1, 0)),
+        )
+
+    caddr_l = coef_addr(tap_l, ph_l, "l")
+    caddr_r = coef_addr(tap_r, ph_r, "r")
+    rom_addr = m.assign("rom_addr",
+                        Mux(in_mac_r, caddr_r, caddr_l))
+    rom_en = m.assign("rom_en", in_mac_l | in_mac_r)
+    coef = m.mem_read(rom, rom_addr, enable=rom_en)
+
+    addr_l = m.assign("rd_addr_l",
+                      Mux(in_bug, Const(ab, depth), np_l))
+    addr_r = m.assign("rd_addr_r",
+                      Mux(in_bug, Const(ab, depth), np_r))
+    en_l = m.assign("rd_en_l", in_mac_l | in_bug)
+    en_r = m.assign("rd_en_r", in_mac_r | in_bug)
+    data_l = m.mem_read(buf_l, addr_l, enable=en_l)
+    data_r = m.mem_read(buf_r, addr_r, enable=en_r)
+
+    # guarded (over-wide) multiplier, shared between the channel loops
+    gate_l = tap_l.zext(fb + 1).ult(fl_s.zext(fb + 1))
+    gate_r = tap_r.zext(fb + 1).ult(fl_s.zext(fb + 1))
+    gated_l = Mux(gate_l, data_l, Const(dw, 0))
+    gated_r = Mux(gate_r, data_r, Const(dw, 0))
+    mul_a = m.assign(
+        "mul_a",
+        Mux(in_mac_r, gated_r, gated_l).sext(dw + GUARD_BITS),
+    )
+    mul_b = m.assign("mul_b", coef.sext(cw + GUARD_BITS))
+    prod = m.assign("prod", SMul(mul_a, mul_b))
+    mac_l = m.assign("mac_l",
+                     (acc_l + prod.sext(acc_w)).slice(acc_w - 1, 0))
+    mac_r = m.assign("mac_r",
+                     (acc_r + prod.sext(acc_w)).slice(acc_w - 1, 0))
+
+    def dec_addr(reg: Ref) -> Expr:
+        return Mux(reg.eq(Const(ab, 0)), Const(ab, depth - 1),
+                   Slice(Sub(reg, Const(ab, 1), width=ab), ab - 1, 0))
+
+    last_l = tap_l.eq(Const(tb, taps - 1))
+    last_r = tap_r.eq(Const(tb, taps - 1))
+
+    m.set_next(state, Case(state, {
+        V_IDLE: Mux(fe.out_req, Const(sb, V_TAKE), Const(sb, V_IDLE)),
+        V_TAKE: Mux(fe.fill.eq(Const(fe.fill_bits, 0)),
+                    Const(sb, V_BUG), Const(sb, V_MAC_L)),
+        V_BUG: Const(sb, V_IDLE),
+        V_MAC_L: Mux(last_l, Const(sb, V_RND_L), Const(sb, V_MAC_L)),
+        V_RND_L: Const(sb, V_MAC_R),
+        V_MAC_R: Mux(last_r, Const(sb, V_RND_R), Const(sb, V_MAC_R)),
+        V_RND_R: Const(sb, V_DONE),
+        V_DONE: Const(sb, V_IDLE),
+    }, default=Const(sb, V_IDLE)))
+
+    m.set_next(fl_s, Case(state, {V_TAKE: fe.fill}, default=fl_s))
+    m.set_next(take, Case(state, {V_TAKE: Const(1, 1)},
+                          default=Const(1, 0)))
+    m.set_next(ph_l, Case(state, {V_TAKE: fe.phase}, default=ph_l))
+    m.set_next(ph_r, Case(state, {V_TAKE: fe.phase}, default=ph_r))
+    m.set_next(np_l, Case(state, {
+        V_TAKE: fe.wr_ptr,
+        V_MAC_L: dec_addr(np_l),
+    }, default=np_l))
+    m.set_next(np_r, Case(state, {
+        V_TAKE: fe.wr_ptr,
+        V_MAC_R: dec_addr(np_r),
+    }, default=np_r))
+    m.set_next(tap_l, Case(state, {
+        V_TAKE: Const(tb, 0),
+        V_MAC_L: Slice(tap_l + Const(tb, 1), tb - 1, 0),
+    }, default=tap_l))
+    m.set_next(tap_r, Case(state, {
+        V_TAKE: Const(tb, 0),
+        V_MAC_R: Slice(tap_r + Const(tb, 1), tb - 1, 0),
+    }, default=tap_r))
+    m.set_next(acc_l, Case(state, {
+        V_TAKE: Const(acc_w, 0),
+        V_MAC_L: mac_l,
+    }, default=acc_l))
+    m.set_next(acc_r, Case(state, {
+        V_TAKE: Const(acc_w, 0),
+        V_MAC_R: mac_r,
+    }, default=acc_r))
+    m.set_next(rnd_l, Case(state, {
+        V_RND_L: round_saturate_expr(acc_l, p),
+    }, default=rnd_l))
+    m.set_next(rnd_r, Case(state, {
+        V_RND_R: round_saturate_expr(acc_r, p),
+    }, default=rnd_r))
+    m.set_next(out_l_r, Case(state, {
+        V_BUG: Const(dw, 0),
+        V_DONE: rnd_l,
+    }, default=out_l_r))
+    m.set_next(out_r_r, Case(state, {
+        V_BUG: Const(dw, 0),
+        V_DONE: rnd_r,
+    }, default=out_r_r))
+    m.set_next(out_valid, Case(state, {
+        V_BUG: Const(1, 1),
+        V_DONE: Const(1, 1),
+    }, default=Const(1, 0)))
+
+    m.output("out_l", out_l_r)
+    m.output("out_r", out_r_r)
+    m.output("out_valid", out_valid)
+    fe.finish(take=take, buf_l=buf_l, buf_r=buf_r)
+    m.validate()
+    return VhdlReferenceDesign(module=m)

@@ -1,0 +1,44 @@
+"""Logic synthesis: technology library, mapping, optimisation, reports."""
+
+from .library import DEFAULT_LIBRARY, Cell, Library, generic_025um
+from .mapping import MappingError, TechnologyMapper, map_to_gates
+from .netlist import (CellInstance, MemoryMacro, MemReadMacroPort,
+                      MemWriteMacroPort, Net, Netlist, NetlistError)
+from .optimize import (eliminate_common_subexpressions, fold_constants,
+                       optimize, sweep_dead_logic)
+from .report import AreaReport, RelativeArea, report_area
+from .scan import insert_scan_chain
+from .timing import TimingReport, report_timing
+from .equivalence import EquivalenceResult, Mismatch, check_equivalence
+from .power import PowerReport, ToggleMonitor, estimate_power
+from .stats import NetlistStats, netlist_stats
+from .verilog_netlist import emit_gate_verilog
+
+
+def synthesize(module, library=DEFAULT_LIBRARY, scan: bool = True,
+               optimize_netlist: bool = True):
+    """Full RTL-to-gates flow: map, optimise, insert scan.
+
+    Returns the final :class:`Netlist`.  This mirrors a Design Compiler
+    ``compile`` run with the paper's settings (scan included).
+    """
+    netlist = map_to_gates(module, library)
+    if optimize_netlist:
+        optimize(netlist)
+    if scan:
+        insert_scan_chain(netlist)
+    return netlist
+
+
+__all__ = [
+    "AreaReport", "Cell", "CellInstance", "DEFAULT_LIBRARY", "Library",
+    "EquivalenceResult", "MappingError", "MemoryMacro", "MemReadMacroPort",
+    "MemWriteMacroPort", "Mismatch", "check_equivalence",
+    "Net", "Netlist", "NetlistError", "PowerReport", "RelativeArea",
+    "TechnologyMapper", "ToggleMonitor", "estimate_power",
+    "TimingReport", "eliminate_common_subexpressions", "emit_gate_verilog",
+    "fold_constants",
+    "generic_025um", "insert_scan_chain", "map_to_gates", "optimize",
+    "NetlistStats", "netlist_stats",
+    "report_area", "report_timing", "sweep_dead_logic", "synthesize",
+]

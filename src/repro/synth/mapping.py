@@ -1,0 +1,525 @@
+"""Technology mapping: word-level RTL onto standard cells.
+
+Arithmetic is mapped through a *dot diagram*: every operand contributes
+single-bit partial products ("dots") at their binary weights, a carry-save
+reduction combines dots with full/half adders down to two rows, and a
+final ripple-carry stage produces the result.  This uniform engine covers
+addition, subtraction (two's complement), unsigned multiplication and
+Baugh-Wooley signed multiplication, with constant dots folded on the fly.
+
+Multiplexers (including ``Case`` selector trees) collapse structurally
+when both sides of a mux are the same nets, so sparse FSM case statements
+do not explode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rtl.expr import (Add, BitAnd, BitNot, BitOr, BitXor, Case, Cat, Cmp,
+                        Const, Expr, Ext, MemRead, Mul, Mux, Reduce, Ref,
+                        Shl, Shr, Slice, SMul, Sra, Sub)
+from ..rtl.ir import RtlModule
+from .library import DEFAULT_LIBRARY, Library
+from .netlist import CellInstance, MemoryMacro, Net, Netlist, NetlistError
+
+
+class MappingError(ValueError):
+    """Raised when an RTL construct cannot be mapped."""
+
+
+class TechnologyMapper:
+    """Maps one :class:`RtlModule` onto a :class:`Netlist`."""
+
+    def __init__(self, module: RtlModule, library: Library = DEFAULT_LIBRARY):
+        module.validate()
+        self.module = module
+        self.library = library
+        self.nl = Netlist(module.name, library)
+        self.bits: Dict[str, List[Net]] = {}
+        self._expr_cache: Dict[int, List[Net]] = {}
+        self._macros: Dict[str, MemoryMacro] = {}
+        self._deferred_read_enables: List[Tuple[MemoryMacro, int, Expr]] = []
+
+    # ------------------------------------------------------------------
+    # primitive helpers with constant folding
+    # ------------------------------------------------------------------
+    def _is0(self, net: Net) -> bool:
+        return net is self.nl.const0
+
+    def _is1(self, net: Net) -> bool:
+        return net is self.nl.const1
+
+    def inv(self, a: Net) -> Net:
+        if self._is0(a):
+            return self.nl.const1
+        if self._is1(a):
+            return self.nl.const0
+        return self.nl.add_cell("INV", {"A": a}).outputs["Y"]
+
+    def and2(self, a: Net, b: Net) -> Net:
+        if self._is0(a) or self._is0(b):
+            return self.nl.const0
+        if self._is1(a):
+            return b
+        if self._is1(b):
+            return a
+        if a is b:
+            return a
+        return self.nl.add_cell("AND2", {"A": a, "B": b}).outputs["Y"]
+
+    def nand2(self, a: Net, b: Net) -> Net:
+        if self._is0(a) or self._is0(b):
+            return self.nl.const1
+        if self._is1(a):
+            return self.inv(b)
+        if self._is1(b):
+            return self.inv(a)
+        return self.nl.add_cell("NAND2", {"A": a, "B": b}).outputs["Y"]
+
+    def or2(self, a: Net, b: Net) -> Net:
+        if self._is1(a) or self._is1(b):
+            return self.nl.const1
+        if self._is0(a):
+            return b
+        if self._is0(b):
+            return a
+        if a is b:
+            return a
+        return self.nl.add_cell("OR2", {"A": a, "B": b}).outputs["Y"]
+
+    def xor2(self, a: Net, b: Net) -> Net:
+        if self._is0(a):
+            return b
+        if self._is0(b):
+            return a
+        if self._is1(a):
+            return self.inv(b)
+        if self._is1(b):
+            return self.inv(a)
+        if a is b:
+            return self.nl.const0
+        return self.nl.add_cell("XOR2", {"A": a, "B": b}).outputs["Y"]
+
+    def xnor2(self, a: Net, b: Net) -> Net:
+        return self.inv(self.xor2(a, b))
+
+    def mux2(self, sel: Net, if_true: Net, if_false: Net) -> Net:
+        """MUX2 cell convention: Y = S ? B : A."""
+        if self._is1(sel):
+            return if_true
+        if self._is0(sel):
+            return if_false
+        if if_true is if_false:
+            return if_true
+        if self._is1(if_true) and self._is0(if_false):
+            return sel
+        if self._is0(if_true) and self._is1(if_false):
+            return self.inv(sel)
+        return self.nl.add_cell(
+            "MUX2", {"S": sel, "A": if_false, "B": if_true}
+        ).outputs["Y"]
+
+    def full_adder(self, a: Net, b: Net, c: Net) -> Tuple[Net, Net]:
+        """Returns (sum, carry), folding constant inputs."""
+        consts = [x for x in (a, b, c) if self._is0(x) or self._is1(x)]
+        if len(consts) >= 1:
+            ones = sum(1 for x in consts if self._is1(x))
+            rest = [x for x in (a, b, c)
+                    if not (self._is0(x) or self._is1(x))]
+            if len(rest) == 0:
+                return (
+                    self.nl.const1 if ones & 1 else self.nl.const0,
+                    self.nl.const1 if ones >= 2 else self.nl.const0,
+                )
+            if len(rest) == 1:
+                x = rest[0]
+                if ones == 0:
+                    return x, self.nl.const0
+                if ones == 1:
+                    return self.inv(x), x
+                return x, self.nl.const1
+            x, y = rest
+            if ones == 0:
+                return self.half_adder(x, y)
+            # ones == 1: sum = XNOR, carry = OR
+            return self.xnor2(x, y), self.or2(x, y)
+        inst = self.nl.add_cell("FA", {"A": a, "B": b, "CI": c})
+        return inst.outputs["S"], inst.outputs["CO"]
+
+    def half_adder(self, a: Net, b: Net) -> Tuple[Net, Net]:
+        if self._is0(a):
+            return b, self.nl.const0
+        if self._is0(b):
+            return a, self.nl.const0
+        if self._is1(a):
+            return self.inv(b), b
+        if self._is1(b):
+            return self.inv(a), a
+        inst = self.nl.add_cell("HA", {"A": a, "B": b})
+        return inst.outputs["S"], inst.outputs["CO"]
+
+    # ------------------------------------------------------------------
+    # dot-diagram arithmetic
+    # ------------------------------------------------------------------
+    def sum_dots(self, dots: List[List[Net]], width: int) -> List[Net]:
+        """Carry-save reduce *dots* (dots[w] = nets of weight w) to two
+        rows, then ripple-carry; returns *width* result bits."""
+        cols: List[List[Net]] = [list(c) for c in dots[:width]]
+        while len(cols) < width:
+            cols.append([])
+        # fold constants: pairs of 1s at weight w become one 1 at w+1
+        for w in range(width):
+            ones = sum(1 for n in cols[w] if self._is1(n))
+            cols[w] = [n for n in cols[w]
+                       if not (self._is0(n) or self._is1(n))]
+            carry, bit = divmod(ones, 2)
+            if bit:
+                cols[w].append(self.nl.const1)
+            if carry and w + 1 < width:
+                cols[w + 1].extend([self.nl.const1] * carry)
+        # carry-save reduction
+        while any(len(c) > 2 for c in cols):
+            nxt: List[List[Net]] = [[] for _ in range(width)]
+            for w in range(width):
+                col = cols[w]
+                i = 0
+                while len(col) - i >= 3:
+                    s, co = self.full_adder(col[i], col[i + 1], col[i + 2])
+                    i += 3
+                    nxt[w].append(s)
+                    if w + 1 < width:
+                        nxt[w + 1].append(co)
+                nxt[w].extend(col[i:])
+            cols = nxt
+        # final ripple-carry over at most two rows
+        result: List[Net] = []
+        carry = self.nl.const0
+        for w in range(width):
+            col = cols[w]
+            a = col[0] if len(col) > 0 else self.nl.const0
+            b = col[1] if len(col) > 1 else self.nl.const0
+            s, carry = self.full_adder(a, b, carry)
+            result.append(s)
+        return result
+
+    def add_bits(self, a: Sequence[Net], b: Sequence[Net],
+                 width: int, carry_in: Optional[Net] = None) -> List[Net]:
+        dots: List[List[Net]] = [[] for _ in range(width)]
+        for w in range(min(width, len(a))):
+            dots[w].append(a[w])
+        for w in range(min(width, len(b))):
+            dots[w].append(b[w])
+        if carry_in is not None:
+            dots[0].append(carry_in)
+        return self.sum_dots(dots, width)
+
+    def sub_bits(self, a: Sequence[Net], b: Sequence[Net],
+                 width: int) -> List[Net]:
+        """a - b over *width* bits (operands zero-extended)."""
+        a_ext = self._extend(list(a), width, signed=False)
+        b_ext = self._extend(list(b), width, signed=False)
+        b_inv = [self.inv(n) for n in b_ext]
+        return self.add_bits(a_ext, b_inv, width,
+                             carry_in=self.nl.const1)
+
+    def _rca_carry_out(self, a: Sequence[Net], b_inv: Sequence[Net]) -> Net:
+        """Carry-out of a + ~b + 1 (used by unsigned comparison)."""
+        carry = self.nl.const1
+        for x, y in zip(a, b_inv):
+            _s, carry = self.full_adder(x, y, carry)
+        return carry
+
+    def mul_bits(self, a: Sequence[Net], b: Sequence[Net],
+                 width: int) -> List[Net]:
+        """Unsigned multiply; result truncated to *width*."""
+        dots: List[List[Net]] = [[] for _ in range(width)]
+        for i, abit in enumerate(a):
+            for j, bbit in enumerate(b):
+                w = i + j
+                if w < width:
+                    dots[w].append(self.and2(abit, bbit))
+        return self.sum_dots(dots, width)
+
+    def smul_bits(self, a: Sequence[Net], b: Sequence[Net]) -> List[Net]:
+        """Baugh-Wooley signed multiply; result width len(a)+len(b)."""
+        m, n = len(a), len(b)
+        if m < 2 or n < 2:
+            raise MappingError("signed multiply needs operands >= 2 bits")
+        width = m + n
+        dots: List[List[Net]] = [[] for _ in range(width)]
+        for i in range(m - 1):
+            for j in range(n - 1):
+                dots[i + j].append(self.and2(a[i], b[j]))
+        for j in range(n - 1):
+            dots[m - 1 + j].append(self.nand2(a[m - 1], b[j]))
+        for i in range(m - 1):
+            dots[n - 1 + i].append(self.nand2(a[i], b[n - 1]))
+        dots[m + n - 2].append(self.and2(a[m - 1], b[n - 1]))
+        dots[m - 1].append(self.nl.const1)
+        dots[n - 1].append(self.nl.const1)
+        dots[m + n - 1].append(self.nl.const1)
+        return self.sum_dots(dots, width)
+
+    # ------------------------------------------------------------------
+    # bit-vector utilities
+    # ------------------------------------------------------------------
+    def _extend(self, bits: List[Net], width: int, signed: bool) -> List[Net]:
+        if len(bits) >= width:
+            return bits[:width]
+        pad = bits[-1] if signed else self.nl.const0
+        return bits + [pad] * (width - len(bits))
+
+    def const_bits(self, value: int, width: int) -> List[Net]:
+        return [
+            self.nl.const1 if (value >> i) & 1 else self.nl.const0
+            for i in range(width)
+        ]
+
+    def _and_tree(self, nets: List[Net]) -> Net:
+        if not nets:
+            return self.nl.const1
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(self.and2(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    def _or_tree(self, nets: List[Net]) -> Net:
+        if not nets:
+            return self.nl.const0
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(self.or2(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    def _xor_tree(self, nets: List[Net]) -> Net:
+        if not nets:
+            return self.nl.const0
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(self.xor2(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    # ------------------------------------------------------------------
+    # expression mapping
+    # ------------------------------------------------------------------
+    def map_expr(self, expr: Expr) -> List[Net]:
+        cached = self._expr_cache.get(id(expr))
+        if cached is not None:
+            return cached
+        bits = self._map_expr_uncached(expr)
+        if len(bits) != expr.width:
+            raise MappingError(
+                f"{type(expr).__name__} mapped to {len(bits)} bits, "
+                f"expected {expr.width}"
+            )
+        self._expr_cache[id(expr)] = bits
+        return bits
+
+    def _map_expr_uncached(self, expr: Expr) -> List[Net]:
+        if isinstance(expr, Const):
+            return self.const_bits(expr.value, expr.width)
+        if isinstance(expr, Ref):
+            return list(self.bits[expr.name])
+        if isinstance(expr, Add):
+            return self.add_bits(self.map_expr(expr.a), self.map_expr(expr.b),
+                                 expr.width)
+        if isinstance(expr, Sub):
+            return self.sub_bits(self.map_expr(expr.a), self.map_expr(expr.b),
+                                 expr.width)
+        if isinstance(expr, Mul):
+            return self.mul_bits(self.map_expr(expr.a), self.map_expr(expr.b),
+                                 expr.width)
+        if isinstance(expr, SMul):
+            return self.smul_bits(self.map_expr(expr.a),
+                                  self.map_expr(expr.b))
+        if isinstance(expr, (BitAnd, BitOr, BitXor)):
+            a = self._extend(self.map_expr(expr.a), expr.width, signed=False)
+            b = self._extend(self.map_expr(expr.b), expr.width, signed=False)
+            fn = {BitAnd: self.and2, BitOr: self.or2,
+                  BitXor: self.xor2}[type(expr)]
+            return [fn(x, y) for x, y in zip(a, b)]
+        if isinstance(expr, BitNot):
+            return [self.inv(n) for n in self.map_expr(expr.a)]
+        if isinstance(expr, Shl):
+            bits = self.map_expr(expr.a)
+            return [self.nl.const0] * expr.amount + bits
+        if isinstance(expr, Shr):
+            bits = self.map_expr(expr.a)[expr.amount:]
+            return bits if bits else [self.nl.const0]
+        if isinstance(expr, Sra):
+            bits = self.map_expr(expr.a)
+            sign = bits[-1]
+            out = bits[expr.amount:] + [sign] * min(expr.amount, len(bits))
+            return out[:expr.width]
+        if isinstance(expr, Cmp):
+            return [self._map_cmp(expr)]
+        if isinstance(expr, Mux):
+            sel = self.map_expr(expr.sel)[0]
+            t = self._extend(self.map_expr(expr.if_true), expr.width, False)
+            f = self._extend(self.map_expr(expr.if_false), expr.width, False)
+            return [self.mux2(sel, x, y) for x, y in zip(t, f)]
+        if isinstance(expr, Case):
+            return self._map_case(expr)
+        if isinstance(expr, Cat):
+            out: List[Net] = []
+            for part in reversed(expr.parts):
+                out.extend(self.map_expr(part))
+            return out
+        if isinstance(expr, Slice):
+            return self.map_expr(expr.a)[expr.lsb:expr.msb + 1]
+        if isinstance(expr, Ext):
+            return self._extend(self.map_expr(expr.a), expr.width,
+                                expr.signed)
+        if isinstance(expr, Reduce):
+            bits = self.map_expr(expr.a)
+            if expr.op == "and":
+                return [self._and_tree(list(bits))]
+            if expr.op == "or":
+                return [self._or_tree(list(bits))]
+            return [self._xor_tree(list(bits))]
+        if isinstance(expr, MemRead):
+            macro = self._macros[expr.mem_name]
+            addr_width = max(1, (macro.depth).bit_length())
+            addr = self._extend(self.map_expr(expr.addr), addr_width, False)
+            data = self.nl.add_mem_read_port(macro, addr)
+            # The RTL read port sharing this address expression may carry a
+            # chip-select; map it after all assigns exist (it may reference
+            # nets declared later).
+            enable = self._read_enable_exprs.get((expr.mem_name,
+                                                  id(expr.addr)))
+            if enable is not None:
+                self._deferred_read_enables.append(
+                    (macro, len(macro.read_ports) - 1, enable)
+                )
+            return data
+        raise MappingError(f"cannot map {type(expr).__name__}")
+
+    def _map_cmp(self, expr: Cmp) -> Net:
+        a_bits = self.map_expr(expr.a)
+        b_bits = self.map_expr(expr.b)
+        w = max(len(a_bits), len(b_bits))
+        signed = expr.op in ("slt", "sle")
+        a = self._extend(a_bits, w, signed)
+        b = self._extend(b_bits, w, signed)
+        if signed:
+            # Bias trick: flip sign bits, then compare unsigned.
+            a = a[:-1] + [self.inv(a[-1])]
+            b = b[:-1] + [self.inv(b[-1])]
+        op = expr.op
+        if op == "eq" or op == "ne":
+            diff = [self.xor2(x, y) for x, y in zip(a, b)]
+            any_diff = self._or_tree(diff)
+            return any_diff if op == "ne" else self.inv(any_diff)
+        if op in ("ult", "slt"):
+            # a < b  <=>  no carry out of a + ~b + 1
+            return self.inv(
+                self._rca_carry_out(a, [self.inv(n) for n in b])
+            )
+        # ule / sle: a <= b  <=>  not (b < a)
+        return self._rca_carry_out(b, [self.inv(n) for n in a])
+
+    def _map_case(self, expr: Case) -> List[Net]:
+        width = expr.width
+        default = tuple(
+            self._extend(self.map_expr(expr.default), width, False)
+        )
+        leaves: Dict[int, Tuple[Net, ...]] = {}
+        for value, branch in expr.branches.items():
+            leaves[value] = tuple(
+                self._extend(self.map_expr(branch), width, False)
+            )
+        sel_bits = self.map_expr(expr.sel)
+
+        def build(bit: int, prefix_value: int) -> Tuple[Net, ...]:
+            if bit < 0:
+                return leaves.get(prefix_value, default)
+            low = build(bit - 1, prefix_value)
+            high = build(bit - 1, prefix_value | (1 << bit))
+            if low == high:
+                return low
+            sel = sel_bits[bit]
+            return tuple(
+                self.mux2(sel, h, l) for h, l in zip(high, low)
+            )
+
+        return list(build(len(sel_bits) - 1, 0))
+
+    # ------------------------------------------------------------------
+    # top-level
+    # ------------------------------------------------------------------
+    def run(self) -> Netlist:
+        module = self.module
+        # primary inputs
+        for port in module.ports:
+            if port.direction == "in":
+                self.bits[port.name] = self.nl.add_input(port.name,
+                                                         port.width)
+        # register Q nets (flop cells attached after nexts are mapped)
+        reg_q: Dict[str, List[Net]] = {}
+        for reg in module.registers:
+            nets = self.nl.new_nets(reg.width, reg.name)
+            reg_q[reg.name] = nets
+            self.bits[reg.name] = nets
+        # memory macros
+        self._read_enable_exprs: Dict[Tuple[str, int], Expr] = {}
+        for mem in module.memories:
+            self._macros[mem.name] = self.nl.add_memory(
+                mem.name, mem.depth, mem.width, mem.contents
+            )
+            for rp in mem.read_ports:
+                if rp.enable is not None:
+                    self._read_enable_exprs[(mem.name, id(rp.addr))] = \
+                        rp.enable
+        # combinational assigns in dependency order
+        for assign in module.topo_assign_order():
+            self.bits[assign.name] = self.map_expr(assign.expr)
+        # register next functions -> flops
+        for reg in module.registers:
+            d_bits = self._extend(self.map_expr(reg.next), reg.width, False)
+            for i, (d, q) in enumerate(zip(d_bits, reg_q[reg.name])):
+                inst = CellInstance(
+                    f"{reg.name}_ff{i}", "DFF", {"D": d}, {"Q": q},
+                    init=(reg.init >> i) & 1,
+                )
+                q.kind = "cell"
+                q.driver = (inst, "Q")
+                self.nl.cells.append(inst)
+        # memory write ports and deferred read enables
+        for mem in module.memories:
+            macro = self._macros[mem.name]
+            addr_width = max(1, macro.depth.bit_length())
+            for wp in mem.write_ports:
+                en = self.map_expr(wp.enable)[0]
+                addr = self._extend(self.map_expr(wp.addr), addr_width,
+                                    False)
+                data = self._extend(self.map_expr(wp.data), macro.width,
+                                    False)
+                self.nl.add_mem_write_port(macro, en, addr, data)
+        for macro, port_index, enable in self._deferred_read_enables:
+            macro.read_ports[port_index].enable = self.map_expr(enable)[0]
+        # outputs
+        for port in module.ports:
+            if port.direction == "out":
+                source = module.outputs[port.name]
+                self.nl.set_output(port.name, self.bits[source])
+        self.nl.validate()
+        return self.nl
+
+
+def map_to_gates(module: RtlModule,
+                 library: Library = DEFAULT_LIBRARY) -> Netlist:
+    """Convenience wrapper: map *module* onto gates from *library*."""
+    return TechnologyMapper(module, library).run()

@@ -1,0 +1,330 @@
+"""Netlist optimisation passes.
+
+Mirrors what Design Compiler does after elaboration, at the level of
+detail the paper's evaluation depends on:
+
+* **constant folding** -- controlling constants collapse gates, constant
+  registers disappear (a flop whose D equals its Q holds its init value
+  forever and becomes a constant);
+* **buffer/double-inverter collapse**;
+* **common-subexpression elimination** -- structurally identical gates
+  merge, including identical flops (register merging);
+* **dead-logic sweep** -- cones that reach no output, register or memory
+  port are deleted.
+
+Passes run to a fixpoint.  All passes preserve cycle-accurate behaviour,
+which the equivalence tests (gate sim vs. RTL sim) verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .netlist import CellInstance, Net, Netlist
+
+_COMMUTATIVE = {"AND2", "OR2", "XOR2", "XNOR2", "NAND2", "NOR2", "HA"}
+
+
+class _Rewriter:
+    """Accumulates net aliases and applies them in one sweep."""
+
+    def __init__(self, netlist: Netlist):
+        self.nl = netlist
+        self.alias: Dict[Net, Net] = {}
+        self.dead_cells: Set[CellInstance] = set()
+
+    def resolve(self, net: Net) -> Net:
+        seen = []
+        while net in self.alias:
+            seen.append(net)
+            net = self.alias[net]
+        for s in seen:  # path compression
+            self.alias[s] = net
+        return net
+
+    def replace(self, old: Net, new: Net) -> None:
+        if old is not new:
+            self.alias[old] = new
+
+    def kill(self, cell: CellInstance) -> None:
+        self.dead_cells.add(cell)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.alias) or bool(self.dead_cells)
+
+    def apply(self) -> None:
+        if not self.changed:
+            return
+        nl = self.nl
+        if self.dead_cells:
+            nl.cells = [c for c in nl.cells if c not in self.dead_cells]
+        if self.alias:
+            for cell in nl.cells:
+                for pin in cell.pins:
+                    cell.pins[pin] = self.resolve(cell.pins[pin])
+            for name in nl.outputs:
+                nl.outputs[name] = [self.resolve(n)
+                                    for n in nl.outputs[name]]
+            for macro in nl.memories:
+                for rp in macro.read_ports:
+                    rp.addr = [self.resolve(n) for n in rp.addr]
+                    if rp.enable is not None:
+                        rp.enable = self.resolve(rp.enable)
+                for wp in macro.write_ports:
+                    wp.enable = self.resolve(wp.enable)
+                    wp.addr = [self.resolve(n) for n in wp.addr]
+                    wp.data = [self.resolve(n) for n in wp.data]
+
+
+def _const_value(nl: Netlist, net: Net) -> Optional[int]:
+    if net is nl.const0:
+        return 0
+    if net is nl.const1:
+        return 1
+    return None
+
+
+def _const_net(nl: Netlist, value: int) -> Net:
+    return nl.const1 if value else nl.const0
+
+
+def fold_constants(nl: Netlist) -> bool:
+    """One constant-folding / local-simplification sweep."""
+    rw = _Rewriter(nl)
+    new_cells: List[CellInstance] = []
+
+    def inv_of(net: Net) -> Net:
+        c = _const_value(nl, net)
+        if c is not None:
+            return _const_net(nl, 1 - c)
+        inst = CellInstance(f"opt_inv{len(new_cells)}", "INV", {"A": net},
+                            {"Y": nl.new_net()})
+        inst.outputs["Y"].kind = "cell"
+        inst.outputs["Y"].driver = (inst, "Y")
+        new_cells.append(inst)
+        return inst.outputs["Y"]
+
+    for cell in nl.cells:
+        t = cell.cell_type
+        if t == "BUF":
+            rw.replace(cell.outputs["Y"], cell.pins["A"])
+            rw.kill(cell)
+            continue
+        if t == "INV":
+            a = cell.pins["A"]
+            c = _const_value(nl, a)
+            if c is not None:
+                rw.replace(cell.outputs["Y"], _const_net(nl, 1 - c))
+                rw.kill(cell)
+            elif a.kind == "cell" and a.driver is not None and \
+                    a.driver[0].cell_type == "INV" and \
+                    a.driver[0] not in rw.dead_cells:
+                rw.replace(cell.outputs["Y"], a.driver[0].pins["A"])
+                rw.kill(cell)
+            continue
+        if t in ("AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2"):
+            a, b = cell.pins["A"], cell.pins["B"]
+            ca, cb = _const_value(nl, a), _const_value(nl, b)
+            y = cell.outputs["Y"]
+            result: Optional[Net] = None
+            if ca is not None and cb is not None:
+                table = {"AND2": ca & cb, "OR2": ca | cb,
+                         "NAND2": 1 - (ca & cb), "NOR2": 1 - (ca | cb),
+                         "XOR2": ca ^ cb, "XNOR2": 1 - (ca ^ cb)}
+                result = _const_net(nl, table[t])
+            elif ca is not None or cb is not None:
+                const, var = (ca, b) if ca is not None else (cb, a)
+                if t == "AND2":
+                    result = var if const else nl.const0
+                elif t == "OR2":
+                    result = nl.const1 if const else var
+                elif t == "NAND2":
+                    result = inv_of(var) if const else nl.const1
+                elif t == "NOR2":
+                    result = nl.const0 if const else inv_of(var)
+                elif t == "XOR2":
+                    result = inv_of(var) if const else var
+                else:  # XNOR2
+                    result = var if const else inv_of(var)
+            elif a is b:
+                same = {"AND2": a, "OR2": a}
+                if t in same:
+                    result = same[t]
+                elif t == "XOR2":
+                    result = nl.const0
+                elif t == "XNOR2":
+                    result = nl.const1
+                elif t == "NAND2" or t == "NOR2":
+                    result = inv_of(a)
+            if result is not None:
+                rw.replace(y, result)
+                rw.kill(cell)
+            continue
+        if t == "MUX2":
+            s, a, b = cell.pins["S"], cell.pins["A"], cell.pins["B"]
+            y = cell.outputs["Y"]
+            cs = _const_value(nl, s)
+            ca, cb = _const_value(nl, a), _const_value(nl, b)
+            if cs is not None:
+                rw.replace(y, b if cs else a)
+                rw.kill(cell)
+            elif a is b:
+                rw.replace(y, a)
+                rw.kill(cell)
+            elif ca == 0 and cb == 1:
+                rw.replace(y, s)
+                rw.kill(cell)
+            elif ca == 1 and cb == 0:
+                rw.replace(y, inv_of(s))
+                rw.kill(cell)
+            continue
+        if t == "HA":
+            a, b = cell.pins["A"], cell.pins["B"]
+            ca, cb = _const_value(nl, a), _const_value(nl, b)
+            if ca is not None or cb is not None:
+                const, var = (ca, b) if ca is not None else (cb, a)
+                if const == 0:
+                    rw.replace(cell.outputs["S"], var)
+                    rw.replace(cell.outputs["CO"], nl.const0)
+                else:
+                    rw.replace(cell.outputs["S"], inv_of(var))
+                    rw.replace(cell.outputs["CO"], var)
+                rw.kill(cell)
+            continue
+        if t == "FA":
+            a, b, ci = cell.pins["A"], cell.pins["B"], cell.pins["CI"]
+            consts = [(p, _const_value(nl, n))
+                      for p, n in (("A", a), ("B", b), ("CI", ci))]
+            known = [(p, c) for p, c in consts if c is not None]
+            if known:
+                ones = sum(c for _p, c in known)
+                unknown = [cell.pins[p] for p, c in consts if c is None]
+                if len(unknown) == 0:
+                    rw.replace(cell.outputs["S"], _const_net(nl, ones & 1))
+                    rw.replace(cell.outputs["CO"],
+                               _const_net(nl, 1 if ones >= 2 else 0))
+                    rw.kill(cell)
+                elif len(unknown) == 1:
+                    x = unknown[0]
+                    if ones == 0:
+                        rw.replace(cell.outputs["S"], x)
+                        rw.replace(cell.outputs["CO"], nl.const0)
+                    elif ones == 1:
+                        rw.replace(cell.outputs["S"], inv_of(x))
+                        rw.replace(cell.outputs["CO"], x)
+                    else:
+                        rw.replace(cell.outputs["S"], x)
+                        rw.replace(cell.outputs["CO"], nl.const1)
+                    rw.kill(cell)
+                elif len(unknown) == 2 and ones == 0:
+                    inst = CellInstance(
+                        f"opt_ha{len(new_cells)}", "HA",
+                        {"A": unknown[0], "B": unknown[1]},
+                        {"S": nl.new_net(), "CO": nl.new_net()},
+                    )
+                    for pin, net in inst.outputs.items():
+                        net.kind = "cell"
+                        net.driver = (inst, pin)
+                    new_cells.append(inst)
+                    rw.replace(cell.outputs["S"], inst.outputs["S"])
+                    rw.replace(cell.outputs["CO"], inst.outputs["CO"])
+                    rw.kill(cell)
+            continue
+        if t == "DFF":
+            d, q = cell.pins["D"], cell.outputs["Q"]
+            cd = _const_value(nl, d)
+            if cd is not None and cd == cell.init:
+                # Register stuck at its init value.
+                rw.replace(q, _const_net(nl, cd))
+                rw.kill(cell)
+            elif d is q:
+                # Self-loop: holds the init value forever.
+                rw.replace(q, _const_net(nl, cell.init))
+                rw.kill(cell)
+            continue
+    nl.cells.extend(new_cells)
+    changed = rw.changed
+    rw.apply()
+    return changed
+
+
+def eliminate_common_subexpressions(nl: Netlist) -> bool:
+    """Merge structurally identical cells (including identical flops)."""
+    rw = _Rewriter(nl)
+    seen: Dict[Tuple, CellInstance] = {}
+    for cell in nl.cells:
+        t = cell.cell_type
+        if t in _COMMUTATIVE:
+            key = (t, frozenset(n.uid for n in cell.pins.values()))
+        elif t == "FA":
+            key = (t, frozenset((cell.pins["A"].uid, cell.pins["B"].uid)),
+                   cell.pins["CI"].uid)
+        elif t == "DFF":
+            key = (t, cell.pins["D"].uid, cell.init)
+        elif t == "SDFF":
+            continue  # scan flops are chained; never merge
+        else:
+            key = (t, tuple(sorted(
+                (pin, net.uid) for pin, net in cell.pins.items()
+            )))
+        prior = seen.get(key)
+        if prior is None:
+            seen[key] = cell
+        else:
+            for pin, net in cell.outputs.items():
+                rw.replace(net, prior.outputs[pin])
+            rw.kill(cell)
+    changed = rw.changed
+    rw.apply()
+    return changed
+
+
+def sweep_dead_logic(nl: Netlist) -> bool:
+    """Remove cells whose outputs reach no output/flop/memory port."""
+    live_nets: Set[Net] = set()
+    for nets in nl.outputs.values():
+        live_nets.update(nets)
+    for macro in nl.memories:
+        for rp in macro.read_ports:
+            live_nets.update(rp.addr)
+            if rp.enable is not None:
+                live_nets.add(rp.enable)
+        for wp in macro.write_ports:
+            live_nets.add(wp.enable)
+            live_nets.update(wp.addr)
+            live_nets.update(wp.data)
+
+    driver_of: Dict[Net, CellInstance] = {}
+    for cell in nl.cells:
+        for net in cell.outputs.values():
+            driver_of[net] = cell
+
+    live_cells: Set[CellInstance] = set()
+    stack = [driver_of[n] for n in live_nets if n in driver_of]
+    while stack:
+        cell = stack.pop()
+        if cell in live_cells:
+            continue
+        live_cells.add(cell)
+        for net in cell.pins.values():
+            drv = driver_of.get(net)
+            if drv is not None and drv not in live_cells:
+                stack.append(drv)
+
+    if len(live_cells) == len(nl.cells):
+        return False
+    nl.cells = [c for c in nl.cells if c in live_cells]
+    return True
+
+
+def optimize(nl: Netlist, max_iterations: int = 100) -> Netlist:
+    """Run all passes to a fixpoint; returns the (mutated) netlist."""
+    for _ in range(max_iterations):
+        changed = fold_constants(nl)
+        changed |= eliminate_common_subexpressions(nl)
+        changed |= sweep_dead_logic(nl)
+        if not changed:
+            break
+    nl.validate()
+    return nl

@@ -1,0 +1,91 @@
+"""Area reporting (Design Compiler's ``report_area``).
+
+Splits cell area into combinational and non-combinational (sequential),
+exactly the split the paper's Figure 10 plots.  Memory macros are
+excluded "because they are identical for all implementations and do not
+reflect the quality of the synthesis result" (paper Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .netlist import Netlist
+
+
+@dataclass
+class AreaReport:
+    """Area summary of one synthesised design."""
+
+    design: str
+    combinational: float
+    sequential: float
+    cell_counts: Dict[str, int] = field(default_factory=dict)
+    flop_count: int = 0
+    excluded_memories: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return self.combinational + self.sequential
+
+    def relative_to(self, reference: "AreaReport") -> "RelativeArea":
+        return RelativeArea(
+            design=self.design,
+            reference=reference.design,
+            combinational=self.combinational / reference.total * 100.0,
+            sequential=self.sequential / reference.total * 100.0,
+        )
+
+    def format(self) -> str:
+        lines = [
+            f"Area report for {self.design}",
+            f"  combinational area : {self.combinational:10.1f}",
+            f"  noncombinational   : {self.sequential:10.1f}",
+            f"  total cell area    : {self.total:10.1f}",
+            f"  flip-flops         : {self.flop_count:7d}",
+        ]
+        if self.excluded_memories:
+            lines.append(
+                "  memories excluded  : " + ", ".join(self.excluded_memories)
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class RelativeArea:
+    """Area of one design normalised to a reference total (= 100 %)."""
+
+    design: str
+    reference: str
+    combinational: float
+    sequential: float
+
+    @property
+    def total(self) -> float:
+        return self.combinational + self.sequential
+
+
+def report_area(netlist: Netlist, design_name: str = None) -> AreaReport:
+    """Aggregate cell areas of *netlist* (memories excluded)."""
+    lib = netlist.library
+    combinational = 0.0
+    sequential = 0.0
+    counts: Dict[str, int] = {}
+    flops = 0
+    for cell in netlist.cells:
+        spec = lib[cell.cell_type]
+        counts[cell.cell_type] = counts.get(cell.cell_type, 0) + 1
+        if spec.sequential:
+            sequential += spec.area
+            flops += 1
+        else:
+            combinational += spec.area
+    return AreaReport(
+        design=design_name or netlist.name,
+        combinational=combinational,
+        sequential=sequential,
+        cell_counts=counts,
+        flop_count=flops,
+        excluded_memories=[m.name for m in netlist.memories],
+    )

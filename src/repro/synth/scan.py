@@ -1,0 +1,40 @@
+"""Scan-chain insertion.
+
+The paper's area numbers include a scan chain in every design (Section
+5.2), so synthesis replaces each DFF with a scan flop (SDFF: internal
+D/SI mux selected by scan-enable) and stitches all flops into a single
+chain from ``scan_in`` to ``scan_out``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .netlist import CellInstance, Netlist, NetlistError
+
+
+def insert_scan_chain(netlist: Netlist) -> Netlist:
+    """Replace every DFF with an SDFF and stitch the scan chain.
+
+    Adds ports ``scan_in``, ``scan_en`` (inputs) and ``scan_out``
+    (output).  Chain order follows cell order (deterministic).
+    """
+    if netlist.scan_chain:
+        raise NetlistError(f"{netlist.name!r} already has a scan chain")
+    flops = [c for c in netlist.cells if c.cell_type == "DFF"]
+    scan_in = netlist.add_input("scan_in", 1)[0]
+    scan_en = netlist.add_input("scan_en", 1)[0]
+
+    previous = scan_in
+    chain: List[CellInstance] = []
+    for flop in flops:
+        flop.cell_type = "SDFF"
+        flop.pins["SI"] = previous
+        flop.pins["SE"] = scan_en
+        previous = flop.outputs["Q"]
+        chain.append(flop)
+
+    netlist.set_output("scan_out", [previous])
+    netlist.scan_chain = chain
+    netlist.validate()
+    return netlist

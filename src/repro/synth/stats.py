@@ -1,0 +1,101 @@
+"""Structural netlist statistics.
+
+Logic-depth and fanout analysis of a gate netlist -- the quick sanity
+panel a designer checks after synthesis, complementing the area and
+timing reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .netlist import CellInstance, Net, Netlist
+
+
+@dataclass
+class NetlistStats:
+    """Depth/fanout summary of one netlist."""
+
+    design: str
+    cell_count: int
+    flop_count: int
+    max_logic_depth: int
+    mean_logic_depth: float
+    max_fanout: int
+    mean_fanout: float
+    depth_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def format(self) -> str:
+        return (
+            f"Netlist statistics for {self.design}\n"
+            f"  cells          : {self.cell_count}\n"
+            f"  flip-flops     : {self.flop_count}\n"
+            f"  logic depth    : max {self.max_logic_depth}, "
+            f"mean {self.mean_logic_depth:.1f}\n"
+            f"  fanout         : max {self.max_fanout}, "
+            f"mean {self.mean_fanout:.2f}"
+        )
+
+
+def netlist_stats(netlist: Netlist) -> NetlistStats:
+    """Compute structural statistics of *netlist*."""
+    lib = netlist.library
+    comb = [c for c in netlist.cells if not lib[c.cell_type].sequential]
+    flops = [c for c in netlist.cells if lib[c.cell_type].sequential]
+
+    driver_of: Dict[Net, CellInstance] = {}
+    for cell in comb:
+        for net in cell.outputs.values():
+            driver_of[net] = cell
+
+    # levelise combinational cells (depth from inputs/flops/consts)
+    depth: Dict[CellInstance, int] = {}
+
+    def level_of(cell: CellInstance) -> int:
+        if cell in depth:
+            return depth[cell]
+        stack = [(cell, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in depth:
+                continue
+            if expanded:
+                level = 1
+                for net in current.pins.values():
+                    drv = driver_of.get(net)
+                    if drv is not None:
+                        level = max(level, depth[drv] + 1)
+                depth[current] = level
+                continue
+            stack.append((current, True))
+            for net in current.pins.values():
+                drv = driver_of.get(net)
+                if drv is not None and drv not in depth:
+                    stack.append((drv, False))
+        return depth[cell]
+
+    for cell in comb:
+        level_of(cell)
+
+    histogram: Dict[int, int] = {}
+    for level in depth.values():
+        histogram[level] = histogram.get(level, 0) + 1
+
+    fanouts: List[int] = []
+    fanout_index = netlist.fanout_index()
+    for cell in netlist.cells:
+        for net in cell.outputs.values():
+            fanouts.append(len(fanout_index.get(net, ())))
+
+    depths = list(depth.values()) or [0]
+    return NetlistStats(
+        design=netlist.name,
+        cell_count=len(netlist.cells),
+        flop_count=len(flops),
+        max_logic_depth=max(depths),
+        mean_logic_depth=sum(depths) / len(depths),
+        max_fanout=max(fanouts) if fanouts else 0,
+        mean_fanout=(sum(fanouts) / len(fanouts)) if fanouts else 0.0,
+        depth_histogram=dict(sorted(histogram.items())),
+    )

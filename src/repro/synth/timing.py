@@ -1,0 +1,180 @@
+"""Static timing analysis over the gate netlist.
+
+Computes the longest combinational path (register/input -> register/
+output) using per-cell worst-case delays, and checks it against the
+clock constraint (the paper's fixed 40 ns).  Memory macros contribute a
+fixed access delay on their read paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .netlist import CellInstance, Net, Netlist
+
+#: modelled asynchronous RAM/ROM access time (ns)
+MEMORY_ACCESS_NS = 2.5
+#: flop clock-to-Q (ns)
+CLK_TO_Q_NS = 0.45
+#: flop setup time (ns)
+SETUP_NS = 0.25
+
+
+@dataclass
+class TimingReport:
+    design: str
+    critical_path_ns: float
+    clock_ns: float
+    #: nets on the critical path, source first
+    path: List[str]
+
+    @property
+    def slack_ns(self) -> float:
+        return self.clock_ns - self.critical_path_ns
+
+    @property
+    def met(self) -> bool:
+        return self.slack_ns >= 0.0
+
+    def format(self) -> str:
+        status = "MET" if self.met else "VIOLATED"
+        return (
+            f"Timing report for {self.design}\n"
+            f"  clock period  : {self.clock_ns:8.2f} ns\n"
+            f"  critical path : {self.critical_path_ns:8.2f} ns\n"
+            f"  slack         : {self.slack_ns:8.2f} ns  ({status})"
+        )
+
+
+def _levelize(netlist: Netlist) -> List[CellInstance]:
+    """Combinational cells in topological order (flops are sources)."""
+    lib = netlist.library
+    comb = [c for c in netlist.cells if not lib[c.cell_type].sequential]
+    driver_of: Dict[Net, CellInstance] = {}
+    for cell in comb:
+        for net in cell.outputs.values():
+            driver_of[net] = cell
+    order: List[CellInstance] = []
+    state: Dict[CellInstance, int] = {}
+
+    for root in comb:
+        stack: List[Tuple[CellInstance, bool]] = [(root, False)]
+        while stack:
+            cell, expanded = stack.pop()
+            mark = state.get(cell)
+            if mark == 2:
+                continue
+            if expanded:
+                state[cell] = 2
+                order.append(cell)
+                continue
+            if mark == 1:
+                raise ValueError(
+                    f"combinational loop through {cell.name}"
+                )
+            state[cell] = 1
+            stack.append((cell, True))
+            for net in cell.pins.values():
+                dep = driver_of.get(net)
+                if dep is not None and state.get(dep) != 2:
+                    stack.append((dep, False))
+    return order
+
+
+def report_timing(netlist: Netlist, clock_ns: float,
+                  design_name: Optional[str] = None) -> TimingReport:
+    """Longest-path analysis of *netlist* against *clock_ns*."""
+    lib = netlist.library
+    arrival: Dict[Net, float] = {}
+    pred: Dict[Net, Optional[Net]] = {}
+
+    def seed(net: Net, t: float) -> None:
+        if arrival.get(net, -1.0) < t:
+            arrival[net] = t
+            pred[net] = None
+
+    seed(netlist.const0, 0.0)
+    seed(netlist.const1, 0.0)
+    for nets in netlist.inputs.values():
+        for net in nets:
+            seed(net, 0.0)
+    for cell in netlist.flops():
+        for net in cell.outputs.values():
+            seed(net, CLK_TO_Q_NS)
+    for macro in netlist.memories:
+        # Read data lags the slowest address bit by the access time; the
+        # address itself is combinational, so resolve after levelisation.
+        pass
+
+    order = _levelize(netlist)
+
+    # Memory read data nets depend on address nets, which are driven by
+    # combinational cells.  Handle by iterating: first assume access time
+    # from t=0, then refine once all cell arrivals are known.
+    for _ in range(2):
+        for macro in netlist.memories:
+            for rp in macro.read_ports:
+                addr_t = max(
+                    (arrival.get(n, 0.0) for n in rp.addr), default=0.0
+                )
+                worst_addr = None
+                for n in rp.addr:
+                    if arrival.get(n, 0.0) == addr_t:
+                        worst_addr = n
+                        break
+                for net in rp.data:
+                    if arrival.get(net, -1.0) < addr_t + MEMORY_ACCESS_NS:
+                        arrival[net] = addr_t + MEMORY_ACCESS_NS
+                        pred[net] = worst_addr
+        for cell in order:
+            delay = lib[cell.cell_type].delay_ns
+            in_t = 0.0
+            worst = None
+            for net in cell.pins.values():
+                t = arrival.get(net, 0.0)
+                if t >= in_t:
+                    in_t = t
+                    worst = net
+            for net in cell.outputs.values():
+                if arrival.get(net, -1.0) < in_t + delay:
+                    arrival[net] = in_t + delay
+                    pred[net] = worst
+
+    # endpoints: flop D pins (+ setup), outputs, memory write/addr pins
+    best_t = 0.0
+    best_net: Optional[Net] = None
+    for cell in netlist.flops():
+        for net in cell.pins.values():
+            t = arrival.get(net, 0.0) + SETUP_NS
+            if t > best_t:
+                best_t, best_net = t, net
+    for nets in netlist.outputs.values():
+        for net in nets:
+            t = arrival.get(net, 0.0)
+            if t > best_t:
+                best_t, best_net = t, net
+    for macro in netlist.memories:
+        pins: List[Net] = []
+        for rp in macro.read_ports:
+            pins.extend(rp.addr)
+        for wp in macro.write_ports:
+            pins.extend([wp.enable, *wp.addr, *wp.data])
+        for net in pins:
+            t = arrival.get(net, 0.0) + SETUP_NS
+            if t > best_t:
+                best_t, best_net = t, net
+
+    path: List[str] = []
+    net = best_net
+    while net is not None:
+        path.append(net.name)
+        net = pred.get(net)
+    path.reverse()
+
+    return TimingReport(
+        design=design_name or netlist.name,
+        critical_path_ns=best_t,
+        clock_ns=clock_ns,
+        path=path,
+    )

@@ -1,0 +1,149 @@
+"""Structural Verilog emission for gate-level netlists.
+
+Writes the synthesised design as a flat standard-cell netlist -- the
+"Gate-level (Verilog)" artefact at the bottom of the paper's Figure 1
+design flow.  Cells are emitted as instances of behavioural cell models
+(also emitted, once, into the same file) so the output is simulatable by
+any Verilog simulator; memory macros become behavioural arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .library import Library
+from .netlist import CellInstance, MemoryMacro, Net, Netlist
+
+_CELL_TEMPLATES = {
+    "INV": "assign Y = ~A;",
+    "BUF": "assign Y = A;",
+    "NAND2": "assign Y = ~(A & B);",
+    "NOR2": "assign Y = ~(A | B);",
+    "AND2": "assign Y = A & B;",
+    "OR2": "assign Y = A | B;",
+    "XOR2": "assign Y = A ^ B;",
+    "XNOR2": "assign Y = ~(A ^ B);",
+    "MUX2": "assign Y = S ? B : A;",
+    "FA": "assign S = A ^ B ^ CI;\n  assign CO = (A & B) | (A & CI) | (B & CI);",
+    "HA": "assign S = A ^ B;\n  assign CO = A & B;",
+    "DFF": "always @(posedge CK) Q <= D;",
+    "SDFF": "always @(posedge CK) Q <= SE ? SI : D;",
+}
+
+
+def _emit_cell_model(name: str, library: Library) -> str:
+    cell = library[name]
+    ports = list(cell.inputs) + list(cell.outputs)
+    if cell.sequential:
+        ports = ["CK"] + ports
+    lines = [f"module {name} ({', '.join(ports)});"]
+    for pin in (["CK"] if cell.sequential else []) + list(cell.inputs):
+        lines.append(f"  input {pin};")
+    for pin in cell.outputs:
+        kind = "output reg" if cell.sequential else "output"
+        lines.append(f"  {kind} {pin};")
+    lines.append(f"  {_CELL_TEMPLATES[name]}")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _net_name(net: Net, netlist: Netlist) -> str:
+    if net is netlist.const0:
+        return "1'b0"
+    if net is netlist.const1:
+        return "1'b1"
+    return "n" + str(net.uid)
+
+
+def emit_gate_verilog(netlist: Netlist) -> str:
+    """Render *netlist* as structural Verilog with inline cell models."""
+    netlist.validate()
+    lib = netlist.library
+    out: List[str] = [
+        f"// structural netlist of {netlist.name!r}: "
+        f"{len(netlist.cells)} cells",
+    ]
+    used_cells = sorted({c.cell_type for c in netlist.cells})
+    for name in used_cells:
+        out.append(_emit_cell_model(name, lib))
+        out.append("")
+
+    ports = ["clk"]
+    for name in netlist.inputs:
+        ports.append(name)
+    for name in netlist.outputs:
+        ports.append(name)
+    out.append(f"module {netlist.name} (")
+    out.append("  " + ",\n  ".join(ports))
+    out.append(");")
+    out.append("  input clk;")
+    for name, nets in netlist.inputs.items():
+        width = f"[{len(nets) - 1}:0] " if len(nets) > 1 else ""
+        out.append(f"  input {width}{name};")
+    for name, nets in netlist.outputs.items():
+        width = f"[{len(nets) - 1}:0] " if len(nets) > 1 else ""
+        out.append(f"  output {width}{name};")
+
+    # wires: every driven net
+    driven = set()
+    for cell in netlist.cells:
+        driven.update(cell.outputs.values())
+    for macro in netlist.memories:
+        for rp in macro.read_ports:
+            driven.update(rp.data)
+    for net in sorted(driven, key=lambda n: n.uid):
+        out.append(f"  wire {_net_name(net, netlist)};")
+
+    # split input buses into bit wires
+    for name, nets in netlist.inputs.items():
+        for i, net in enumerate(nets):
+            out.append(f"  wire {_net_name(net, netlist)}_in = "
+                       f"{name}[{i}];" if len(nets) > 1 else
+                       f"  wire {_net_name(net, netlist)}_in = {name};")
+
+    def operand(net: Net) -> str:
+        if net.kind == "input":
+            return _net_name(net, netlist) + "_in"
+        return _net_name(net, netlist)
+
+    # cell instances
+    for cell in netlist.cells:
+        spec = lib[cell.cell_type]
+        conns = []
+        if spec.sequential:
+            conns.append(".CK(clk)")
+        for pin in spec.inputs:
+            conns.append(f".{pin}({operand(cell.pins[pin])})")
+        for pin in spec.outputs:
+            conns.append(f".{pin}({_net_name(cell.outputs[pin], netlist)})")
+        out.append(f"  {cell.cell_type} {cell.name} "
+                   f"({', '.join(conns)});")
+
+    # memory macros as behavioural arrays
+    for macro in netlist.memories:
+        out.append(f"  // memory macro {macro.name} "
+                   f"({macro.depth} x {macro.width})")
+        out.append(f"  reg [{macro.width - 1}:0] {macro.name} "
+                   f"[0:{macro.depth - 1}];")
+        for ri, rp in enumerate(macro.read_ports):
+            addr = " , ".join(operand(n) for n in reversed(rp.addr))
+            for i, dnet in enumerate(rp.data):
+                out.append(
+                    f"  assign {_net_name(dnet, netlist)} = "
+                    f"{macro.name}[{{{addr}}}][{i}];"
+                )
+        for wp in macro.write_ports:
+            addr = " , ".join(operand(n) for n in reversed(wp.addr))
+            data = " , ".join(operand(n) for n in reversed(wp.data))
+            out.append(
+                f"  always @(posedge clk) if ({operand(wp.enable)}) "
+                f"{macro.name}[{{{addr}}}] <= {{{data}}};"
+            )
+
+    # output buses
+    for name, nets in netlist.outputs.items():
+        bits = ", ".join(operand(n) for n in reversed(nets))
+        out.append(f"  assign {name} = {{{bits}}};")
+
+    out.append("endmodule")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,102 @@
+"""Shared fixtures: configurations, stimulus, prebuilt designs.
+
+Expensive artefacts (synthesised netlists, built designs) are
+session-scoped so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsp.stimulus import sine_samples
+from repro.src_design.algorithmic import AlgorithmicSrc
+from repro.src_design.behavioral import build_behavioral_design
+from repro.src_design.params import PAPER_PARAMS, SMALL_PARAMS, SrcParams
+from repro.src_design.rtl_design import build_rtl_design
+from repro.src_design.schedule import make_schedule
+from repro.src_design.vhdl_ref import build_vhdl_reference
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="session")
+def small_params() -> SrcParams:
+    return SMALL_PARAMS
+
+
+@pytest.fixture(scope="session")
+def paper_params() -> SrcParams:
+    return PAPER_PARAMS
+
+
+@pytest.fixture(scope="session")
+def tiny_params() -> SrcParams:
+    """Minimal configuration for gate-level-heavy tests."""
+    return SMALL_PARAMS
+
+
+def stereo_sine(params: SrcParams, n: int, mode: int = 0):
+    samples = sine_samples(n, 1_000.0, params.modes[mode].f_in,
+                           params.data_width)
+    return [(s, -s) for s in samples]
+
+
+@pytest.fixture(scope="session")
+def small_stimulus(small_params):
+    return stereo_sine(small_params, 200)
+
+
+@pytest.fixture(scope="session")
+def small_schedule(small_params):
+    return make_schedule(small_params, 0, 200)
+
+
+@pytest.fixture(scope="session")
+def small_schedule_q(small_params):
+    return make_schedule(small_params, 0, 200, quantized=True)
+
+
+@pytest.fixture(scope="session")
+def small_golden(small_params, small_schedule, small_stimulus):
+    src = AlgorithmicSrc(small_params, 0)
+    return src.process_schedule(small_schedule, small_stimulus)
+
+
+@pytest.fixture(scope="session")
+def small_golden_q(small_params, small_schedule_q, small_stimulus):
+    src = AlgorithmicSrc(small_params, 0)
+    return src.process_schedule(small_schedule_q, small_stimulus)
+
+
+@pytest.fixture(scope="session")
+def beh_opt_design(small_params):
+    return build_behavioral_design(small_params, optimized=True)
+
+
+@pytest.fixture(scope="session")
+def beh_unopt_design(small_params):
+    return build_behavioral_design(small_params, optimized=False)
+
+
+@pytest.fixture(scope="session")
+def rtl_opt_design(small_params):
+    return build_rtl_design(small_params, optimized=True)
+
+
+@pytest.fixture(scope="session")
+def rtl_unopt_design(small_params):
+    return build_rtl_design(small_params, optimized=False)
+
+
+@pytest.fixture(scope="session")
+def vhdl_ref_design(small_params):
+    return build_vhdl_reference(small_params)
+
+
+@pytest.fixture(scope="session")
+def rtl_opt_netlist(rtl_opt_design):
+    return synthesize(rtl_opt_design.module)
+
+
+@pytest.fixture(scope="session")
+def beh_opt_netlist(beh_opt_design):
+    return synthesize(beh_opt_design.module)

@@ -1,0 +1,109 @@
+"""The golden-model bug story (paper Section 4.7), end to end.
+
+"A bug in the golden model was refined down to Gate-level and was
+discovered during Gate-level simulation [...] when the memory for the
+buffer was replaced by an automatically generated simulation model that
+included a check for valid addresses."
+"""
+
+import pytest
+
+from repro.gatesim import CheckingMemoryModel, GateSimulator
+from repro.kernel import Reporter, Severity
+from repro.src_design import (AlgorithmicSrc, RtlDutDriver, make_schedule,
+                              run_clocked)
+from tests.conftest import stereo_sine
+
+
+@pytest.fixture(scope="module")
+def bug_run(small_params):
+    """A run whose mode change triggers the corner case mid-stream."""
+    p = small_params
+    stim = stereo_sine(p, 120)
+    sched = make_schedule(p, 0, 120, quantized=True,
+                          mode_changes=((60, 1),))
+    golden = AlgorithmicSrc(p, 0).process_schedule(sched, stim)
+    return sched, stim, golden
+
+
+def test_bug_present_in_golden_model(small_params, bug_run):
+    sched, stim, _ = bug_run
+    invalid = []
+    src = AlgorithmicSrc(
+        small_params, 0,
+        monitor=lambda a, d: invalid.append(a) if a >= d else None,
+    )
+    src.process_schedule(sched, stim)
+    assert invalid, "golden model never issued the invalid prefetch"
+    assert all(a == small_params.buffer_depth for a in invalid)
+
+
+def test_plain_gate_simulation_passes_silently(small_params,
+                                               rtl_opt_netlist, bug_run):
+    """Without the checking model the bug is invisible: outputs match."""
+    sched, stim, golden = bug_run
+    sim = GateSimulator(rtl_opt_netlist)  # plain memory models
+    outs = run_clocked(small_params, RtlDutDriver(sim, small_params),
+                       sched, stim)
+    assert outs == golden
+
+
+def test_checking_memory_exposes_bug_at_gate_level(small_params,
+                                                   rtl_opt_netlist,
+                                                   bug_run):
+    sched, stim, golden = bug_run
+    reporter = Reporter(raise_at=Severity.FATAL)
+    sim = GateSimulator(rtl_opt_netlist, checking_memories=True,
+                        reporter=reporter)
+    outs = run_clocked(small_params, RtlDutDriver(sim, small_params),
+                       sched, stim)
+    # function preserved ...
+    assert outs == golden
+    # ... but the checker flags the invalid accesses
+    assert reporter.count(Severity.ERROR) > 0
+    messages = reporter.messages(Severity.ERROR)
+    assert any("invalid read address" in msg for msg in messages)
+    buf_models = [m for m in sim.memories.values()
+                  if isinstance(m, CheckingMemoryModel) and m.violations]
+    assert buf_models
+    depth = small_params.buffer_depth
+    for model in buf_models:
+        assert all(v.address == depth for v in model.violations)
+        assert all(v.kind == "read" for v in model.violations)
+
+
+def test_bug_fires_at_startup_and_after_mode_change(small_params,
+                                                    rtl_opt_netlist,
+                                                    bug_run):
+    """The corner case occurs whenever an output request precedes the
+    first input after a flush -- at power-up and after reconfiguration."""
+    sched, stim, _ = bug_run
+    reporter = Reporter(raise_at=Severity.FATAL)
+    sim = GateSimulator(rtl_opt_netlist, checking_memories=True,
+                        reporter=reporter)
+    run_clocked(small_params, RtlDutDriver(sim, small_params), sched, stim)
+    cycles = sorted({v.cycle for m in sim.memories.values()
+                     for v in getattr(m, "violations", ())})
+    # mode 0 start-up: first out (tick 64) precedes first in (tick 70)
+    assert len(cycles) >= 1
+
+
+def test_behavioral_level_also_carries_bug(small_params, bug_run):
+    """The same invalid access exists at the behavioural level -- it was
+    refined down, not introduced by synthesis."""
+    from repro.src_design import BehavioralDutDriver, BehavioralSimulation
+
+    sched, stim, golden = bug_run
+    hits = []
+
+    def monitor(mem, addr, depth, kind):
+        if kind == "read" and addr >= depth:
+            hits.append((mem, addr))
+
+    sim = BehavioralSimulation(small_params, optimized=True,
+                               mem_monitor=monitor)
+    outs = run_clocked(small_params,
+                       BehavioralDutDriver(sim, small_params), sched, stim)
+    assert outs == golden
+    assert hits
+    assert all(a == small_params.buffer_depth for _m, a in hits)

@@ -1,0 +1,128 @@
+"""Custom mode tables and saturation stress across abstraction levels.
+
+The paper's SRC handles "different sampling frequencies from different
+sources"; the design is parameterised, so configurations with more
+modes (32/96 kHz links) must flow through the entire stack unchanged.
+Full-scale stress stimulus drives the saturation logic.
+"""
+
+import pytest
+
+from repro.datatypes import max_signed, min_signed
+from repro.dsp import corner_case_samples
+from repro.rtl import RtlSimulator
+from repro.src_design import (AlgorithmicSrc, BehavioralDutDriver,
+                              BehavioralSimulation, RtlDutDriver, SrcMode,
+                              SrcParams, build_rtl_design,
+                              build_vhdl_reference, make_schedule,
+                              run_clocked, run_tlm)
+from repro.kernel.simtime import period_ps
+
+FOUR_MODE_PARAMS = SrcParams(
+    n_phases=16,
+    taps_per_phase=4,
+    data_width=8,
+    coef_width=10,
+    phase_frac_bits=10,
+    buffer_depth=6,
+    clock_period_ps=period_ps(96_000 * 64),
+    modes=(
+        SrcMode("44k1_to_48k", 44_100, 48_000),
+        SrcMode("48k_to_44k1", 48_000, 44_100),
+        SrcMode("32k_to_48k", 32_000, 48_000),
+        SrcMode("48k_to_96k", 48_000, 96_000),
+    ),
+)
+
+
+def _stereo(params, n, mode=0, seed=11):
+    samples = corner_case_samples(n, params.data_width, seed=seed)
+    return [(s, -s) for s in samples]
+
+
+@pytest.mark.parametrize("mode", [0, 1, 2, 3])
+def test_four_mode_golden_runs(mode):
+    p = FOUR_MODE_PARAMS
+    stim = _stereo(p, 120)
+    sched = make_schedule(p, mode, 120)
+    outs = AlgorithmicSrc(p, mode).process_schedule(sched, stim)
+    assert len(outs) > 0
+    limit = max_signed(p.data_width)
+    assert all(min_signed(p.data_width) <= o[0] <= limit for o in outs)
+
+
+def test_four_mode_upsampling_doubles_rate():
+    p = FOUR_MODE_PARAMS
+    sched = make_schedule(p, 3, 200)  # 48k -> 96k
+    from repro.src_design import count_outputs
+
+    assert abs(count_outputs(sched) - 400) <= 2
+
+
+def test_four_mode_chain_bit_accurate():
+    """TLM, behavioural and RTL all agree under the 4-mode table with
+    mid-run hops across all four modes."""
+    p = FOUR_MODE_PARAMS
+    n = 260
+    stim = _stereo(p, n)
+    changes = ((60, 2), (130, 3), (200, 1))
+    exact = make_schedule(p, 0, n, mode_changes=changes)
+    quant = make_schedule(p, 0, n, quantized=True, mode_changes=changes)
+    golden_exact = AlgorithmicSrc(p, 0).process_schedule(exact, stim)
+    golden_quant = AlgorithmicSrc(p, 0).process_schedule(quant, stim)
+
+    assert run_tlm(p, exact, stim) == golden_exact
+
+    beh = BehavioralSimulation(p, optimized=True)
+    assert run_clocked(p, BehavioralDutDriver(beh, p), quant, stim) == \
+        golden_quant
+
+    rtl = RtlSimulator(build_rtl_design(p, True).module)
+    assert run_clocked(p, RtlDutDriver(rtl, p), quant, stim) == \
+        golden_quant
+
+
+def test_four_mode_vhdl_reference_agrees():
+    p = FOUR_MODE_PARAMS
+    n = 150
+    stim = _stereo(p, n)
+    quant = make_schedule(p, 2, n, quantized=True)
+    golden = AlgorithmicSrc(p, 2).process_schedule(quant, stim)
+    # initial mode 2 arrives via the schedule's mode event
+    sim = RtlSimulator(build_vhdl_reference(p).module)
+    assert run_clocked(p, RtlDutDriver(sim, p), quant, stim) == golden
+
+
+def test_full_scale_stress_hits_saturation(small_params):
+    """Full-scale square-ish stimulus drives the round/saturate clamp."""
+    p = small_params
+    n = 300
+    hi = max_signed(p.data_width)
+    lo = min_signed(p.data_width)
+    stim = [(hi, lo) if i % 2 == 0 else (lo, hi) for i in range(n)]
+    # alternating full scale at Nyquist mostly cancels; use sustained
+    # full-scale runs instead to push the accumulator
+    stim = [(hi, lo)] * n
+    sched = make_schedule(p, 0, n, quantized=True)
+    golden = AlgorithmicSrc(p, 0).process_schedule(sched, stim)
+    # sustained full-scale input with branch gain ~1 comes out near full
+    # scale; saturation keeps every sample in range
+    assert all(lo <= o[0] <= hi for o in golden)
+    assert max(o[0] for o in golden) == hi or \
+        max(o[0] for o in golden) >= hi - 2
+
+    rtl = RtlSimulator(build_rtl_design(p, True).module)
+    assert run_clocked(p, RtlDutDriver(rtl, p), sched, stim) == golden
+
+
+def test_corner_case_stimulus_bit_accurate(small_params):
+    """The stress stimulus class stays bit-exact across levels too."""
+    p = small_params
+    n = 200
+    stim = _stereo(p, n, seed=5)
+    quant = make_schedule(p, 0, n, quantized=True,
+                          mode_changes=((90, 1),))
+    golden = AlgorithmicSrc(p, 0).process_schedule(quant, stim)
+    beh = BehavioralSimulation(p, optimized=False)
+    assert run_clocked(p, BehavioralDutDriver(beh, p), quant, stim) == \
+        golden

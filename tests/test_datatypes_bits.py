@@ -1,0 +1,121 @@
+"""Bits: slicing, concatenation, operators -- with property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datatypes import Bits, concat, mask
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def bits_values(draw):
+    w = draw(widths)
+    v = draw(st.integers(min_value=0, max_value=mask(w)))
+    return Bits(w, v)
+
+
+def test_construction_masks_value():
+    assert int(Bits(4, 0x1F)) == 0xF
+    assert int(Bits(4, -1)) == 0xF
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        Bits(0)
+
+
+def test_signed_unsigned_views():
+    b = Bits(4, 0b1010)
+    assert b.to_unsigned() == 10
+    assert b.to_signed() == -6
+    assert Bits(4, 0b0101).to_signed() == 5
+
+
+def test_bit_and_slice_access():
+    b = Bits(8, 0b1011_0010)
+    assert b[1] == 1
+    assert b[0] == 0
+    assert int(b[7:4]) == 0b1011
+    assert b.slice(3, 0).to_unsigned() == 0b0010
+    with pytest.raises(IndexError):
+        b.bit(8)
+    with pytest.raises(ValueError):
+        b.slice(2, 5)
+
+
+def test_set_bit_and_slice():
+    b = Bits(8, 0)
+    assert int(b.set_bit(3, 1)) == 8
+    assert int(b.set_slice(7, 4, 0xF)) == 0xF0
+    with pytest.raises(ValueError):
+        b.set_bit(0, 2)
+
+
+def test_concat_msb_first():
+    hi = Bits(4, 0xA)
+    lo = Bits(4, 0x5)
+    assert int(concat(hi, lo)) == 0xA5
+    assert int(hi @ lo) == 0xA5
+    assert len(hi @ lo) == 8
+
+
+def test_reductions():
+    assert Bits(4, 0xF).reduce_and() == 1
+    assert Bits(4, 0x7).reduce_and() == 0
+    assert Bits(4, 0x0).reduce_or() == 0
+    assert Bits(4, 0b0111).reduce_xor() == 1
+
+
+def test_from_bits_lsb_first():
+    assert int(Bits.from_bits([1, 0, 1])) == 0b101
+    with pytest.raises(ValueError):
+        Bits.from_bits([2])
+
+
+def test_reversed():
+    assert int(Bits(4, 0b0001).reversed()) == 0b1000
+
+
+@given(bits_values())
+def test_double_invert_identity(b):
+    assert ~~b == b
+
+
+@given(bits_values())
+def test_slice_concat_roundtrip(b):
+    if b.width < 2:
+        return
+    split = b.width // 2
+    hi = b.slice(b.width - 1, split)
+    lo = b.slice(split - 1, 0)
+    assert hi.concat(lo) == b
+
+
+@given(bits_values(), bits_values())
+def test_and_or_de_morgan(a, b):
+    w = max(a.width, b.width)
+    a2, b2 = a.resize(w), b.resize(w)
+    assert ~(a2 & b2) == (~a2 | ~b2)
+
+
+@given(bits_values())
+def test_signed_roundtrip(b):
+    assert Bits.from_signed(b.width, b.to_signed()) == b
+
+
+@given(bits_values(), st.integers(min_value=0, max_value=16))
+def test_shift_left_then_right(b, k):
+    # Bits shifts keep their width: << drops the top k bits
+    expected = Bits(b.width, int(b) & (mask(b.width) >> k))
+    assert (b << k) >> k == expected
+
+
+def test_resize_sign_extension():
+    b = Bits(4, 0b1000)  # -8
+    assert b.resize(8, signed=True).to_signed() == -8
+    assert b.resize(8, signed=False).to_unsigned() == 8
+
+
+def test_binary_string():
+    assert Bits(5, 0b101).to_binary_string() == "00101"

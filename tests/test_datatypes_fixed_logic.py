@@ -1,0 +1,124 @@
+"""Fixed point quantisation and 4-valued logic tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datatypes import (Fixed, L0, L1, LX, LZ, Overflow, Rounding,
+                             from_bool, from_char, int_to_vector, is_known,
+                             logic_and, logic_mux, logic_not, logic_or,
+                             logic_xor, resolve, to_char, to_int,
+                             vector_to_int)
+
+
+# ---------------------------------------------------------------- fixed
+def test_fixed_from_float_round():
+    f = Fixed.from_float(0.5, 8, 1)   # Q1.7
+    assert f.raw == 64
+    assert f.to_float() == pytest.approx(0.5)
+
+
+def test_fixed_saturation_at_one():
+    f = Fixed.from_float(1.0, 8, 1)
+    assert f.raw == 127  # saturated below +1.0
+
+
+def test_fixed_wrap_overflow_mode():
+    f = Fixed.from_float(1.0, 8, 1, overflow=Overflow.WRAP)
+    assert f.raw == -128  # wrapped
+
+
+def test_fixed_truncate_rounding():
+    f = Fixed.from_float(0.999, 8, 1, rounding=Rounding.TRUNCATE)
+    assert f.raw == 127
+    g = Fixed.from_float(-0.004, 8, 1, rounding=Rounding.TRUNCATE)
+    assert g.raw == -1
+    h = Fixed.from_float(-0.004, 8, 1, rounding=Rounding.TRUNCATE_ZERO)
+    assert h.raw == 0
+
+
+def test_fixed_arithmetic_grows_precisely():
+    a = Fixed.from_float(0.25, 8, 1)
+    b = Fixed.from_float(0.5, 8, 1)
+    s = a + b
+    assert s.to_float() == pytest.approx(0.75)
+    p = a * b
+    assert p.to_float() == pytest.approx(0.125)
+    assert p.wl == 16
+
+
+def test_fixed_quantize_down():
+    a = Fixed.from_float(0.3, 16, 1)
+    q = a.quantize(8, 1)
+    assert q.to_float() == pytest.approx(0.3, abs=2 ** -7)
+
+
+def test_fixed_comparisons():
+    assert Fixed.from_float(0.25, 8, 1) < Fixed.from_float(0.5, 16, 1)
+    assert Fixed.from_float(0.5, 8, 1) == Fixed.from_float(0.5, 16, 2)
+
+
+@given(st.floats(min_value=-0.99, max_value=0.99),
+       st.integers(min_value=4, max_value=24))
+def test_fixed_roundtrip_error_bounded(value, wl):
+    f = Fixed.from_float(value, wl, 1)
+    assert abs(f.to_float() - value) <= 2 ** -(wl - 1)
+
+
+def test_fixed_validation():
+    with pytest.raises(ValueError):
+        Fixed(0, 0)
+    with pytest.raises(ValueError):
+        Fixed(8, 9)
+
+
+# ---------------------------------------------------------------- logic
+def test_basic_tables():
+    assert logic_and(L1, L1) == L1
+    assert logic_and(L0, LX) == L0       # controlling 0
+    assert logic_and(L1, LX) == LX
+    assert logic_or(L1, LX) == L1        # controlling 1
+    assert logic_or(L0, LX) == LX
+    assert logic_xor(L1, L1) == L0
+    assert logic_xor(LX, L0) == LX
+    assert logic_not(LZ) == LX
+
+
+def test_mux_pessimism():
+    assert logic_mux(L0, L0, L1) == L0
+    assert logic_mux(L1, L0, L1) == L1
+    assert logic_mux(LX, L1, L1) == L1   # both sides agree
+    assert logic_mux(LX, L0, L1) == LX
+
+
+def test_resolution():
+    assert resolve([LZ, L1]) == L1
+    assert resolve([L0, LZ, L0]) == L0
+    assert resolve([L0, L1]) == LX
+    assert resolve([]) == LZ
+
+
+def test_conversions():
+    assert from_bool(True) == L1
+    assert to_int(L0) == 0
+    with pytest.raises(ValueError):
+        to_int(LX)
+    assert to_char(LZ) == "Z"
+    assert from_char("x") == LX
+    with pytest.raises(ValueError):
+        from_char("q")
+    assert is_known(L1) and not is_known(LZ)
+
+
+def test_vector_conversions():
+    assert vector_to_int([L1, L0, L1]) == 0b101
+    assert int_to_vector(0b101, 4) == [1, 0, 1, 0]
+    with pytest.raises(ValueError):
+        vector_to_int([L1, LX])
+
+
+@given(st.sampled_from([L0, L1, LX, LZ]),
+       st.sampled_from([L0, L1, LX, LZ]))
+def test_commutativity(a, b):
+    assert logic_and(a, b) == logic_and(b, a)
+    assert logic_or(a, b) == logic_or(b, a)
+    assert logic_xor(a, b) == logic_xor(b, a)

@@ -1,0 +1,99 @@
+"""Sized integers: wrap/saturate semantics (the type-refinement contract)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datatypes import (SInt, UInt, bits_for_signed, bits_for_unsigned,
+                             max_signed, max_unsigned, min_signed,
+                             saturate_signed, saturate_unsigned, wrap_signed,
+                             wrap_unsigned)
+
+anyint = st.integers(min_value=-(2 ** 70), max_value=2 ** 70)
+width = st.integers(min_value=1, max_value=64)
+
+
+@given(anyint, width)
+def test_wrap_unsigned_in_range(v, w):
+    r = wrap_unsigned(v, w)
+    assert 0 <= r <= max_unsigned(w)
+    assert (r - v) % (1 << w) == 0
+
+
+@given(anyint, width)
+def test_wrap_signed_in_range(v, w):
+    r = wrap_signed(v, w)
+    assert min_signed(w) <= r <= max_signed(w)
+    assert (r - v) % (1 << w) == 0
+
+
+@given(anyint, width)
+def test_saturate_signed_clamps(v, w):
+    r = saturate_signed(v, w)
+    assert min_signed(w) <= r <= max_signed(w)
+    if min_signed(w) <= v <= max_signed(w):
+        assert r == v
+
+
+@given(anyint, width)
+def test_saturate_unsigned_clamps(v, w):
+    r = saturate_unsigned(v, w)
+    assert 0 <= r <= max_unsigned(w)
+
+
+def test_bits_for_helpers():
+    assert bits_for_unsigned(0) == 1
+    assert bits_for_unsigned(255) == 8
+    assert bits_for_unsigned(256) == 9
+    assert bits_for_signed(-8, 7) == 4
+    assert bits_for_signed(-9, 0) == 5
+    assert bits_for_signed(0, 127) == 8
+
+
+def test_sint_wraps_on_construction():
+    assert int(SInt(8, 127)) == 127
+    assert int(SInt(8, 128)) == -128
+    assert int(SInt(8, -129)) == 127
+
+
+def test_uint_wraps_on_construction():
+    assert int(UInt(8, 256)) == 0
+    assert int(UInt(8, -1)) == 255
+
+
+def test_arithmetic_promotes_to_int():
+    a = SInt(8, 100)
+    b = SInt(8, 100)
+    assert a + b == 200            # no wrap: promoted like sc_int to 64 bit
+    assert isinstance(a + b, int)
+    assert int(SInt(8, a + b)) == -56  # assignment truncates
+
+
+def test_comparisons_and_bool():
+    assert SInt(8, -5) < 0
+    assert UInt(4, 3) <= UInt(8, 3)
+    assert not bool(SInt(8, 0))
+    assert bool(UInt(3, 1))
+
+
+def test_resize_and_saturated():
+    v = SInt(16, 1000)
+    assert int(v.resize(8)) == wrap_signed(1000, 8)
+    assert int(v.saturated(8)) == 127
+    assert int(SInt(16, -1000).saturated(8)) == -128
+
+
+def test_to_bits_roundtrip():
+    v = SInt(8, -3)
+    assert v.to_bits().to_signed() == -3
+
+
+@given(st.integers(-128, 127), st.integers(-128, 127))
+def test_sint_mul_matches_python(a, b):
+    assert SInt(8, a) * SInt(8, b) == a * b
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        UInt(0, 1)
+    with pytest.raises(ValueError):
+        wrap_signed(0, 0)

@@ -1,0 +1,175 @@
+"""DSP reference math: filter design, polyphase, resampling, metrics."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import (FloatResampler, PrototypeSpec, branch_gains,
+                       check_symmetry, corner_case_samples, db_to_bits,
+                       decompose, design_prototype, impulse_samples,
+                       mirror_index, output_count, peak_error,
+                       phase_indices, quantize_coefficients, random_samples,
+                       resample, sine_samples, sine_snr_db, snr_db,
+                       step_samples, stopband_attenuation_db, stored_index)
+
+SPEC = PrototypeSpec(n_phases=32, taps_per_phase=8)
+
+
+def test_prototype_is_symmetric_and_normalised():
+    h = design_prototype(SPEC)
+    assert len(h) == 256
+    assert check_symmetry(h)
+    gains = branch_gains(h, 32)
+    assert np.all(np.abs(gains - 1.0) < 1e-3)
+
+
+def test_prototype_spec_validation():
+    with pytest.raises(ValueError):
+        PrototypeSpec(0, 8)
+    with pytest.raises(ValueError):
+        PrototypeSpec(8, 1)
+    with pytest.raises(ValueError):
+        PrototypeSpec(8, 8, cutoff=0.0)
+
+
+def test_stopband_attenuation_reasonable():
+    h = design_prototype(SPEC)
+    assert stopband_attenuation_db(h, 32) > 20.0
+
+
+def test_decompose_interleave():
+    h = list(range(12))
+    branches = decompose(h, 4)
+    assert branches[0] == [0, 4, 8]
+    assert branches[3] == [3, 7, 11]
+    with pytest.raises(ValueError):
+        decompose(h, 5)
+
+
+def test_phase_indices():
+    assert phase_indices(2, 4, 3) == [2, 6, 10]
+    with pytest.raises(ValueError):
+        phase_indices(4, 4, 3)
+
+
+def test_mirror_and_stored_index():
+    assert mirror_index(0, 10) == 9
+    assert stored_index(3, 10) == 3
+    assert stored_index(7, 10) == 2
+    # mirroring is an involution
+    for i in range(10):
+        assert mirror_index(mirror_index(i, 10), 10) == i
+
+
+@given(st.integers(min_value=1, max_value=127))
+def test_stored_index_symmetric_pairs(i):
+    n = 256
+    assert stored_index(i, n) == stored_index(n - 1 - i, n)
+
+
+def test_quantize_coefficients_bounds():
+    h = design_prototype(SPEC)
+    q = quantize_coefficients(h, 16)
+    assert all(-(1 << 15) <= c < (1 << 15) for c in q)
+    assert max(abs(c) for c in q) > (1 << 13)  # uses the dynamic range
+
+
+def test_float_resampler_output_count_exact():
+    sig = [0.0] * 1000
+    out = resample(sig, 44100, 48000, SPEC)
+    assert len(out) == output_count(1000, 44100, 48000)
+
+
+def test_output_count_ratios():
+    # 44.1k -> 48k produces more samples; 48k -> 44.1k fewer
+    assert output_count(441, 44100, 48000) == 480
+    assert output_count(480, 48000, 44100) == 441
+
+
+def test_upsample_sine_quality():
+    sig = [math.sin(2 * math.pi * 1000 * i / 44100) for i in range(4000)]
+    out = resample(sig, 44100, 48000, SPEC)
+    assert sine_snr_db(out, 1000, 48000, skip=300) > 35.0
+
+
+def test_downsample_sine_quality():
+    sig = [math.sin(2 * math.pi * 1000 * i / 48000) for i in range(4000)]
+    out = resample(sig, 48000, 44100, SPEC)
+    assert sine_snr_db(out, 1000, 44100, skip=300) > 35.0
+
+
+def test_dc_passthrough():
+    resampler = FloatResampler(SPEC, Fraction(44100, 48000))
+    out = resampler.process([1.0] * 500)
+    assert abs(np.mean(out[200:]) - 1.0) < 1e-2
+
+
+def test_resampler_reset():
+    r = FloatResampler(SPEC, Fraction(1, 2))
+    r.process([1.0] * 10)
+    r.reset()
+    out = r.process([0.0] * 10)
+    assert all(abs(v) < 1e-12 for v in out)
+
+
+def test_resampler_rejects_bad_ratio():
+    with pytest.raises(ValueError):
+        FloatResampler(SPEC, Fraction(0))
+
+
+# ---------------------------------------------------------------- metrics
+def test_snr_infinite_for_identical():
+    assert snr_db([1.0, 2.0], [1.0, 2.0]) == float("inf")
+
+
+def test_snr_known_value():
+    ref = [1.0] * 1000
+    noisy = [1.0 + 0.01] * 1000
+    assert snr_db(ref, noisy) == pytest.approx(40.0, abs=0.1)
+
+
+def test_snr_length_mismatch():
+    with pytest.raises(ValueError):
+        snr_db([1.0], [1.0, 2.0])
+
+
+def test_peak_error():
+    assert peak_error([0.0, 1.0], [0.0, 1.5]) == 0.5
+    assert peak_error([], []) == 0.0
+
+
+def test_db_to_bits():
+    assert db_to_bits(98.08) == pytest.approx(16.0, abs=0.01)
+
+
+# ---------------------------------------------------------------- stimulus
+def test_sine_samples_range_and_period():
+    s = sine_samples(100, 1000, 44100, 16)
+    limit = (1 << 15) - 1
+    assert all(-limit <= v <= limit for v in s)
+    assert s[0] == 0
+
+
+def test_random_samples_deterministic():
+    a = random_samples(50, 16, seed=7)
+    b = random_samples(50, 16, seed=7)
+    c = random_samples(50, 16, seed=8)
+    assert a == b
+    assert a != c
+
+
+def test_step_and_impulse():
+    s = step_samples(10, 8, step_at=5)
+    assert s[4] < 0 < s[5]
+    imp = impulse_samples(10, 8, at=3)
+    assert imp[3] > 0 and sum(abs(v) for v in imp) == imp[3]
+
+
+def test_corner_case_samples_deterministic_full_scale():
+    s = corner_case_samples(200, 16, seed=3)
+    assert s == corner_case_samples(200, 16, seed=3)
+    assert max(s) == (1 << 15) - 1
+    assert len(s) == 200

@@ -1,0 +1,86 @@
+"""Audio analysis: THD+N, chirp, frequency response."""
+
+import math
+
+import pytest
+
+from repro.dsp import (FrequencyResponse, chirp_samples,
+                       measure_frequency_response, sine_samples,
+                       thd_plus_n_db, tone_gain)
+from repro.src_design import AlgorithmicSrc, SMALL_PARAMS, make_schedule
+
+
+def test_thd_of_pure_sine_is_very_low():
+    # integer number of periods (100) so the projection is exact
+    tone = [math.sin(2 * math.pi * 1000 * i / 48000) for i in range(4800)]
+    assert thd_plus_n_db(tone, 1000, 48000) < -60.0
+
+
+def test_thd_detects_distortion():
+    clean = [math.sin(2 * math.pi * 1000 * i / 48000)
+             for i in range(4000)]
+    clipped = [max(-0.5, min(0.5, s)) for s in clean]
+    assert thd_plus_n_db(clipped, 1000, 48000) > \
+        thd_plus_n_db(clean, 1000, 48000) + 20.0
+
+
+def test_thd_requires_enough_samples():
+    with pytest.raises(ValueError):
+        thd_plus_n_db([0.0] * 10, 1000, 48000)
+
+
+def test_chirp_properties():
+    c = chirp_samples(1000, 100, 8000, 44100, 16, amplitude=0.5)
+    limit = int(0.5 * 32767) + 1
+    assert all(abs(s) <= limit for s in c)
+    assert c[0] == 0
+    # zero crossings get denser as frequency rises
+    first_half = sum(1 for a, b in zip(c[:499], c[1:500])
+                     if (a < 0) != (b < 0))
+    second_half = sum(1 for a, b in zip(c[500:999], c[501:1000])
+                      if (a < 0) != (b < 0))
+    assert second_half > first_half
+
+
+def test_tone_gain_unity_for_identity():
+    amp = 1000.0
+    tone = [amp * math.sin(2 * math.pi * 440 * i / 48000)
+            for i in range(4000)]
+    assert tone_gain(tone, 440, 48000, amp) == pytest.approx(1.0, abs=0.01)
+
+
+def test_frequency_response_of_src():
+    p = SMALL_PARAMS
+    f_in = p.modes[0].f_in
+    f_out = p.modes[0].f_out
+
+    def convert(tone):
+        sched = make_schedule(p, 0, len(tone))
+        outs = AlgorithmicSrc(p, 0).process_schedule(
+            sched, [(s, s) for s in tone])
+        return [o[0] for o in outs]
+
+    fr = measure_frequency_response(
+        convert, [500, 1000, 4000], f_in, f_out, p.data_width,
+        n_inputs=1200)
+    # low frequencies pass with near-unity gain even at the small config
+    assert abs(fr.gains_db[0]) < 2.0
+    assert abs(fr.gains_db[1]) < 2.0
+    assert fr.passband_ripple_db(1000) < 2.0
+    assert "Hz" in fr.format()
+
+
+def test_frequency_response_rolloff_near_nyquist():
+    p = SMALL_PARAMS
+
+    def convert(tone):
+        sched = make_schedule(p, 0, len(tone))
+        outs = AlgorithmicSrc(p, 0).process_schedule(
+            sched, [(s, s) for s in tone])
+        return [o[0] for o in outs]
+
+    fr = measure_frequency_response(
+        convert, [1000, 20000], p.modes[0].f_in, p.modes[0].f_out,
+        p.data_width, n_inputs=1200)
+    # 20 kHz sits in the filter's transition band: visibly attenuated
+    assert fr.gains_db[1] < fr.gains_db[0] - 1.0

@@ -1,0 +1,55 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.flow import render_figure8, render_figure9, render_figure10
+from repro.flow.performance import SimPerfResult
+
+
+def _perf(level, cps):
+    return SimPerfResult(level, wall_seconds=1.0, simulated_cycles=cps,
+                         output_frames=10)
+
+
+def test_render_figure8_log_bars():
+    results = [_perf("C++", 1_000_000), _perf("SystemC", 100_000),
+               _perf("BEH", 10_000), _perf("RTL", 1_000)]
+    text = render_figure8(results)
+    lines = text.splitlines()[1:]
+    bars = [line.count("#") for line in lines]
+    # log scale: strictly decreasing bars, none empty
+    assert bars == sorted(bars, reverse=True)
+    assert all(b > 0 for b in bars)
+    assert "C++" in text and "1000000" in text
+
+
+def test_render_figure9_grouped():
+    results = {
+        "RTL": {"VHDL-Testbench": _perf("a", 20_000),
+                "SystemC-Testbench": _perf("b", 25_000)},
+        "Gate-RTL": {"VHDL-Testbench": _perf("c", 3_000),
+                     "SystemC-Testbench": _perf("d", 3_300)},
+    }
+    text = render_figure9(results)
+    assert "VHDL-TB" in text and "SysC-TB" in text
+    assert "=" in text and "#" in text
+    # co-sim bar longer than native bar for the RTL group
+    lines = [l for l in text.splitlines() if l.strip().startswith("RTL")]
+    native = lines[0].count("=")
+    cosim = lines[1].count("#")
+    assert cosim >= native
+
+
+def test_render_figure10_stacked(small_params):
+    from repro.flow import run_synthesis_flow
+
+    results = run_synthesis_flow(small_params)
+    text = render_figure10(results)
+    assert "100.0%" in text
+    assert "#" in text and "+" in text and "|" in text
+    # one line per design
+    assert len(text.splitlines()) == 6
+    # the reference row's bar ends exactly at the 100 % mark
+    ref_line = next(l for l in text.splitlines() if "VHDL-Ref" in l)
+    unopt_line = next(l for l in text.splitlines() if "BEH unopt." in l)
+    assert unopt_line.index("|") >= ref_line.index("|")

@@ -1,0 +1,92 @@
+"""Performance measurement (Figure 8) and co-simulation (Figure 9).
+
+Only orderings and rough ratios are asserted -- absolute throughput is
+host-dependent, exactly as the paper treats its Sun Blade numbers.
+"""
+
+import pytest
+
+from repro.cosim import (CosimSimulation, NativeHdlSimulation,
+                         PythonTestbench, build_dut, build_hdl_testbench,
+                         measure_figure9)
+from repro.flow import (format_results, measure_algorithmic,
+                        measure_behavioral, measure_figure8, measure_tlm)
+from repro.rtl import RtlSimulator
+
+
+def test_figure8_ordering(small_params):
+    """C++ fastest, then SystemC, then behavioural, then RTL.
+
+    Wall-clock measurement on a loaded host can jitter; one retry keeps
+    the strict ordering assertion meaningful without flaking.
+    """
+    for attempt in range(3):
+        results = measure_figure8(small_params, n_inputs=150)
+        speeds = {r.level: r.cycles_per_second for r in results}
+        if speeds["C++"] > speeds["SystemC"] > speeds["BEH"] > \
+                speeds["RTL"]:
+            return
+    raise AssertionError(f"figure-8 ordering violated: {speeds}")
+
+
+def test_figure8_cpp_much_faster_than_clocked(small_params):
+    cpp = measure_algorithmic(small_params, 150)
+    beh = measure_behavioral(small_params, 40)
+    assert cpp.cycles_per_second > 5 * beh.cycles_per_second
+
+
+def test_perf_result_formatting(small_params):
+    r = measure_algorithmic(small_params, 50)
+    assert "cyc/s" in r.format()
+    assert "C++" in format_results([r])
+
+
+def test_output_counts_consistent(small_params):
+    cpp = measure_algorithmic(small_params, 100)
+    tlm = measure_tlm(small_params, 100)
+    assert cpp.output_frames == tlm.output_frames > 0
+
+
+# ---------------------------------------------------------------- figure 9
+def test_hdl_and_python_testbenches_equivalent(small_params):
+    """The two testbench technologies drive identical pin waveforms."""
+    tb_rtl = RtlSimulator(build_hdl_testbench(small_params))
+    tb_py = PythonTestbench(small_params)
+    for _cycle in range(300):
+        py_pins = tb_py.cycle()
+        for name, value in py_pins.items():
+            assert tb_rtl.get(name) == value, (name, _cycle)
+        tb_rtl.step()
+
+
+def test_native_and_cosim_same_outputs(small_params):
+    dut_a = build_dut(small_params, "RTL")
+    dut_b = build_dut(small_params, "RTL")
+    native = NativeHdlSimulation(dut_a, small_params).run(800)
+    cosim = CosimSimulation(dut_b, small_params).run(800)
+    assert native == cosim
+    assert len(native) > 0
+
+
+def test_figure9_cosim_slightly_faster(small_params):
+    """Paper: 'co-simulation of the DUT in the SystemC testbench is
+    slightly faster than a native HDL simulation'."""
+    results = measure_figure9(small_params, cycles=1200, duts=["RTL"])
+    native = results["RTL"]["VHDL-Testbench"].cycles_per_second
+    cosim = results["RTL"]["SystemC-Testbench"].cycles_per_second
+    # 'slightly': faster, but within a modest factor
+    assert cosim > native * 0.98
+    assert cosim < native * 3.0
+
+
+def test_figure9_gate_slower_than_rtl(small_params):
+    results = measure_figure9(small_params, cycles=600,
+                              duts=["RTL", "Gate-RTL"])
+    rtl = results["RTL"]["SystemC-Testbench"].cycles_per_second
+    gate = results["Gate-RTL"]["SystemC-Testbench"].cycles_per_second
+    assert rtl > gate
+
+
+def test_build_dut_validates_kind(small_params):
+    with pytest.raises(ValueError):
+        build_dut(small_params, "FPGA")

@@ -1,0 +1,81 @@
+"""The refinement flow: level registry, verification, comparison."""
+
+import pytest
+
+from repro.flow import (Level, REFINEMENT_CHAIN, compare_streams, run_level,
+                        verify_refinement)
+from repro.src_design import make_schedule
+from tests.conftest import stereo_sine
+
+
+def test_compare_streams_equal():
+    a = [(1, 2), (3, 4)]
+    r = compare_streams(a, list(a))
+    assert r.equal
+    assert "bit-accurate" in r.format()
+
+
+def test_compare_streams_mismatch_details():
+    r = compare_streams([(1, 2), (3, 4), (5, 6)],
+                        [(1, 2), (9, 9), (5, 7)])
+    assert not r.equal
+    assert r.first_mismatch == 1
+    assert r.mismatch_count == 2
+    assert r.sample_a == (3, 4) and r.sample_b == (9, 9)
+    assert "MISMATCH" in r.format()
+
+
+def test_compare_streams_length_mismatch():
+    r = compare_streams([(1, 1)], [(1, 1), (2, 2)])
+    assert not r.equal
+    assert "lengths differ" in r.format()
+
+
+def test_refinement_chain_covers_paper_flow():
+    values = [lv.value for lv in REFINEMENT_CHAIN]
+    assert values[0] == "algorithmic"
+    assert values[-1] == "gate_rtl"
+    assert "beh_unopt" in values and "rtl_opt" in values
+
+
+def test_untimed_vs_clocked_classification():
+    assert not Level.ALGORITHMIC.is_clocked
+    assert not Level.TLM_REFINED.is_clocked
+    assert Level.BEH_OPT.is_clocked
+    assert Level.GATE_RTL.is_clocked
+
+
+def test_run_level_each_untimed(small_params, small_schedule,
+                                small_stimulus, small_golden):
+    for level in (Level.TLM_MONOLITHIC, Level.TLM_REFINED):
+        outs = run_level(small_params, level, small_schedule,
+                         small_stimulus)
+        assert outs == small_golden
+
+
+def test_run_level_clocked(small_params, small_schedule_q, small_stimulus,
+                           small_golden_q):
+    for level in (Level.BEH_OPT, Level.RTL_OPT, Level.VHDL_REF):
+        outs = run_level(small_params, level, small_schedule_q,
+                         small_stimulus)
+        assert outs == small_golden_q, level
+
+
+def test_verify_refinement_without_gates(small_params):
+    chain = (Level.ALGORITHMIC, Level.TLM_REFINED, Level.BEH_OPT,
+             Level.RTL_OPT)
+    stim = stereo_sine(small_params, 100)
+    report = verify_refinement(small_params, stim, chain=chain)
+    assert report.all_bit_accurate
+    assert len(report.steps) == 3
+    text = report.format()
+    assert "OK" in text and "FAIL" not in text
+
+
+def test_verify_refinement_with_mode_change(small_params):
+    chain = (Level.ALGORITHMIC, Level.TLM_MONOLITHIC, Level.BEH_UNOPT,
+             Level.RTL_UNOPT)
+    stim = stereo_sine(small_params, 140)
+    report = verify_refinement(small_params, stim, chain=chain,
+                               mode_changes=((60, 1),))
+    assert report.all_bit_accurate

@@ -1,0 +1,79 @@
+"""The synthesis flow: Figure 10 shape, headline numbers, timing."""
+
+import pytest
+
+from repro.flow import (FIG10_ORDER, main_module_share, run_synthesis_flow)
+
+
+@pytest.fixture(scope="module")
+def flow_results(small_params):
+    return run_synthesis_flow(small_params)
+
+
+def test_all_five_designs_synthesised(flow_results):
+    assert set(flow_results.designs) == set(FIG10_ORDER)
+    for design in flow_results.designs.values():
+        assert design.area.total > 0
+        assert design.netlist.scan_chain
+
+
+def test_all_designs_meet_timing(flow_results):
+    assert flow_results.all_timing_met()
+
+
+def test_figure10_shape(flow_results):
+    """The paper's qualitative claims about Figure 10."""
+    rel = {name: flow_results.relative(name) for name in FIG10_ORDER}
+    # unoptimised behavioural needs more area than the VHDL reference
+    assert rel["BEH unopt."].total > 100.0
+    # every optimised SystemC implementation is smaller than the reference
+    assert rel["BEH opt."].total < 100.0
+    assert rel["RTL opt."].total < 100.0
+    # even the unoptimised RTL is smaller than the reference
+    assert rel["RTL unopt."].total < 100.0
+    # the optimised RTL is the smallest design overall
+    assert rel["RTL opt."].total == min(r.total for r in rel.values())
+
+
+def test_beh_unopt_overhead_near_paper_value(flow_results):
+    """Section 4.4: the first behavioural synthesis needed 27.5 % more
+    area than the reference.  We assert the same ballpark."""
+    overhead = flow_results.beh_unopt_overhead_percent
+    assert 10.0 < overhead < 45.0
+
+
+def test_comb_beh_opt_close_to_rtl_opt(flow_results):
+    """Paper: 'the amount of combinatorial logic is nearly the same',
+    indicating the optimum allocation was reached behaviourally."""
+    beh = flow_results.designs["BEH opt."].area.combinational
+    rtl = flow_results.designs["RTL opt."].area.combinational
+    assert abs(beh - rtl) / max(beh, rtl) < 0.15
+
+
+def test_rtl_saves_registers_not_logic(flow_results):
+    """Paper: RTL's area saving over behavioural comes from registers."""
+    beh = flow_results.designs["BEH opt."].area
+    rtl = flow_results.designs["RTL opt."].area
+    seq_saving = beh.sequential - rtl.sequential
+    comb_saving = beh.combinational - rtl.combinational
+    assert seq_saving > 0
+    assert seq_saving > comb_saving * 0.5
+
+
+def test_figure10_formatting(flow_results):
+    text = flow_results.format_figure10()
+    assert "VHDL-Ref" in text
+    assert "100.0" in text
+
+
+def test_src_main_dominates_area(small_params):
+    """Section 4.4: SRC_MAIN held more than 90 % of the total area."""
+    share = main_module_share(small_params, optimized=False)
+    assert share > 0.80
+
+
+def test_area_report_relative_math(flow_results):
+    ref = flow_results.reference.area
+    rel = ref.relative_to(ref)
+    assert rel.total == pytest.approx(100.0)
+    assert rel.combinational + rel.sequential == pytest.approx(100.0)

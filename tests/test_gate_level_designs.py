@@ -1,0 +1,54 @@
+"""Gate-level equivalence of the synthesised SRC designs (slower tests)."""
+
+import pytest
+
+from repro.gatesim import GateSimulator
+from repro.src_design import (AlgorithmicSrc, RtlDutDriver, make_schedule,
+                              run_clocked)
+from repro.synth import report_area, report_timing
+from tests.conftest import stereo_sine
+
+
+@pytest.fixture(scope="module")
+def short_run(small_params):
+    stim = stereo_sine(small_params, 60)
+    sched = make_schedule(small_params, 0, 60, quantized=True)
+    golden = AlgorithmicSrc(small_params, 0).process_schedule(sched, stim)
+    return sched, stim, golden
+
+
+def test_gate_beh_matches_golden(small_params, beh_opt_netlist, short_run):
+    sched, stim, golden = short_run
+    sim = GateSimulator(beh_opt_netlist)
+    outs = run_clocked(small_params, RtlDutDriver(sim, small_params),
+                       sched, stim)
+    assert outs == golden
+
+
+def test_gate_rtl_matches_golden(small_params, rtl_opt_netlist, short_run):
+    sched, stim, golden = short_run
+    sim = GateSimulator(rtl_opt_netlist)
+    outs = run_clocked(small_params, RtlDutDriver(sim, small_params),
+                       sched, stim)
+    assert outs == golden
+
+
+def test_timing_met_at_system_clock(small_params, beh_opt_netlist,
+                                    rtl_opt_netlist):
+    clock_ns = small_params.clock_period_ps / 1000.0
+    for nl in (beh_opt_netlist, rtl_opt_netlist):
+        rep = report_timing(nl, clock_ns)
+        assert rep.met, rep.format()
+
+
+def test_scan_chain_present_in_synthesised_designs(beh_opt_netlist,
+                                                   rtl_opt_netlist):
+    for nl in (beh_opt_netlist, rtl_opt_netlist):
+        assert nl.scan_chain
+        assert all(c.cell_type == "SDFF" for c in nl.flops())
+
+
+def test_memories_excluded_from_area(beh_opt_netlist):
+    rep = report_area(beh_opt_netlist)
+    assert len(rep.excluded_memories) == 3  # buf_l, buf_r, rom
+    assert rep.total > 0

@@ -1,0 +1,202 @@
+"""Channels: FIFO ordering/blocking, mutex exclusion, semaphores, ports."""
+
+import pytest
+
+from repro.kernel import (Fifo, KernelError, Module, Mutex, NS, Port,
+                          Semaphore, Signal, SignalInPort, SignalOutPort,
+                          Simulation, delay)
+
+
+def test_fifo_preserves_order():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.fifo = Fifo(4)
+            self.got = []
+            self.add_thread(self.producer)
+            self.add_thread(self.consumer)
+
+        def producer(self):
+            for i in range(10):
+                yield from self.fifo.write(i)
+
+        def consumer(self):
+            for _ in range(10):
+                v = yield from self.fifo.read()
+                self.got.append(v)
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.got == list(range(10))
+
+
+def test_fifo_blocks_writer_when_full():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.fifo = Fifo(2)
+            self.writes_done = 0
+            self.add_thread(self.producer)
+            self.add_thread(self.consumer)
+
+        def producer(self):
+            for i in range(4):
+                yield from self.fifo.write(i)
+                self.writes_done += 1
+
+        def consumer(self):
+            yield delay(100, NS)
+            for _ in range(4):
+                yield from self.fifo.read()
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run(to_end := 50_000)
+    # capacity 2: only 2 writes complete before the consumer starts
+    assert m.writes_done >= 2
+
+
+def test_fifo_nonblocking_interface():
+    fifo = Fifo(2)
+    assert fifo.nb_write(1)
+    assert fifo.nb_write(2)
+    assert not fifo.nb_write(3)  # full
+    ok, v = fifo.nb_read()
+    assert ok and v == 1
+    assert fifo.num_available() == 1
+    assert fifo.num_free() == 1
+
+
+def test_fifo_capacity_validation():
+    with pytest.raises(ValueError):
+        Fifo(0)
+
+
+def test_mutex_mutual_exclusion():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.mutex = Mutex()
+            self.trace = []
+            self.add_thread(self.worker("a"), name="a")
+            self.add_thread(self.worker("b"), name="b")
+
+        def worker(self, tag):
+            def body():
+                yield from self.mutex.lock()
+                self.trace.append(f"{tag}+")
+                yield delay(10, NS)
+                self.trace.append(f"{tag}-")
+                self.mutex.unlock()
+
+            return body
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    # critical sections must not interleave
+    assert m.trace in (["a+", "a-", "b+", "b-"], ["b+", "b-", "a+", "a-"])
+
+
+def test_mutex_trylock():
+    mutex = Mutex()
+    assert mutex.trylock()
+    assert not mutex.trylock()
+    mutex.unlock()
+    assert mutex.trylock()
+
+
+def test_mutex_unlock_unlocked_raises():
+    with pytest.raises(KernelError):
+        Mutex().unlock()
+
+
+def test_semaphore_counts():
+    sem = Semaphore(2)
+    assert sem.trywait()
+    assert sem.trywait()
+    assert not sem.trywait()
+    sem.post()
+    assert sem.count == 1
+
+
+def test_semaphore_blocking_wait():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.sem = Semaphore(0)
+            self.woke_at = None
+            self.add_thread(self.poster)
+            self.add_thread(self.waiter)
+
+        def poster(self):
+            yield delay(30, NS)
+            self.sem.post()
+
+        def waiter(self):
+            yield from self.sem.wait()
+            from repro.kernel import current_simulation
+
+            self.woke_at = current_simulation().time_ps
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.woke_at == 30_000
+
+
+def test_port_interface_method_forwarding():
+    class Channel:
+        def __init__(self):
+            self.calls = []
+
+        def ping(self, x):
+            self.calls.append(x)
+            return x * 2
+
+    port = Port()
+    chan = Channel()
+    port.bind(chan)
+    assert port.ping(21) == 42
+    assert chan.calls == [21]
+
+
+def test_unbound_port_raises_on_call_and_elaboration():
+    port = Port(name="p")
+    with pytest.raises(KernelError):
+        port.ping()
+
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.p = Port(name="m.p")
+            self.add_thread(self.noop)
+
+        def noop(self):
+            yield delay(1, NS)
+
+    with pytest.raises(KernelError):
+        sim = Simulation(M())
+
+
+def test_signal_ports_read_write():
+    sig = Signal(0)
+    out_port = SignalOutPort(name="o")
+    in_port = SignalInPort(name="i")
+    out_port.bind(sig)
+    in_port.bind(sig)
+    out_port.write(9)  # outside simulation: immediate
+    assert in_port.read() == 9
+    with pytest.raises(KernelError):
+        in_port.write(1)
+
+
+def test_port_interface_type_check():
+    class IFace:
+        pass
+
+    port = Port(IFace, name="typed")
+    with pytest.raises(KernelError):
+        port.bind(object())
+    port.bind(IFace())

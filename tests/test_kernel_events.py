@@ -1,0 +1,224 @@
+"""Events: notification semantics, cancellation, composite waits."""
+
+import pytest
+
+from repro.kernel import (AllOf, AnyOf, Event, Module, NS, Simulation,
+                          Timeout, delay, to_ps)
+
+
+class Recorder(Module):
+    """Runs a generator factory as a thread and records (time, tag)."""
+
+    def __init__(self, name, factory):
+        super().__init__(name)
+        self.log = []
+        self._factory = factory
+        self.add_thread(lambda: self._factory(self), name=f"{name}.t")
+
+    def mark(self, tag):
+        from repro.kernel import current_simulation
+
+        self.log.append((current_simulation().time_ps, tag))
+
+
+def run_thread(factory, duration=None):
+    mod = Recorder("rec", factory)
+    with Simulation(mod) as sim:
+        sim.run(duration)
+        return mod.log, sim
+
+
+def test_timed_notification_waits_for_delay():
+    ev = None
+
+    def body(self):
+        yield delay(25, NS)
+        self.mark("fired")
+
+    log, _ = run_thread(body)
+    assert log == [(to_ps(25, NS), "fired")]
+
+
+def test_delta_notification_fires_same_time():
+    def body(self):
+        ev = Event("e")
+        ev.notify()  # delta: same simulated time
+        yield ev
+        self.mark("fired")
+
+    log, _ = run_thread(body)
+    assert log == [(0, "fired")]
+
+
+def test_earlier_timed_notification_wins():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.ev = Event("e")
+            self.log = []
+            self.add_thread(self.notifier)
+            self.add_thread(self.waiter)
+
+        def notifier(self):
+            self.ev.notify(to_ps(50, NS))
+            self.ev.notify(to_ps(10, NS))  # earlier: replaces the 50 ns one
+            yield delay(100, NS)
+
+        def waiter(self):
+            yield self.ev
+            from repro.kernel import current_simulation
+
+            self.log.append(current_simulation().time_ps)
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.log == [to_ps(10, NS)]
+
+
+def test_later_timed_notification_is_ignored():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.ev = Event("e")
+            self.log = []
+            self.add_thread(self.notifier)
+            self.add_thread(self.waiter)
+
+        def notifier(self):
+            self.ev.notify(to_ps(10, NS))
+            self.ev.notify(to_ps(50, NS))  # later: ignored
+            yield delay(100, NS)
+
+        def waiter(self):
+            yield self.ev
+            from repro.kernel import current_simulation
+
+            self.log.append(current_simulation().time_ps)
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.log == [to_ps(10, NS)]
+
+
+def test_cancel_prevents_trigger():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.ev = Event("e")
+            self.fired = False
+            self.add_thread(self.notifier)
+            self.add_thread(self.waiter)
+
+        def notifier(self):
+            self.ev.notify(to_ps(10, NS))
+            self.ev.cancel()
+            yield delay(100, NS)
+
+        def waiter(self):
+            yield self.ev
+            self.fired = True
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert not m.fired
+
+
+def test_any_of_wakes_on_first():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.e1 = Event("e1")
+            self.e2 = Event("e2")
+            self.woke_at = None
+            self.add_thread(self.driver)
+            self.add_thread(self.waiter)
+
+        def driver(self):
+            yield delay(10, NS)
+            self.e2.notify()
+            yield delay(10, NS)
+            self.e1.notify()
+
+        def waiter(self):
+            yield AnyOf(self.e1, self.e2)
+            from repro.kernel import current_simulation
+
+            self.woke_at = current_simulation().time_ps
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.woke_at == to_ps(10, NS)
+
+
+def test_all_of_waits_for_every_event():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.e1 = Event("e1")
+            self.e2 = Event("e2")
+            self.woke_at = None
+            self.add_thread(self.driver)
+            self.add_thread(self.waiter)
+
+        def driver(self):
+            yield delay(10, NS)
+            self.e1.notify()
+            yield delay(15, NS)
+            self.e2.notify()
+
+        def waiter(self):
+            yield AllOf(self.e1, self.e2)
+            from repro.kernel import current_simulation
+
+            self.woke_at = current_simulation().time_ps
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.woke_at == to_ps(25, NS)
+
+
+def test_immediate_notification_same_evaluation_phase():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.ev = Event("e")
+            self.order = []
+            self.add_thread(self.waiter)
+            self.add_thread(self.notifier)
+
+        def waiter(self):
+            self.order.append("wait")
+            yield self.ev
+            self.order.append("woke")
+
+        def notifier(self):
+            self.order.append("notify")
+            self.ev.notify_immediate()
+            yield delay(1, NS)
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.order == ["wait", "notify", "woke"]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1)
+
+
+def test_anyof_requires_events():
+    with pytest.raises(ValueError):
+        AnyOf()
+    with pytest.raises(ValueError):
+        AllOf()
+
+
+def test_delay_converts_units():
+    assert delay(3, NS).delay_ps == 3000
+    assert delay(500).delay_ps == 500

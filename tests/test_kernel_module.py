@@ -1,0 +1,113 @@
+"""Module hierarchy, naming, elaboration."""
+
+import pytest
+
+from repro.kernel import (Clock, Module, NS, Signal, Simulation, delay,
+                          to_ps)
+
+
+def test_child_registration_and_full_names():
+    class Leaf(Module):
+        pass
+
+    class Top(Module):
+        def __init__(self):
+            super().__init__("top")
+            self.a = Leaf("a")
+            self.b = Leaf("b")
+
+    top = Top()
+    assert top.a.parent is top
+    assert top.b.full_name == "top.b"
+    assert [m.name for m in top.iter_modules()] == ["top", "a", "b"]
+
+
+def test_signal_attribute_gets_named():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.data = Signal(0)
+
+    m = M()
+    assert m.data.name == "m.data"
+
+
+def test_private_attributes_not_registered():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self._hidden = Module("hidden")
+
+    m = M()
+    assert m._hidden.parent is None
+    assert len(m._children) == 0
+
+
+def test_method_sensitivity_from_signal():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.s = Signal(0)
+            self.hits = 0
+            self.add_method(self.react, sensitivity=[self.s],
+                            dont_initialize=True)
+            self.add_thread(self.driver)
+
+        def react(self):
+            self.hits += 1
+
+        def driver(self):
+            for v in (1, 2, 2, 3):
+                self.s.write(v)
+                yield delay(10, NS)
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    # 2 -> 2 is not a change: three value changes
+    assert m.hits == 3
+
+
+def test_nested_module_processes_collected():
+    class Inner(Module):
+        def __init__(self, name):
+            super().__init__(name)
+            self.ran = False
+            self.add_thread(self.body)
+
+        def body(self):
+            self.ran = True
+            yield delay(1, NS)
+
+    class Outer(Module):
+        def __init__(self):
+            super().__init__("outer")
+            self.x = Inner("x")
+            self.y = Inner("y")
+
+    top = Outer()
+    with Simulation(top) as sim:
+        sim.run()
+    assert top.x.ran and top.y.ran
+
+
+def test_sensitivity_type_error():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            with pytest.raises(TypeError):
+                self.add_method(lambda: None, sensitivity=[42])
+
+    M()
+
+
+def test_clock_frequency_property():
+    clk = Clock("c", to_ps(40, NS))
+    assert clk.frequency_hz == pytest.approx(25e6)
+
+
+def test_clock_validation():
+    with pytest.raises(ValueError):
+        Clock("c", 1)
+    with pytest.raises(ValueError):
+        Clock("c", 1000, duty=1.5)

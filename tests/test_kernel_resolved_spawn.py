@@ -1,0 +1,139 @@
+"""Resolved signals and dynamic process spawning."""
+
+import pytest
+
+from repro.datatypes import L0, L1, LX, LZ
+from repro.kernel import (Module, NS, ResolvedSignal, Simulation, delay)
+
+
+def test_resolved_signal_single_driver():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.bus = ResolvedSignal("bus")
+            self.seen = []
+            self.add_thread(self.driver)
+            self.add_thread(self.watcher)
+
+        def driver(self):
+            yield delay(10, NS)
+            self.bus.drive("a", L1)
+            yield delay(10, NS)
+            self.bus.release("a")
+
+        def watcher(self):
+            yield self.bus.value_changed
+            self.seen.append(self.bus.read())
+            yield self.bus.value_changed
+            self.seen.append(self.bus.read())
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.seen == [L1, LZ]
+
+
+def test_resolved_conflict_gives_x():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.bus = ResolvedSignal("bus")
+            self.values = []
+            self.add_thread(self.body)
+
+        def body(self):
+            self.bus.drive("a", L0)
+            self.bus.drive("b", L1)
+            yield delay(1, NS)
+            self.values.append(self.bus.read())
+            self.bus.release("a")
+            yield delay(1, NS)
+            self.values.append(self.bus.read())
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.values == [LX, L1]
+
+
+def test_resolved_z_yields():
+    bus = ResolvedSignal("b")
+    bus.drive("a", LZ)
+    bus.drive("b", L0)
+    assert bus.read() == L0
+
+
+def test_resolved_rejects_plain_write_and_bad_values():
+    bus = ResolvedSignal("b")
+    with pytest.raises(TypeError):
+        bus.write(1)
+    with pytest.raises(ValueError):
+        bus.drive("a", 7)
+
+
+def test_resolved_driver_count():
+    bus = ResolvedSignal("b")
+    bus.drive("a", L1)
+    bus.drive("b", L1)
+    assert bus.driver_count == 2
+    bus.release("a")
+    assert bus.driver_count == 1
+
+
+def test_spawn_runs_new_thread():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.log = []
+            self.add_thread(self.main_proc)
+
+        def main_proc(self):
+            self.log.append("parent")
+            yield delay(5, NS)
+
+            def child():
+                self.log.append("child")
+                yield delay(3, NS)
+                self.log.append("child done")
+
+            self.spawn(child, name="child")
+            yield delay(10, NS)
+            self.log.append("parent done")
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.log == ["parent", "child", "child done", "parent done"]
+
+
+def test_spawn_many_children():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.done = 0
+            self.add_thread(self.main_proc)
+
+        def main_proc(self):
+            def make(i):
+                def child():
+                    yield delay(i + 1, NS)
+                    self.done += 1
+
+                return child
+
+            for i in range(10):
+                self.spawn(make(i))
+            yield delay(100, NS)
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.done == 10
+
+
+def test_spawn_outside_simulation_fails():
+    from repro.kernel import NoSimulationError
+
+    m = Module("m")
+    with pytest.raises(NoSimulationError):
+        m.spawn(lambda: iter(()))

@@ -1,0 +1,232 @@
+"""Scheduler: delta cycles, evaluate/update semantics, determinism."""
+
+import pytest
+
+from repro.kernel import (Clock, Event, Module, NS, Signal, Simulation,
+                          SimulationError, delay, to_ps)
+
+
+def test_signal_update_is_deferred_within_delta():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.s = Signal(0)
+            self.seen = []
+            self.add_thread(self.writer)
+            self.add_thread(self.reader)
+
+        def writer(self):
+            self.s.write(7)
+            yield delay(1, NS)
+
+        def reader(self):
+            self.seen.append(self.s.read())   # old value: same delta
+            yield self.s.value_changed
+            self.seen.append(self.s.read())   # new value: next delta
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.seen == [0, 7]
+
+
+def test_write_same_value_fires_no_event():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.s = Signal(5)
+            self.fired = False
+            self.add_thread(self.writer)
+            self.add_thread(self.watcher)
+
+        def writer(self):
+            self.s.write(5)  # no change
+            yield delay(1, NS)
+
+        def watcher(self):
+            yield self.s.value_changed
+            self.fired = True
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert not m.fired
+
+
+def test_run_duration_limits_time():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.count = 0
+            self.add_thread(self.ticker)
+
+        def ticker(self):
+            while True:
+                yield delay(10, NS)
+                self.count += 1
+
+    m = M()
+    with Simulation(m) as sim:
+        end = sim.run(to_ps(95, NS))
+    assert m.count == 9
+    assert end == to_ps(95, NS)
+
+
+def test_event_starvation_ends_run():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.add_thread(self.once)
+
+        def once(self):
+            yield delay(5, NS)
+
+    m = M()
+    with Simulation(m) as sim:
+        end = sim.run()  # no duration: runs until nothing is pending
+    assert end == to_ps(5, NS)
+    assert not sim.pending_activity
+
+
+def test_delta_livelock_detected():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.ev = Event("e")
+            self.add_thread(self.spin)
+
+        def spin(self):
+            while True:
+                self.ev.notify()  # delta notification to itself, forever
+                yield self.ev
+
+    m = M()
+    with Simulation(m, max_deltas_per_step=1000) as sim:
+        with pytest.raises(SimulationError):
+            sim.run(to_ps(1, NS))
+
+
+def test_clock_posedges_counted():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.clk = Clock("clk", to_ps(10, NS))
+            self.edges = 0
+            self.add_method(self.on_edge, sensitivity=[self.clk.posedge],
+                            dont_initialize=True)
+
+        def on_edge(self):
+            self.edges += 1
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run(to_ps(100, NS))
+    # rising edges at 0, 10, ..., 100 -> 11
+    assert m.edges == 11
+
+
+def test_clock_duty_cycle():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.clk = Clock("clk", to_ps(10, NS), duty=0.3)
+            self.high_at = []
+            self.low_at = []
+            self.add_method(self.up, sensitivity=[self.clk.posedge],
+                            dont_initialize=True)
+            self.add_method(self.down, sensitivity=[self.clk.negedge],
+                            dont_initialize=True)
+
+        def up(self):
+            from repro.kernel import current_simulation
+
+            self.high_at.append(current_simulation().time_ps)
+
+        def down(self):
+            from repro.kernel import current_simulation
+
+            self.low_at.append(current_simulation().time_ps)
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run(to_ps(25, NS))
+    assert m.high_at[:2] == [0, to_ps(10, NS)]
+    assert m.low_at[0] == to_ps(3, NS)
+
+
+def test_two_clocks_interleave():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.fast = Clock("fast", to_ps(10, NS))
+            self.slow = Clock("slow", to_ps(30, NS))
+            self.fast_edges = 0
+            self.slow_edges = 0
+            self.add_method(self.f, sensitivity=[self.fast.posedge],
+                            dont_initialize=True)
+            self.add_method(self.s, sensitivity=[self.slow.posedge],
+                            dont_initialize=True)
+
+        def f(self):
+            self.fast_edges += 1
+
+        def s(self):
+            self.slow_edges += 1
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run(to_ps(90, NS))
+    assert m.fast_edges == 10
+    assert m.slow_edges == 4
+
+
+def test_deterministic_process_order():
+    """Same-delta processes run in registration order, repeatably."""
+
+    def run_once():
+        class M(Module):
+            def __init__(self):
+                super().__init__("m")
+                self.order = []
+                for tag in ("a", "b", "c"):
+                    self.add_thread(self._mk(tag), name=tag)
+
+            def _mk(self, tag):
+                def body():
+                    self.order.append(tag)
+                    yield delay(1, NS)
+                    self.order.append(tag.upper())
+
+                return body
+
+        m = M()
+        with Simulation(m) as sim:
+            sim.run()
+        return m.order
+
+    first = run_once()
+    assert first == ["a", "b", "c", "A", "B", "C"]
+    assert all(run_once() == first for _ in range(3))
+
+
+def test_stop_halts_simulation():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.steps = 0
+            self.add_thread(self.body)
+
+        def body(self):
+            from repro.kernel import current_simulation
+
+            while True:
+                yield delay(10, NS)
+                self.steps += 1
+                if self.steps == 3:
+                    current_simulation().stop()
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.steps == 3
+    assert sim.time_ps == to_ps(30, NS)

@@ -1,0 +1,77 @@
+"""VCD tracing and severity reporting."""
+
+import pytest
+
+from repro.kernel import (Module, NS, Reporter, ReportError, Severity,
+                          Signal, Simulation, VcdTracer, delay)
+
+
+def test_vcd_contains_header_and_changes(tmp_path):
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.s = Signal(0)
+            self.add_thread(self.body)
+
+        def body(self):
+            for v in (1, 0, 1):
+                yield delay(10, NS)
+                self.s.write(v)
+
+    m = M()
+    tracer = VcdTracer()
+    tracer.trace(m.s, "sig")
+    with Simulation(m) as sim:
+        sim.run()
+    text = tracer.dumps()
+    assert "$timescale 1ps $end" in text
+    assert "$var wire 1" in text
+    assert "#10000" in text
+    path = tmp_path / "wave.vcd"
+    tracer.write(str(path))
+    assert path.read_text().startswith("$date")
+
+
+def test_vcd_multibit_format():
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.bus = Signal(0)
+            self.add_thread(self.body)
+
+        def body(self):
+            yield delay(5, NS)
+            self.bus.write(0xA5)
+
+    m = M()
+    tracer = VcdTracer()
+    tracer.trace(m.bus, "bus", width=8)
+    with Simulation(m) as sim:
+        sim.run()
+    assert "b10100101" in tracer.dumps()
+
+
+def test_reporter_counts_by_severity():
+    rep = Reporter(raise_at=Severity.FATAL)
+    rep.info("T", "one")
+    rep.warning("T", "two")
+    rep.error("T", "three")
+    assert rep.count(Severity.INFO) == 1
+    assert rep.count(Severity.WARNING) == 1
+    assert rep.count(Severity.ERROR) == 1
+    assert rep.messages(Severity.ERROR) == ["T: three"]
+
+
+def test_reporter_raises_at_threshold():
+    rep = Reporter(raise_at=Severity.ERROR)
+    rep.warning("T", "fine")
+    with pytest.raises(ReportError):
+        rep.error("T", "boom")
+
+
+def test_reporter_fatal_always_raises_by_default():
+    rep = Reporter()
+    rep.error("T", "collected")
+    with pytest.raises(ReportError):
+        rep.fatal("T", "dead")
+    assert rep.count(Severity.ERROR) == 1

@@ -1,0 +1,164 @@
+"""RTL expressions: evaluation semantics and substitution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datatypes import wrap_signed
+from repro.rtl import (Add, Case, Cat, Cmp, Const, Ext, Mux, Mul, Ref,
+                       Reduce, Shl, Shr, Slice, SMul, Sra, Sub, evaluate)
+from repro.rtl.expr import substitute
+
+i8 = st.integers(min_value=0, max_value=255)
+s8 = st.integers(min_value=-128, max_value=127)
+
+
+def env(**kw):
+    return dict(kw)
+
+
+def test_const_masks():
+    assert evaluate(Const(4, 0x1F), {}) == 0xF
+    assert Const(8, -1).value == 0xFF
+
+
+def test_ref_reads_env():
+    assert evaluate(Ref("x", 8), env(x=42)) == 42
+
+
+@given(i8, i8)
+def test_add_width_growth(a, b):
+    e = Add(Ref("a", 8), Ref("b", 8))
+    assert e.width == 9
+    assert evaluate(e, env(a=a, b=b)) == a + b
+
+
+@given(i8, i8)
+def test_sub_two_complement(a, b):
+    e = Sub(Ref("a", 8), Ref("b", 8), width=8)
+    assert evaluate(e, env(a=a, b=b)) == (a - b) & 0xFF
+
+
+@given(i8, i8)
+def test_unsigned_mul(a, b):
+    e = Mul(Ref("a", 8), Ref("b", 8))
+    assert e.width == 16
+    assert evaluate(e, env(a=a, b=b)) == a * b
+
+
+@given(s8, s8)
+def test_signed_mul(a, b):
+    e = SMul(Ref("a", 8), Ref("b", 8))
+    got = evaluate(e, env(a=a & 0xFF, b=b & 0xFF))
+    assert wrap_signed(got, 16) == a * b
+
+
+@given(s8, s8)
+def test_signed_compares(a, b):
+    e_lt = Cmp("slt", Ref("a", 8), Ref("b", 8))
+    e_le = Cmp("sle", Ref("a", 8), Ref("b", 8))
+    environment = env(a=a & 0xFF, b=b & 0xFF)
+    assert evaluate(e_lt, environment) == (1 if a < b else 0)
+    assert evaluate(e_le, environment) == (1 if a <= b else 0)
+
+
+@given(i8, i8)
+def test_unsigned_compares(a, b):
+    assert evaluate(Ref("a", 8).ult(Ref("b", 8)), env(a=a, b=b)) == int(a < b)
+    assert evaluate(Ref("a", 8).uge(Ref("b", 8)), env(a=a, b=b)) == int(a >= b)
+    assert evaluate(Ref("a", 8).eq(Ref("b", 8)), env(a=a, b=b)) == int(a == b)
+
+
+def test_mux_and_case():
+    m = Mux(Ref("s", 1), Const(8, 10), Const(8, 20))
+    assert evaluate(m, env(s=1)) == 10
+    assert evaluate(m, env(s=0)) == 20
+    c = Case(Ref("sel", 2), {0: Const(8, 5), 2: Const(8, 7)},
+             default=Const(8, 99))
+    assert evaluate(c, env(sel=0)) == 5
+    assert evaluate(c, env(sel=2)) == 7
+    assert evaluate(c, env(sel=3)) == 99
+
+
+def test_case_validation():
+    with pytest.raises(ValueError):
+        Case(Ref("s", 1), {}, default=Const(1, 0))
+    with pytest.raises(ValueError):
+        Case(Ref("s", 1), {5: Const(1, 0)}, default=Const(1, 0))
+
+
+def test_mux_needs_1bit_select():
+    with pytest.raises(ValueError):
+        Mux(Ref("s", 2), Const(1, 0), Const(1, 1))
+
+
+@given(i8)
+def test_shifts(a):
+    assert evaluate(Shl(Ref("a", 8), 3), env(a=a)) == a << 3
+    assert evaluate(Shr(Ref("a", 8), 3), env(a=a)) == a >> 3
+
+
+@given(s8)
+def test_arithmetic_shift(a):
+    e = Sra(Ref("a", 8), 2)
+    assert wrap_signed(evaluate(e, env(a=a & 0xFF)), 8) == a >> 2
+
+
+def test_cat_slice():
+    e = Cat(Ref("hi", 4), Ref("lo", 4))
+    assert e.width == 8
+    assert evaluate(e, env(hi=0xA, lo=0x5)) == 0xA5
+    s = Slice(Ref("x", 8), 7, 4)
+    assert evaluate(s, env(x=0xA5)) == 0xA
+
+
+def test_slice_validation():
+    with pytest.raises(ValueError):
+        Slice(Ref("x", 8), 3, 5)
+    with pytest.raises(ValueError):
+        Slice(Ref("x", 8), 8, 0)
+
+
+@given(s8)
+def test_sign_extension(a):
+    e = Ext(Ref("a", 8), 16, signed=True)
+    assert wrap_signed(evaluate(e, env(a=a & 0xFF)), 16) == a
+
+
+def test_reduce_ops():
+    assert evaluate(Reduce("and", Ref("x", 4)), env(x=0xF)) == 1
+    assert evaluate(Reduce("and", Ref("x", 4)), env(x=0x7)) == 0
+    assert evaluate(Reduce("or", Ref("x", 4)), env(x=0)) == 0
+    assert evaluate(Reduce("xor", Ref("x", 4)), env(x=0b0111)) == 1
+
+
+def test_operator_sugar_builds_nodes():
+    a, b = Ref("a", 8), Ref("b", 8)
+    assert isinstance(a + b, Add)
+    assert isinstance(a - b, Sub)
+    assert isinstance(a * b, Mul)
+    assert (a & b).width == 8
+    assert (~a).width == 8
+    assert a.bit(3).width == 1
+    assert a.zext(12).width == 12
+
+
+def test_negative_literal_rejected():
+    with pytest.raises(ValueError):
+        Ref("a", 8) + (-1)
+
+
+def test_substitute_replaces_and_preserves_identity():
+    a = Ref("a", 8)
+    expr = Add(a, Const(8, 1))
+    replaced = substitute(expr, {"a": Ref("other", 8)})
+    assert evaluate(replaced, env(other=5)) == 6
+    same = substitute(expr, {"nothing": Ref("x", 8)})
+    assert same is expr
+
+
+def test_substitute_width_adaptation():
+    expr = Ref("v", 4)
+    wide = substitute(expr, {"v": Ref("w", 8)})
+    assert wide.width == 4   # sliced down
+    narrow = substitute(Ref("v", 8), {"v": Ref("n", 4)})
+    assert narrow.width == 8  # zero-extended

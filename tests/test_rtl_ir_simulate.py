@@ -1,0 +1,201 @@
+"""RTL module structure and cycle-based simulation."""
+
+import pytest
+
+from repro.rtl import (Case, Const, Mux, Ref, RtlError, RtlModule,
+                       RtlSimulator, Slice, emit_verilog)
+
+
+def make_counter(width=8):
+    m = RtlModule("counter")
+    en = m.input("en", 1)
+    cnt = m.register("cnt", width, init=0)
+    m.set_next(cnt, Mux(en, Slice(cnt + Const(width, 1), width - 1, 0), cnt))
+    m.output("value", cnt)
+    return m
+
+
+def test_counter_counts_with_enable():
+    sim = RtlSimulator(make_counter())
+    sim.set_input("en", 1)
+    sim.step(5)
+    assert sim.get("value") == 5
+    sim.set_input("en", 0)
+    sim.step(3)
+    assert sim.get("value") == 5
+
+
+def test_counter_wraps():
+    sim = RtlSimulator(make_counter(4))
+    sim.set_input("en", 1)
+    sim.step(18)
+    assert sim.get("value") == 2
+
+
+def test_reset_restores_init():
+    m = RtlModule("r")
+    r = m.register("r", 8, init=42)
+    m.set_next(r, Slice(r + Const(8, 1), 7, 0))
+    m.output("q", r)
+    sim = RtlSimulator(m)
+    sim.step(3)
+    assert sim.get("q") == 45
+    sim.reset()
+    assert sim.get("q") == 42
+    assert sim.cycles == 0
+
+
+def test_duplicate_net_rejected():
+    m = RtlModule("m")
+    m.input("x", 4)
+    with pytest.raises(RtlError):
+        m.input("x", 4)
+    with pytest.raises(RtlError):
+        m.assign("x", Const(4, 0))
+
+
+def test_missing_next_rejected():
+    m = RtlModule("m")
+    m.register("r", 4)
+    with pytest.raises(RtlError):
+        m.validate()
+
+
+def test_undeclared_ref_rejected():
+    m = RtlModule("m")
+    m.assign("y", Ref("ghost", 4))
+    with pytest.raises(RtlError):
+        m.validate()
+
+
+def test_ref_width_mismatch_rejected():
+    m = RtlModule("m")
+    m.input("x", 4)
+    m.assign("y", Ref("x", 8))
+    with pytest.raises(RtlError):
+        m.validate()
+
+
+def test_combinational_loop_detected():
+    m = RtlModule("m")
+    m.assign("a", Ref("b", 1))
+    m.assign("b", Ref("a", 1))
+    with pytest.raises(RtlError):
+        m.topo_assign_order()
+
+
+def test_assign_order_is_topological():
+    m = RtlModule("m")
+    x = m.input("x", 4)
+    m.assign("c", Ref("b", 4) & Const(4, 3))
+    m.assign("b", Ref("a", 4) | Const(4, 1))
+    m.assign("a", x)
+    order = [a.name for a in m.topo_assign_order()]
+    assert order.index("a") < order.index("b") < order.index("c")
+
+
+def test_memory_rom_and_ram():
+    m = RtlModule("mem")
+    addr = m.input("addr", 2)
+    wen = m.input("wen", 1)
+    wdata = m.input("wdata", 8)
+    rom = m.memory("rom", 4, 8, contents=[10, 20, 30, 40])
+    ram = m.memory("ram", 4, 8)
+    rd = m.mem_read(rom, addr)
+    rr = m.mem_read(ram, addr)
+    m.mem_write(ram, wen, addr, wdata)
+    m.output("rom_q", rd)
+    m.output("ram_q", rr)
+    dummy = m.register("d", 1)
+    m.set_next(dummy, dummy)
+
+    sim = RtlSimulator(m)
+    sim.set_input("addr", 2)
+    sim.settle()
+    assert sim.get("rom_q") == 30
+    assert sim.get("ram_q") == 0
+    sim.set_input("wen", 1)
+    sim.set_input("wdata", 99)
+    sim.step()
+    sim.set_input("wen", 0)
+    sim.settle()
+    assert sim.get("ram_q") == 99
+
+
+def test_rom_write_rejected():
+    m = RtlModule("mem")
+    rom = m.memory("rom", 4, 8, contents=[1, 2, 3, 4])
+    with pytest.raises(RtlError):
+        m.mem_write(rom, Const(1, 1), Const(2, 0), Const(8, 0))
+
+
+def test_rom_contents_length_checked():
+    m = RtlModule("mem")
+    with pytest.raises(RtlError):
+        m.memory("rom", 4, 8, contents=[1, 2])
+
+
+def test_out_of_range_memory_read_is_silent_zero():
+    m = RtlModule("mem")
+    addr = m.input("addr", 3)
+    ram = m.memory("ram", 5, 8)
+    m.output("q", m.mem_read(ram, addr))
+    d = m.register("d", 1)
+    m.set_next(d, d)
+    sim = RtlSimulator(m)
+    sim.set_input("addr", 7)   # beyond depth 5
+    sim.settle()
+    assert sim.get("q") == 0
+
+
+def test_memory_monitor_sees_enabled_reads_only():
+    m = RtlModule("mem")
+    addr = m.input("addr", 3)
+    en = m.input("en", 1)
+    ram = m.memory("ram", 5, 8)
+    m.output("q", m.mem_read(ram, addr, enable=en))
+    d = m.register("d", 1)
+    m.set_next(d, d)
+
+    hits = []
+    sim = RtlSimulator(m, mem_monitor=lambda *a: hits.append(a))
+    sim.set_input("addr", 6)
+    sim.set_input("en", 0)
+    sim.step()
+    assert hits == []
+    sim.set_input("en", 1)
+    sim.step()
+    assert hits == [("ram", 6, 5, "read")]
+
+
+def test_load_and_peek_memory():
+    m = RtlModule("mem")
+    ram = m.memory("ram", 3, 8)
+    d = m.register("d", 1)
+    m.set_next(d, d)
+    m.output("q", d)
+    sim = RtlSimulator(m)
+    sim.load_memory("ram", [7, 8, 9])
+    assert sim.peek_memory("ram") == [7, 8, 9]
+    with pytest.raises(RtlError):
+        sim.load_memory("ram", [1])
+
+
+def test_verilog_emission_contains_structure():
+    text = emit_verilog(make_counter())
+    assert "module counter" in text
+    assert "always @(posedge clk)" in text
+    assert "cnt <=" in text
+    assert "endmodule" in text
+
+
+def test_verilog_memory_and_rom():
+    m = RtlModule("memv")
+    addr = m.input("addr", 2)
+    rom = m.memory("rom", 4, 8, contents=[1, 2, 3, 4])
+    m.output("q", m.mem_read(rom, addr))
+    d = m.register("d", 1)
+    m.set_next(d, d)
+    text = emit_verilog(m)
+    assert "reg [7:0] rom [0:3];" in text
+    assert "rom[" in text

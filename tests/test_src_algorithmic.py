@@ -1,0 +1,155 @@
+"""The C++ golden model: structure, quality, ring buffer, corner bug."""
+
+import pytest
+
+from repro.dsp import sine_samples, sine_snr_db
+from repro.src_design import (AlgorithmicSrc, InputBuffer, PolyphaseFilter,
+                              PAPER_PARAMS, SMALL_PARAMS, filter_sample,
+                              make_schedule)
+
+
+def test_ring_buffer_wraps_and_reads_backwards():
+    buf = InputBuffer(4)
+    for v in (10, 20, 30, 40, 50):  # 50 overwrites 10
+        buf.write(v)
+    it = buf.read_iterator()
+    assert [next(it) for _ in range(4)] == [50, 40, 30, 20]
+
+
+def test_ring_iterator_wraps_past_zero():
+    buf = InputBuffer(4)
+    for v in (1, 2):
+        buf.write(v)
+    it = buf.read_iterator()
+    got = [next(it) for _ in range(4)]
+    assert got[:2] == [2, 1]
+    assert got[2:] == [0, 0]  # flushed slots
+
+
+def test_buffer_flush_zeroes_slots():
+    buf = InputBuffer(4)
+    buf.write(9)
+    buf.flush()
+    it = buf.read_iterator()
+    assert [next(it) for _ in range(4)] == [0, 0, 0, 0]
+    assert buf.newest_index == 3  # reset position
+
+
+def test_raw_read_stale_cell_is_zero_and_monitored():
+    hits = []
+    buf = InputBuffer(4, monitor=lambda a, d: hits.append((a, d)))
+    assert buf.read_raw(4) == 0  # one past the end: the stale cell
+    assert hits == [(4, 4)]
+    with pytest.raises(IndexError):
+        buf.read_raw(5)
+
+
+def test_buffer_depth_validated():
+    with pytest.raises(ValueError):
+        InputBuffer(1)
+
+
+def test_filter_sample_uses_both_iterators():
+    p = SMALL_PARAMS
+    buf = InputBuffer(p.buffer_depth)
+    buf.write(1000)
+    filt = PolyphaseFilter(p)
+    out = filter_sample(p, buf.read_iterator(),
+                        filt.coefficient_iterator(0))
+    # only one sample present: output = round(s * c0 / 2^frac)
+    expected = p.round_and_saturate(1000 * filt.coefficient(0, 0))
+    assert out == expected
+
+
+def test_wrong_channel_count_rejected():
+    src = AlgorithmicSrc(SMALL_PARAMS)
+    with pytest.raises(ValueError):
+        src.write_sample([1])
+
+
+def test_invalid_mode_rejected():
+    src = AlgorithmicSrc(SMALL_PARAMS)
+    with pytest.raises(ValueError):
+        src.set_mode(7)
+
+
+def test_upsampling_sine_quality_paper_config():
+    p = PAPER_PARAMS
+    n = 3000
+    sched = make_schedule(p, 0, n)
+    stereo = [(s, -s) for s in sine_samples(n, 1000, 44100, p.data_width)]
+    outs = AlgorithmicSrc(p, 0).process_schedule(sched, stereo)
+    fs = 2.0 ** (p.data_width - 1)
+    left = [o[0] / fs for o in outs]
+    right = [o[1] / fs for o in outs]
+    assert sine_snr_db(left, 1000, 48000, skip=300) > 40.0
+    assert sine_snr_db(right, 1000, 48000, skip=300) > 40.0
+
+
+def test_downsampling_sine_quality_paper_config():
+    p = PAPER_PARAMS
+    n = 3000
+    sched = make_schedule(p, 1, n)
+    stereo = [(s, s) for s in sine_samples(n, 1000, 48000, p.data_width)]
+    outs = AlgorithmicSrc(p, 1).process_schedule(sched, stereo)
+    fs = 2.0 ** (p.data_width - 1)
+    left = [o[0] / fs for o in outs]
+    assert sine_snr_db(left, 1000, 44100, skip=300) > 40.0
+
+
+def test_stereo_channels_independent():
+    p = SMALL_PARAMS
+    n = 100
+    sched = make_schedule(p, 0, n)
+    mono = sine_samples(n, 1000, 44100, p.data_width)
+    outs = AlgorithmicSrc(p, 0).process_schedule(
+        sched, [(s, 0) for s in mono])
+    assert all(o[1] == 0 for o in outs)
+    assert any(o[0] != 0 for o in outs)
+
+
+def test_silence_in_silence_out():
+    p = SMALL_PARAMS
+    sched = make_schedule(p, 0, 60)
+    outs = AlgorithmicSrc(p, 0).process_schedule(
+        sched, [(0, 0)] * 60)
+    assert all(o == (0, 0) for o in outs)
+
+
+def test_corner_bug_fires_only_before_first_sample():
+    p = SMALL_PARAMS
+    violations = []
+    src = AlgorithmicSrc(
+        p, 0, monitor=lambda a, d: violations.append(a) if a >= d else None
+    )
+    # output requested immediately after reset: prefetch hits address D
+    src.read_sample()
+    assert violations == [p.buffer_depth] * p.n_channels
+    violations.clear()
+    src.write_sample((5, 5))
+    src.read_sample()
+    assert violations == []
+
+
+def test_corner_bug_is_function_preserving():
+    p = SMALL_PARAMS
+    n = 150
+    sched = make_schedule(p, 0, n, mode_changes=((70, 1),))
+    stereo = [(s, -s) for s in sine_samples(n, 1000, 44100, p.data_width)]
+    with_bug = AlgorithmicSrc(p, 0, with_corner_bug=True)
+    without = AlgorithmicSrc(p, 0, with_corner_bug=False)
+    assert with_bug.process_schedule(sched, stereo) == \
+        without.process_schedule(sched, stereo)
+
+
+def test_mode_change_flushes_state():
+    p = SMALL_PARAMS
+    src = AlgorithmicSrc(p, 0)
+    for v in range(1, 6):
+        src.write_sample((v * 100, v * 100))
+    src.read_sample()
+    src.set_mode(1)
+    assert src.fill == 0
+    assert src.position == 0
+    out = src.read_sample()
+    assert out == (0, 0)  # silence right after flush

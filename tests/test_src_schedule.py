@@ -1,0 +1,123 @@
+"""Event schedules: ordering, rates, quantisation, mode placement."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.src_design import (KIND_IN, KIND_MODE, KIND_OUT, SMALL_PARAMS,
+                              PAPER_PARAMS, count_outputs, make_schedule,
+                              schedule_clock_ticks)
+
+
+def test_schedule_sorted_with_priorities():
+    p = SMALL_PARAMS
+    sched = make_schedule(p, 0, 50)
+    times = [(e.time_ps, {"mode": 0, "in": 1, "out": 2}[e.kind])
+             for e in sched]
+    assert times == sorted(times)
+
+
+def test_first_event_is_initial_mode():
+    sched = make_schedule(SMALL_PARAMS, 1, 10)
+    assert sched[0].kind == KIND_MODE
+    assert sched[0].value == 1
+    assert sched[0].time_ps == 0
+
+
+def test_input_rate_is_exact():
+    p = PAPER_PARAMS
+    sched = make_schedule(p, 0, 5)
+    ins = [e for e in sched if e.kind == KIND_IN]
+    period = Fraction(10 ** 12, 44100)
+    for j, ev in enumerate(ins):
+        assert ev.time_ps == (j + 1) * period
+        assert ev.value == j
+
+
+def test_output_count_matches_ratio():
+    p = PAPER_PARAMS
+    n = 441
+    sched = make_schedule(p, 0, n)
+    # 44.1k in -> 48k out: roughly 480 outputs per 441 inputs
+    assert abs(count_outputs(sched) - 480) <= 2
+
+
+def test_downsampling_yields_fewer_outputs():
+    p = PAPER_PARAMS
+    sched = make_schedule(p, 1, 480)
+    assert count_outputs(sched) < 480
+
+
+def test_no_outputs_after_last_input():
+    sched = make_schedule(SMALL_PARAMS, 0, 30)
+    last_in = max(e.time_ps for e in sched if e.kind == KIND_IN)
+    outs = [e for e in sched if e.kind == KIND_OUT]
+    assert all(e.time_ps <= last_in for e in outs)
+
+
+def test_quantized_times_are_clock_multiples():
+    p = SMALL_PARAMS
+    sched = make_schedule(p, 0, 30, quantized=True)
+    assert all(e.time_ps % p.clock_period_ps == 0 for e in sched)
+    ticks = schedule_clock_ticks(p, sched)
+    assert ticks == sorted(ticks)
+
+
+def test_quantization_never_moves_events_earlier():
+    p = SMALL_PARAMS
+    exact = make_schedule(p, 0, 30)
+    quant = make_schedule(p, 0, 30, quantized=True)
+    ex = {(e.kind, e.value): e.time_ps for e in exact}
+    qu = {(e.kind, e.value): e.time_ps for e in quant}
+    for key in ex:
+        assert qu[key] >= ex[key]
+        assert qu[key] - ex[key] < p.clock_period_ps
+
+
+def test_unquantized_schedule_rejected_for_ticks():
+    p = SMALL_PARAMS
+    sched = make_schedule(p, 0, 10)
+    with pytest.raises(ValueError):
+        schedule_clock_ticks(p, sched)
+
+
+def test_mode_change_in_idle_gap():
+    p = SMALL_PARAMS
+    sched = make_schedule(p, 0, 120, mode_changes=((50, 1),))
+    modes = [e for e in sched if e.kind == KIND_MODE]
+    assert len(modes) == 2
+    change = modes[1]
+    assert change.value == 1
+    guard = p.max_latency_cycles * p.clock_period_ps
+    small = 4 * p.clock_period_ps
+    others = sorted(e.time_ps for e in sched if e.kind != KIND_MODE)
+    before = [t for t in others if t < change.time_ps]
+    after = [t for t in others if t > change.time_ps]
+    prev_out = max((e.time_ps for e in sched
+                    if e.kind == KIND_OUT and e.time_ps < change.time_ps),
+                   default=0)
+    assert change.time_ps - prev_out >= guard
+    assert after[0] - change.time_ps >= small
+
+
+def test_rates_follow_mode_change():
+    p = SMALL_PARAMS
+    n = 200
+    plain = make_schedule(p, 0, n)
+    switched = make_schedule(p, 0, n, mode_changes=((20, 1),))
+    # after switching to 48k->44.1k, inputs arrive faster: the run ends
+    # earlier than the pure 44.1k->48k one
+    assert switched[-1].time_ps < plain[-1].time_ps
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        make_schedule(SMALL_PARAMS, 5, 10)
+    with pytest.raises(ValueError):
+        make_schedule(SMALL_PARAMS, 0, 10, mode_changes=((5, 9),))
+
+
+def test_unplaceable_mode_change_raises():
+    with pytest.raises(ValueError):
+        # change index beyond the generated inputs can never be placed
+        make_schedule(SMALL_PARAMS, 0, 10, mode_changes=((9999, 1),))

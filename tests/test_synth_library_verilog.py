@@ -1,0 +1,126 @@
+"""Cell library semantics and the behavioural-Verilog emitter details."""
+
+import itertools
+
+import pytest
+
+from repro.datatypes import L0, L1, LX, LZ
+from repro.rtl import (Case, Cat, Cmp, Const, Ext, Mux, Ref, Reduce,
+                       RtlModule, Slice, SMul, Sra)
+from repro.rtl.verilog import emit_verilog
+from repro.synth import DEFAULT_LIBRARY, generic_025um
+from repro.synth.library import EVAL
+
+
+BOOL_CELLS = {
+    "INV": lambda a: 1 - a,
+    "BUF": lambda a: a,
+    "NAND2": lambda a, b: 1 - (a & b),
+    "NOR2": lambda a, b: 1 - (a | b),
+    "AND2": lambda a, b: a & b,
+    "OR2": lambda a, b: a | b,
+    "XOR2": lambda a, b: a ^ b,
+    "XNOR2": lambda a, b: 1 - (a ^ b),
+}
+
+
+def test_cell_tables_match_boolean_semantics():
+    for name, fn in BOOL_CELLS.items():
+        cell = DEFAULT_LIBRARY[name]
+        n = cell.n_inputs
+        for values in itertools.product((0, 1), repeat=n):
+            got = DEFAULT_LIBRARY.evaluate(name, "Y", *values)
+            assert got == fn(*values), (name, values)
+
+
+def test_full_adder_table():
+    for a, b, c in itertools.product((0, 1), repeat=3):
+        s = DEFAULT_LIBRARY.evaluate("FA", "S", a, b, c)
+        co = DEFAULT_LIBRARY.evaluate("FA", "CO", a, b, c)
+        assert 2 * co + s == a + b + c
+
+
+def test_mux_table():
+    for s, a, b in itertools.product((0, 1), repeat=3):
+        y = DEFAULT_LIBRARY.evaluate("MUX2", "Y", s, a, b)
+        assert y == (b if s else a)
+
+
+def test_x_pessimism_controlled_by_dominant_values():
+    assert DEFAULT_LIBRARY.evaluate("AND2", "Y", L0, LX) == L0
+    assert DEFAULT_LIBRARY.evaluate("OR2", "Y", L1, LX) == L1
+    assert DEFAULT_LIBRARY.evaluate("NAND2", "Y", L0, LZ) == L1
+    assert DEFAULT_LIBRARY.evaluate("XOR2", "Y", L1, LX) == LX
+
+
+def test_library_areas_and_delays_positive():
+    lib = generic_025um()
+    for cell in lib.cells.values():
+        assert cell.area > 0
+        assert cell.delay_ns > 0
+    # relative sizes sane: flop > mux > nand
+    assert lib.area_of("SDFF") > lib.area_of("DFF") > lib.area_of("MUX2") \
+        > lib.area_of("NAND2")
+    assert "NAND2" in lib
+
+
+# ------------------------------------------------------------- verilog
+def test_verilog_signed_constructs():
+    m = RtlModule("signed_ops")
+    a = m.input("a", 8)
+    b = m.input("b", 8)
+    m.output("p", SMul(a, b))
+    m.output("sh", Sra(a, 2))
+    m.output("lt", Cmp("slt", a, b))
+    d = m.register("d", 1)
+    m.set_next(d, d)
+    text = emit_verilog(m)
+    assert "$signed" in text
+    assert ">>>" in text
+
+
+def test_verilog_case_as_ternary_chain():
+    m = RtlModule("casey")
+    sel = m.input("sel", 2)
+    m.output("y", Case(sel, {0: Const(4, 1), 2: Const(4, 7)},
+                       default=Const(4, 15)))
+    d = m.register("d", 1)
+    m.set_next(d, d)
+    text = emit_verilog(m)
+    assert "sel == 2'd0" in text
+    assert "sel == 2'd2" in text
+    assert "4'd15" in text
+
+
+def test_verilog_sign_extension_replication():
+    m = RtlModule("extend")
+    a = m.input("a", 4)
+    m.output("y", Ext(a, 8, signed=True))
+    d = m.register("d", 1)
+    m.set_next(d, d)
+    text = emit_verilog(m)
+    assert "{4{a[3]}}" in text
+
+
+def test_verilog_slice_of_expression_uses_temp():
+    m = RtlModule("slicer")
+    a = m.input("a", 4)
+    b = m.input("b", 4)
+    m.output("y", Slice(a + b, 2, 1))
+    d = m.register("d", 1)
+    m.set_next(d, d)
+    text = emit_verilog(m)
+    assert "_t0" in text
+    assert "[2:1]" in text
+
+
+def test_verilog_concat_and_reduce():
+    m = RtlModule("bits")
+    a = m.input("a", 4)
+    m.output("c", Cat(a, Const(2, 3)))
+    m.output("r", Reduce("xor", a))
+    d = m.register("d", 1)
+    m.set_next(d, d)
+    text = emit_verilog(m)
+    assert "{a, 2'd3}" in text
+    assert "(^a)" in text

@@ -1,0 +1,105 @@
+"""Gate-level Verilog emission, model metrics, and the CLI entry point."""
+
+import pytest
+
+from repro.flow import collect_model_metrics, format_metrics
+from repro.flow.metrics import program_metrics, rtl_metrics
+from repro.src_design import build_main_program
+from repro.synth import emit_gate_verilog, map_to_gates, synthesize
+from repro.rtl import Const, Mux, Ref, RtlModule, Slice
+
+
+def small_design():
+    m = RtlModule("tiny")
+    x = m.input("x", 4)
+    en = m.input("en", 1)
+    r = m.register("r", 4, init=0)
+    m.set_next(r, Mux(en, x, r))
+    m.output("q", Slice(r + x, 3, 0))
+    return m
+
+
+def test_gate_verilog_structure():
+    nl = synthesize(small_design())
+    text = emit_gate_verilog(nl)
+    assert "module tiny" in text
+    assert "module SDFF" in text           # scan flops + their model
+    assert ".CK(clk)" in text
+    assert "endmodule" in text
+    assert "input [3:0] x;" in text
+    assert "output [3:0] q;" in text
+    # every used cell type has exactly one model
+    assert text.count("module SDFF") == 1
+
+
+def test_gate_verilog_with_memory():
+    m = RtlModule("memd")
+    addr = m.input("addr", 2)
+    rom = m.memory("rom", 4, 8, contents=[5, 6, 7, 8])
+    m.output("q", m.mem_read(rom, addr))
+    d = m.register("d", 1)
+    m.set_next(d, d)
+    text = emit_gate_verilog(map_to_gates(m))
+    assert "memory macro rom" in text
+    assert "reg [7:0] rom [0:3];" in text
+
+
+def test_gate_verilog_size_scales_with_cells():
+    nl_small = map_to_gates(small_design())
+    from repro.src_design import SMALL_PARAMS, build_rtl_design
+
+    nl_big = synthesize(build_rtl_design(SMALL_PARAMS, True).module)
+    small_lines = len(emit_gate_verilog(nl_small).splitlines())
+    big_lines = len(emit_gate_verilog(nl_big).splitlines())
+    assert big_lines > 4 * small_lines
+
+
+# ---------------------------------------------------------------- metrics
+def test_metrics_grow_towards_gates(small_params):
+    metrics = collect_model_metrics(small_params)
+    by_level = {m.level: m for m in metrics}
+    assert by_level["gate level"].elements > \
+        by_level["hand RTL"].elements > \
+        by_level["behavioural"].elements
+    text = format_metrics(metrics)
+    assert "gate level" in text
+
+
+def test_program_metrics_counts(small_params):
+    prog = build_main_program(small_params, True)
+    m = program_metrics(prog, "beh")
+    assert m.elements > 10
+    assert m.registers == len(prog.variables)
+    assert m.expr_nodes > m.elements
+
+
+def test_rtl_metrics_counts():
+    m = rtl_metrics(small_design(), "tiny")
+    assert m.registers == 4  # register bits
+    assert m.elements == 2   # one assign + one register
+
+
+# ---------------------------------------------------------------- CLI
+def test_cli_help_on_unknown(capsys):
+    from repro.__main__ import main
+
+    assert main(["definitely-not-a-command"]) == 1
+    out = capsys.readouterr().out
+    assert "fig10" in out
+
+
+def test_cli_metrics_runs(capsys):
+    from repro.__main__ import main
+
+    assert main(["metrics", "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "Model complexity" in out
+
+
+def test_cli_refine_runs(capsys):
+    from repro.__main__ import main
+
+    assert main(["refine", "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "bit accuracy" in out
+    assert "FAIL" not in out
