@@ -15,7 +15,8 @@ import pytest
 
 from repro.flow import (format_results, measure_algorithmic,
                         measure_behavioral, measure_figure8,
-                        measure_kernel_cycle_dut, measure_tlm)
+                        measure_kernel_cycle_dut, measure_tlm,
+                        write_bench_json)
 from repro.rtl import RtlSimulator
 from repro.src_design import build_rtl_design
 
@@ -28,17 +29,29 @@ def rtl_module(bench_params):
 
 
 def test_fig08_table(bench_params, rtl_module, capsys):
-    """Prints the Figure 8 series and asserts its shape."""
+    """Prints the Figure 8 series, asserts its shape, writes the JSON."""
     results = measure_figure8(bench_params, N_INPUTS,
                               rtl_module=rtl_module)
+    # the RTL point again on the compiled backend, for the perf record
+    rtl_compiled = measure_kernel_cycle_dut(
+        bench_params, RtlSimulator(rtl_module, backend="compiled"),
+        max(20, N_INPUTS // 8), "RTL",
+    )
+    rtl_compiled.backend = "compiled"
+    path = write_bench_json("BENCH_fig08.json",
+                            results + [rtl_compiled])
     with capsys.disabled():
         print()
         print(format_results(
             results, "Figure 8 -- simulation performance (cycles/second)"
         ))
+        print(f"RTL compiled backend: "
+              f"{rtl_compiled.cycles_per_second:.1f} cyc/s")
+        print(f"wrote {path}")
     speed = {r.level: r.cycles_per_second for r in results}
     assert speed["C++"] > speed["SystemC"] > speed["BEH"] > speed["RTL"]
     assert speed["C++"] > 10 * speed["BEH"]
+    assert rtl_compiled.cycles_per_second > speed["RTL"]
 
 
 def bench_cpp(benchmark, bench_params):

@@ -13,10 +13,16 @@ SystemC testbench is slightly faster than a native HDL simulation".
 import pytest
 
 from repro.cosim import (CosimSimulation, NativeHdlSimulation, build_dut,
-                         format_figure9, measure_figure9)
+                         format_figure9, measure_figure9,
+                         measure_gate_throughput)
+from repro.flow import write_bench_json
 
 CYCLES = 1500
 GATE_CYCLES = 600
+#: raw gate-level stimulus throughput: cycles per backend measurement
+THROUGHPUT_CYCLES = 250
+#: parallel patterns for the compiled backend's batch-throughput point
+N_PATTERNS = 64
 
 
 @pytest.fixture(scope="module")
@@ -46,6 +52,40 @@ def test_fig09_rtl_faster_than_gates(fig9_results):
     for dut in ("Gate-BEH", "Gate-RTL"):
         gate = fig9_results[dut]["SystemC-Testbench"].cycles_per_second
         assert rtl > gate
+
+
+def test_fig09_backends_json(fig9_results, gate_params, capsys):
+    """Gate-level backend comparison; writes ``BENCH_fig09.json``.
+
+    The compiled backend's raw stimulus throughput with parallel
+    patterns must beat the interpreted simulator by >= 10x on the
+    Figure 9 gate DUTs -- the headline number of the compiled backend.
+    """
+    results = [r for pair in fig9_results.values() for r in pair.values()]
+    speedups = {}
+    for kind in ("Gate-BEH", "Gate-RTL"):
+        interp = measure_gate_throughput(
+            gate_params, kind, THROUGHPUT_CYCLES, backend="interpreted"
+        )
+        compiled = measure_gate_throughput(
+            gate_params, kind, THROUGHPUT_CYCLES, backend="compiled",
+            n_patterns=N_PATTERNS,
+        )
+        speedups[kind] = (compiled.cycles_per_second
+                          / interp.cycles_per_second)
+        results += [interp, compiled]
+    path = write_bench_json(
+        "BENCH_fig09.json", results,
+        extra={"gate_speedup": speedups, "n_patterns": N_PATTERNS},
+    )
+    with capsys.disabled():
+        print()
+        for kind, ratio in speedups.items():
+            print(f"{kind}: compiled x{N_PATTERNS} patterns = "
+                  f"{ratio:.1f}x interpreted gate throughput")
+        print(f"wrote {path}")
+    for kind, ratio in speedups.items():
+        assert ratio >= 10.0, (kind, ratio)
 
 
 def test_bench_native_rtl(benchmark, gate_params):

@@ -13,7 +13,9 @@ Usage::
 
 Options: ``--small`` forces the reduced configuration, ``--paper`` the
 paper-scale one.  Defaults: paper scale for synthesis/performance,
-reduced for anything gate-level.
+reduced for anything gate-level.  ``--backend interpreted|compiled``
+selects the RTL/gate simulation engine for ``fig8`` and ``fig9``
+(compiled = whole-cone codegen with parallel-pattern packing).
 """
 
 from __future__ import annotations
@@ -31,13 +33,23 @@ def _params(args, default):
     return default
 
 
+def _backend(args) -> str:
+    for i, arg in enumerate(args):
+        if arg == "--backend" and i + 1 < len(args):
+            return args[i + 1]
+        if arg.startswith("--backend="):
+            return arg.split("=", 1)[1]
+    return "interpreted"
+
+
 def cmd_fig8(args) -> None:
     from .flow import format_results, measure_figure8
 
     from .flow import render_figure8
 
     params = _params(args, PAPER_PARAMS)
-    print(render_figure8(measure_figure8(params, 300)))
+    print(render_figure8(measure_figure8(params, 300,
+                                         backend=_backend(args))))
 
 
 def cmd_fig9(args) -> None:
@@ -46,7 +58,8 @@ def cmd_fig9(args) -> None:
     from .flow import render_figure9
 
     params = _params(args, SMALL_PARAMS)
-    print(render_figure9(measure_figure9(params, cycles=1500)))
+    print(render_figure9(measure_figure9(params, cycles=1500,
+                                         backend=_backend(args))))
 
 
 def cmd_fig10(args) -> None:

@@ -1,0 +1,63 @@
+"""In-process cache for compiled simulation artifacts.
+
+Shared by the compiled gate-level backend
+(:mod:`repro.gatesim.compiled`) and the compiled RTL backend
+(:mod:`repro.rtl.compiled`); lives in its own leaf module because both
+sit on opposite sides of the rtl <-> synth import cycle.  The flow
+layer re-exports it from :mod:`repro.flow.artifacts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`CompileCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    def format(self) -> str:
+        return (f"compile cache: {self.entries} entries, "
+                f"{self.hits} hits, {self.misses} misses")
+
+
+class CompileCache:
+    """Cache of compiled simulation programs, keyed by structural hash.
+
+    Counts hits and misses so flows and benchmarks can report how often
+    codegen was amortised.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compile(self, key: str, factory: Callable[[], T]) -> T:
+        program = self._store.get(key)
+        if program is not None:
+            self.hits += 1
+            return program  # type: ignore[return-value]
+        self.misses += 1
+        program = factory()
+        self._store[key] = program
+        return program
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(self.hits, self.misses, len(self._store))

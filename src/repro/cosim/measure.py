@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -21,23 +22,32 @@ FIG9_DUTS = ("RTL", "Gate-BEH", "Gate-RTL")
 FIG9_TBS = ("VHDL-Testbench", "SystemC-Testbench")
 
 
-def build_dut(params: SrcParams, kind: str):
+def _gate_netlist(params: SrcParams, kind: str):
+    if kind == "Gate-BEH":
+        return synthesize(build_behavioral_design(params, True).module)
+    if kind == "Gate-RTL":
+        return synthesize(build_rtl_design(params, True).module)
+    raise ValueError(f"no gate netlist for DUT kind {kind!r}")
+
+
+def build_dut(params: SrcParams, kind: str,
+              backend: str = "interpreted", **backend_opts):
     """Build one of Figure 9's DUT simulators.
 
     * ``RTL`` -- the intermediate RTL Verilog from RTL-SystemC synthesis
       (cycle simulation of the RTL netlist);
     * ``Gate-BEH`` -- the gate-level design from the behavioural flow;
     * ``Gate-RTL`` -- the gate-level design from the RTL flow.
+
+    *backend* selects the simulation engine ("interpreted"/"compiled");
+    extra keyword options (e.g. ``n_patterns``) go to the compiled
+    gate-level simulator.
     """
     if kind == "RTL":
-        return RtlSimulator(build_rtl_design(params, True).module)
-    if kind == "Gate-BEH":
-        module = build_behavioral_design(params, True).module
-        return GateSimulator(synthesize(module))
-    if kind == "Gate-RTL":
-        module = build_rtl_design(params, True).module
-        return GateSimulator(synthesize(module))
-    raise ValueError(f"unknown DUT kind {kind!r}")
+        return RtlSimulator(build_rtl_design(params, True).module,
+                            backend=backend)
+    return GateSimulator(_gate_netlist(params, kind), backend=backend,
+                         **backend_opts)
 
 
 def measure_native(params: SrcParams, dut_sim, cycles: int,
@@ -46,7 +56,8 @@ def measure_native(params: SrcParams, dut_sim, cycles: int,
     start = time.perf_counter()
     outputs = sim.run(cycles)
     wall = time.perf_counter() - start
-    return SimPerfResult(label, wall, float(cycles), len(outputs))
+    return SimPerfResult(label, wall, float(cycles), len(outputs),
+                         backend=getattr(dut_sim, "backend", "interpreted"))
 
 
 def measure_cosim(params: SrcParams, dut_sim, cycles: int,
@@ -55,19 +66,69 @@ def measure_cosim(params: SrcParams, dut_sim, cycles: int,
     start = time.perf_counter()
     outputs = sim.run(cycles)
     wall = time.perf_counter() - start
-    return SimPerfResult(label, wall, float(cycles), len(outputs))
+    return SimPerfResult(label, wall, float(cycles), len(outputs),
+                         backend=getattr(dut_sim, "backend", "interpreted"))
+
+
+def measure_gate_throughput(params: SrcParams, kind: str, cycles: int,
+                            backend: str = "interpreted",
+                            n_patterns: int = 1,
+                            seed: int = 0) -> SimPerfResult:
+    """Raw gate-level stimulus throughput for one Figure 9 gate DUT.
+
+    Drives every input of the netlist with fresh random vectors each
+    cycle -- the access pattern of batch regression/fault simulation,
+    where the compiled backend's parallel patterns pay off: with
+    ``n_patterns=N`` each simulated cycle evaluates N independent
+    stimulus vectors, and :attr:`SimPerfResult.cycles_per_second`
+    reports pattern-cycles per second.
+    """
+    netlist = _gate_netlist(params, kind)
+    if backend == "compiled":
+        sim = GateSimulator(netlist, backend=backend,
+                            n_patterns=n_patterns)
+    else:
+        if n_patterns != 1:
+            raise ValueError(
+                "parallel patterns need the compiled backend"
+            )
+        sim = GateSimulator(netlist)
+    rng = random.Random(seed)
+    inputs = [(name, 1 << len(nets)) for name, nets in
+              netlist.inputs.items()]
+    out_name = next(iter(netlist.outputs))
+    start = time.perf_counter()
+    if n_patterns > 1:
+        for _ in range(cycles):
+            for name, span in inputs:
+                sim.set_input_patterns(
+                    name, [rng.randrange(span) for _ in range(n_patterns)]
+                )
+            sim.step()
+        sim.get_logic(out_name)
+    else:
+        for _ in range(cycles):
+            for name, span in inputs:
+                sim.set_input(name, rng.randrange(span))
+            sim.step()
+        sim.get_logic(out_name)
+    wall = time.perf_counter() - start
+    label = f"{kind}/throughput"
+    return SimPerfResult(label, wall, float(cycles), 0, backend=backend,
+                         n_patterns=n_patterns)
 
 
 def measure_figure9(params: SrcParams, cycles: int = 2000,
-                    duts: Optional[List[str]] = None
+                    duts: Optional[List[str]] = None,
+                    backend: str = "interpreted"
                     ) -> Dict[str, Dict[str, SimPerfResult]]:
     """All points of Figure 9: {DUT: {testbench: result}}."""
     results: Dict[str, Dict[str, SimPerfResult]] = {}
     for kind in (duts or FIG9_DUTS):
-        dut_native = build_dut(params, kind)
+        dut_native = build_dut(params, kind, backend=backend)
         native = measure_native(params, dut_native, cycles,
                                 f"{kind}/VHDL-TB")
-        dut_cosim = build_dut(params, kind)
+        dut_cosim = build_dut(params, kind, backend=backend)
         cosim = measure_cosim(params, dut_cosim, cycles,
                               f"{kind}/SystemC-TB")
         results[kind] = {

@@ -1,6 +1,7 @@
 """The refinement-driven design flow: verification, synthesis, performance."""
 
-from .artifacts import ArtifactIndex, write_artifacts
+from .artifacts import (COMPILE_CACHE, ArtifactIndex, CacheStats,
+                        CompileCache, write_artifacts)
 from .compare import ComparisonResult, compare_streams
 from .figures import render_figure8, render_figure9, render_figure10
 from .metrics import (ModelMetrics, collect_model_metrics, format_metrics,
@@ -9,7 +10,8 @@ from .metrics import (ModelMetrics, collect_model_metrics, format_metrics,
 from .performance import (SimPerfResult, default_stimulus, format_results,
                           measure_algorithmic, measure_behavioral,
                           measure_cycle_dut, measure_figure8,
-                          measure_kernel_cycle_dut, measure_tlm)
+                          measure_kernel_cycle_dut, measure_tlm,
+                          write_bench_json)
 from .refinement import (Level, REFINEMENT_CHAIN, RefinementReport,
                          RefinementStep, build_module, run_level,
                          verify_refinement)
@@ -18,7 +20,8 @@ from .synthesis_flow import (FIG10_ORDER, SynthesisFlowResults,
                              main_module_share, run_synthesis_flow)
 
 __all__ = [
-    "ArtifactIndex", "ComparisonResult", "FIG10_ORDER", "Level", "ModelMetrics",
+    "ArtifactIndex", "COMPILE_CACHE", "CacheStats", "CompileCache",
+    "ComparisonResult", "FIG10_ORDER", "Level", "ModelMetrics",
     "REFINEMENT_CHAIN",
     "RefinementReport", "RefinementStep", "SimPerfResult",
     "SynthesisFlowResults", "SynthesizedDesign", "build_all_designs",
@@ -30,4 +33,5 @@ __all__ = [
     "measure_behavioral", "measure_cycle_dut", "measure_figure8",
     "measure_kernel_cycle_dut", "measure_tlm", "run_level",
     "run_synthesis_flow", "verify_refinement", "write_artifacts",
+    "write_bench_json",
 ]

@@ -12,8 +12,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..gatesim import GateSimulator, GateVcdTracer
-from ..rtl import emit_verilog, format_lint, lint
+from ..compile_cache import CacheStats, CompileCache
+from ..gatesim import COMPILE_CACHE, GateSimulator, GateVcdTracer
+from ..rtl import RTL_COMPILE_CACHE, emit_verilog, format_lint, lint
 from ..src_design.params import SrcParams
 from ..src_design.schedule import make_schedule
 from ..src_design.testbench import RtlDutDriver
@@ -41,8 +42,14 @@ class ArtifactIndex:
 
 def write_artifacts(params: SrcParams, directory: str,
                     results: Optional[SynthesisFlowResults] = None,
-                    wave_cycles: int = 256) -> ArtifactIndex:
-    """Generate all flow artefacts for *params* into *directory*."""
+                    wave_cycles: int = 256,
+                    backend: str = "interpreted") -> ArtifactIndex:
+    """Generate all flow artefacts for *params* into *directory*.
+
+    *backend* selects the gate-level simulation engine for the waveform
+    run; ``"compiled"`` additionally leaves a ``compile_cache.txt``
+    report of the in-process compile-cache counters.
+    """
     os.makedirs(directory, exist_ok=True)
     index = ArtifactIndex(directory)
     results = results or run_synthesis_flow(params)
@@ -82,7 +89,7 @@ def write_artifacts(params: SrcParams, directory: str,
 
     # gate-level waveform of a short run (RTL-opt design)
     design = results.designs["RTL opt."]
-    sim = GateSimulator(design.netlist)
+    sim = GateSimulator(design.netlist, backend=backend)
     tracer = GateVcdTracer(
         sim,
         ports=["in_valid", "in_l", "in_r", "out_req", "out_valid",
@@ -112,6 +119,14 @@ def write_artifacts(params: SrcParams, directory: str,
     wave_path = os.path.join(directory, "rtl_opt_gates.vcd")
     tracer.write(wave_path)
     index.add(wave_path)
+
+    if backend == "compiled":
+        cache_path = os.path.join(directory, "compile_cache.txt")
+        with open(cache_path, "w", encoding="utf-8") as fh:
+            fh.write("gate-level " + COMPILE_CACHE.stats.format() + "\n")
+            fh.write("rtl        " + RTL_COMPILE_CACHE.stats.format()
+                     + "\n")
+        index.add(cache_path)
 
     index_path = os.path.join(directory, "INDEX.txt")
     with open(index_path, "w", encoding="utf-8") as fh:

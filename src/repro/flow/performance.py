@@ -12,6 +12,8 @@ are meaningful -- which is precisely how the paper presents Figure 8.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -36,17 +38,58 @@ class SimPerfResult:
     wall_seconds: float
     simulated_cycles: float
     output_frames: int
+    #: simulation engine behind this point ("interpreted" / "compiled";
+    #: untimed/abstract levels keep the default)
+    backend: str = "interpreted"
+    #: stimulus vectors evaluated per pass (parallel-pattern runs > 1)
+    n_patterns: int = 1
 
     @property
     def cycles_per_second(self) -> float:
+        """Throughput; parallel-pattern runs count pattern-cycles."""
         if self.wall_seconds <= 0.0:
             return float("inf")
-        return self.simulated_cycles / self.wall_seconds
+        return self.simulated_cycles * self.n_patterns / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "backend": self.backend,
+            "n_patterns": self.n_patterns,
+            "cycles_per_second": self.cycles_per_second,
+            "simulated_cycles": self.simulated_cycles,
+            "wall_seconds": self.wall_seconds,
+            "output_frames": self.output_frames,
+        }
 
     def format(self) -> str:
         return (f"{self.level:18s} {self.cycles_per_second:12.1f} cyc/s "
                 f"({self.simulated_cycles:.0f} cycles in "
                 f"{self.wall_seconds:.3f} s)")
+
+
+def write_bench_json(path: str, results: Sequence[SimPerfResult],
+                     extra: Optional[Dict[str, object]] = None) -> str:
+    """Write measured points as machine-readable JSON.
+
+    The target directory can be redirected with ``REPRO_BENCH_DIR``;
+    returns the path written.  Used by the benchmark scripts to leave
+    ``BENCH_fig08.json`` / ``BENCH_fig09.json`` next to the test run so
+    the performance trajectory is trackable across changes.
+    """
+    bench_dir = os.environ.get("REPRO_BENCH_DIR")
+    if bench_dir:
+        os.makedirs(bench_dir, exist_ok=True)
+        path = os.path.join(bench_dir, os.path.basename(path))
+    payload: Dict[str, object] = {
+        "results": [r.as_dict() for r in results],
+    }
+    if extra:
+        payload.update(extra)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def default_stimulus(params: SrcParams, n_inputs: int,
@@ -233,11 +276,14 @@ def measure_kernel_cycle_dut(params: SrcParams, dut_sim, n_inputs: int,
 
 
 def measure_figure8(params: SrcParams, n_inputs: int = 400,
-                    rtl_module=None) -> List[SimPerfResult]:
+                    rtl_module=None,
+                    backend: str = "interpreted") -> List[SimPerfResult]:
     """All four points of Figure 8, most abstract first.
 
     Every point runs inside the SystemC kernel, as in the paper (the
     abstraction level changes, the simulation environment does not).
+    *backend* selects the RTL simulation engine for the RTL point; the
+    untimed/behavioural levels have no netlist to compile.
     """
     from ..src_design.rtl_design import build_rtl_design
 
@@ -248,10 +294,11 @@ def measure_figure8(params: SrcParams, n_inputs: int = 400,
     ]
     module = rtl_module or build_rtl_design(params, optimized=True).module
     rtl_inputs = max(20, n_inputs // 8)
-    results.append(
-        measure_kernel_cycle_dut(params, RtlSimulator(module), rtl_inputs,
-                                 "RTL")
+    rtl = measure_kernel_cycle_dut(
+        params, RtlSimulator(module, backend=backend), rtl_inputs, "RTL"
     )
+    rtl.backend = backend
+    results.append(rtl)
     return results
 
 

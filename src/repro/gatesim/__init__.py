@@ -1,10 +1,24 @@
-"""Gate-level simulation: 4-valued selective-trace simulator, memory models."""
+"""Gate-level simulation: 4-valued selective-trace simulator, compiled
+parallel-pattern backend, memory models."""
 
+from .compiled import (
+    COMPILE_CACHE,
+    CacheStats,
+    CompileCache,
+    CompiledGateSimulator,
+    CompiledProgram,
+    compile_netlist,
+    structural_hash,
+)
+from .levelize import LevelUnit, levelize
 from .memory import AccessViolation, CheckingMemoryModel, MemoryModel
-from .simulator import GateSimError, GateSimulator
+from .simulator import BACKENDS, GateSimError, GateSimulator
 from .trace import GateVcdTracer
 
 __all__ = [
-    "AccessViolation", "CheckingMemoryModel", "GateSimError",
-    "GateSimulator", "GateVcdTracer", "MemoryModel",
+    "AccessViolation", "BACKENDS", "COMPILE_CACHE", "CacheStats",
+    "CheckingMemoryModel", "CompileCache", "CompiledGateSimulator",
+    "CompiledProgram", "GateSimError", "GateSimulator", "GateVcdTracer",
+    "LevelUnit", "MemoryModel", "compile_netlist", "levelize",
+    "structural_hash",
 ]

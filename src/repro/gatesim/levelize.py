@@ -1,0 +1,102 @@
+"""Netlist levelisation shared by the gate-level simulation backends.
+
+Both the interpreted selective-trace simulator and the compiled
+parallel-pattern backend evaluate the same units -- combinational cells
+and memory read ports -- in dependency order.  This module computes that
+order once: each unit gets a *level* (the length of the longest
+combinational path feeding it), and units sorted by level form a valid
+topological evaluation order for the whole combinational cone.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..synth.netlist import CellInstance, Netlist
+
+
+@dataclass
+class LevelUnit:
+    """One evaluation unit in levelised order.
+
+    ``key`` is either a :class:`CellInstance` (combinational cell) or a
+    ``(MemoryMacro, read_port_index)`` pair; ``deps``/``outs`` are the
+    input and output net uids.
+    """
+
+    key: object
+    level: int
+    deps: List[int]
+    outs: List[int]
+
+
+def levelize(netlist: Netlist, error=RuntimeError) -> List[LevelUnit]:
+    """Levelise *netlist*; returns units sorted by level (stable).
+
+    ``deps`` holds the *data* dependencies (what selective trace watches
+    for changes); a memory read port's chip-select is additionally a
+    scheduling dependency -- it never changes the read data, but the
+    compiled backend must evaluate its driver first -- so it contributes
+    to the level without appearing in ``deps``.
+
+    Raises *error* on a combinational loop.
+    """
+    lib = netlist.library
+    order: List[object] = []
+    deps: Dict[object, List[int]] = {}
+    sched: Dict[object, List[int]] = {}
+    outs: Dict[object, List[int]] = {}
+    unit_of_net: Dict[int, object] = {}
+
+    for cell in netlist.cells:
+        if lib[cell.cell_type].sequential:
+            continue
+        order.append(cell)
+        deps[cell] = [n.uid for n in cell.pins.values()]
+        sched[cell] = deps[cell]
+        outs[cell] = [n.uid for n in cell.outputs.values()]
+        for uid in outs[cell]:
+            unit_of_net[uid] = cell
+    for macro in netlist.memories:
+        for idx, rp in enumerate(macro.read_ports):
+            key = (macro, idx)
+            order.append(key)
+            deps[key] = [n.uid for n in rp.addr]
+            sched[key] = deps[key] + (
+                [rp.enable.uid] if rp.enable is not None else []
+            )
+            outs[key] = [n.uid for n in rp.data]
+            for uid in outs[key]:
+                unit_of_net[uid] = key
+
+    levels: Dict[object, int] = {}
+
+    def level_of(key) -> int:
+        if key in levels:
+            lvl = levels[key]
+            if lvl == -1:
+                raise error("combinational loop in netlist")
+            return lvl
+        levels[key] = -1
+        lvl = 0
+        for uid in sched[key]:
+            src = unit_of_net.get(uid)
+            if src is not None:
+                lvl = max(lvl, level_of(src) + 1)
+        levels[key] = lvl
+        return lvl
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, len(order) * 2 + 100))
+    try:
+        for key in order:
+            level_of(key)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    units = [LevelUnit(key, levels[key], deps[key], outs[key])
+             for key in order]
+    units.sort(key=lambda u: u.level)
+    return units

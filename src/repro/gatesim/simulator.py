@@ -23,6 +23,10 @@ class GateSimError(RuntimeError):
     """Raised for X-valued observations and structural problems."""
 
 
+#: valid values for the ``backend=`` argument of :class:`GateSimulator`
+BACKENDS = ("interpreted", "compiled")
+
+
 class _Unit:
     """One evaluation unit: a combinational cell or a memory read port."""
 
@@ -36,10 +40,37 @@ class _Unit:
 
 
 class GateSimulator:
-    """Cycle-oriented 4-valued simulator for a :class:`Netlist`."""
+    """Cycle-oriented 4-valued simulator for a :class:`Netlist`.
+
+    ``backend`` selects the engine: ``"interpreted"`` (this class,
+    selective trace, the default) or ``"compiled"``, which returns a
+    :class:`~repro.gatesim.compiled.CompiledGateSimulator` -- same
+    public API, whole-cone codegen plus parallel-pattern evaluation.
+    """
+
+    backend = "interpreted"
+
+    def __new__(cls, netlist: Netlist = None, checking_memories: bool = False,
+                reporter=None, backend: str = "interpreted", **kwargs):
+        if cls is GateSimulator and backend != "interpreted":
+            if backend == "compiled":
+                from .compiled import CompiledGateSimulator
+                return CompiledGateSimulator(
+                    netlist, checking_memories=checking_memories,
+                    reporter=reporter, **kwargs,
+                )
+            raise GateSimError(
+                f"unknown backend {backend!r} (expected one of {BACKENDS})"
+            )
+        return object.__new__(cls)
 
     def __init__(self, netlist: Netlist, checking_memories: bool = False,
-                 reporter=None):
+                 reporter=None, backend: str = "interpreted", **kwargs):
+        if kwargs:
+            raise GateSimError(
+                "unsupported options for the interpreted backend: "
+                f"{sorted(kwargs)}"
+            )
         netlist.validate()
         self.netlist = netlist
         self.cycles = 0
@@ -83,73 +114,21 @@ class GateSimulator:
     # construction helpers
     # ------------------------------------------------------------------
     def _build_units(self) -> None:
-        nl = self.netlist
-        lib = nl.library
-        comb = [c for c in nl.cells if not lib[c.cell_type].sequential]
+        from .levelize import levelize
 
-        # dependency levelisation over units
-        unit_of_net: Dict[int, object] = {}
-        deps: Dict[object, List[int]] = {}
-        outs: Dict[object, List[int]] = {}
-        for cell in comb:
-            key = cell
-            deps[key] = [n.uid for n in cell.pins.values()]
-            outs[key] = [n.uid for n in cell.outputs.values()]
-            for uid in outs[key]:
-                unit_of_net[uid] = key
-        for macro in nl.memories:
-            for idx, rp in enumerate(macro.read_ports):
-                key = (macro, idx)
-                deps[key] = [n.uid for n in rp.addr]
-                outs[key] = [n.uid for n in rp.data]
-                for uid in outs[key]:
-                    unit_of_net[uid] = key
-
-        levels: Dict[object, int] = {}
-
-        def level_of(key) -> int:
-            if key in levels:
-                lvl = levels[key]
-                if lvl == -1:
-                    raise GateSimError("combinational loop in netlist")
-                return lvl
-            levels[key] = -1
-            lvl = 0
-            for uid in deps[key]:
-                src = unit_of_net.get(uid)
-                if src is not None:
-                    lvl = max(lvl, level_of(src) + 1)
-            levels[key] = lvl
-            return lvl
-
-        import sys
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, len(deps) * 2 + 100))
-        try:
-            for key in deps:
-                level_of(key)
-        finally:
-            sys.setrecursionlimit(old_limit)
-
-        values = self.values
         self._units: List[_Unit] = []
-        unit_objs: Dict[object, _Unit] = {}
-        for key, lvl in levels.items():
-            if isinstance(key, CellInstance):
-                fn = self._make_cell_eval(key)
-            else:
-                fn = self._make_mem_read_eval(*key)
-            unit = _Unit(lvl, fn, outs[key])
-            self._units.append(unit)
-            unit_objs[key] = unit
-        self._units.sort(key=lambda u: u.level)
-        self._max_level = max((u.level for u in self._units), default=0)
-
-        # fanout: net uid -> list of units to mark dirty
         self._fanout: Dict[int, List[_Unit]] = {}
-        for key, unit in unit_objs.items():
-            for uid in deps[key]:
+        for lu in levelize(self.netlist, error=GateSimError):
+            if isinstance(lu.key, CellInstance):
+                fn = self._make_cell_eval(lu.key)
+            else:
+                fn = self._make_mem_read_eval(*lu.key)
+            unit = _Unit(lu.level, fn, lu.outs)
+            self._units.append(unit)
+            # fanout: net uid -> units to mark dirty (data deps only)
+            for uid in lu.deps:
                 self._fanout.setdefault(uid, []).append(unit)
+        self._max_level = max((u.level for u in self._units), default=0)
 
         # level buckets for selective trace
         self._buckets: List[List[_Unit]] = [
@@ -229,6 +208,21 @@ class GateSimulator:
         value &= mask(len(nets))
         for i, net in enumerate(nets):
             v = (value >> i) & 1
+            if self.values[net.uid] != v:
+                self.values[net.uid] = v
+                self._mark_net_changed(net.uid)
+        self._settle()
+
+    def set_input_logic(self, name: str, values: Sequence[int]) -> None:
+        """Drive raw logic values (LSB first; X allowed) on *name*."""
+        nets = self.netlist.inputs.get(name)
+        if nets is None:
+            raise GateSimError(f"no input named {name!r}")
+        if len(values) != len(nets):
+            raise GateSimError(
+                f"input {name!r} is {len(nets)} bits, got {len(values)}"
+            )
+        for net, v in zip(nets, values):
             if self.values[net.uid] != v:
                 self.values[net.uid] = v
                 self._mark_net_changed(net.uid)

@@ -173,9 +173,13 @@ class Simulation:
             self.time_ps = next_entry.time_ps
             next_entry.event._trigger()
             # Release all other notifications scheduled for this instant.
-            while self._timed and not self._timed[0].cancelled and \
-                    self._timed[0].time_ps == self.time_ps:
-                heapq.heappop(self._timed).event._trigger()
+            # Cancelled entries are drained rather than treated as a stop
+            # condition: a cancelled heap head must not hide live
+            # notifications behind it at the same time point.
+            while self._timed and self._timed[0].time_ps == self.time_ps:
+                entry = heapq.heappop(self._timed)
+                if not entry.cancelled:
+                    entry.event._trigger()
             self._drop_cancelled_head()
         if end_time is not None and not self._stopped:
             self.time_ps = max(self.time_ps, end_time)

@@ -61,6 +61,11 @@ class Signal(Generic[T]):
             self._value = value
             self._next_value = value
             return
+        if value == self._value and value == self._next_value:
+            # No-op write: nothing would change at commit time, so skip
+            # the update request entirely (keeps the update queue short
+            # on stable signals driven every cycle).
+            return
         self._next_value = value
         if not self._update_requested:
             self._update_requested = True

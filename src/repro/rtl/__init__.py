@@ -3,6 +3,7 @@
 from .expr import (Add, BitAnd, BitNot, BitOr, BitXor, Case, Cat, Cmp, Const,
                    Expr, Ext, MemRead, Mul, Mux, Reduce, Ref, Shl, Shr, Slice,
                    SMul, Sra, Sub, as_expr, evaluate, traverse)
+from .compiled import RTL_COMPILE_CACHE, RtlCompiledProgram, compile_rtl
 from .lint import LintWarning, format_lint, lint
 from .ir import (CombAssign, MemReadPort, MemWritePort, RtlError, RtlMemory,
                  RtlModule, RtlPort, RtlRegister)
@@ -12,9 +13,10 @@ from .verilog import emit_verilog
 __all__ = [
     "Add", "BitAnd", "BitNot", "BitOr", "BitXor", "Case", "Cat", "Cmp",
     "CombAssign", "Const", "Expr", "Ext", "MemRead", "MemReadPort",
-    "MemWritePort", "Mul", "Mux", "Reduce", "Ref", "RtlError", "RtlMemory",
-    "RtlModule", "RtlPort", "RtlRegister", "RtlSimulator", "Shl", "Shr",
-    "LintWarning", "Slice", "SMul", "Sra", "Sub", "as_expr", "emit_verilog",
-    "evaluate", "format_lint", "lint",
+    "MemWritePort", "Mul", "Mux", "RTL_COMPILE_CACHE", "Reduce", "Ref",
+    "RtlCompiledProgram", "RtlError", "RtlMemory", "RtlModule", "RtlPort",
+    "RtlRegister", "RtlSimulator", "Shl", "Shr",
+    "LintWarning", "Slice", "SMul", "Sra", "Sub", "as_expr", "compile_rtl",
+    "emit_verilog", "evaluate", "format_lint", "lint",
     "traverse",
 ]

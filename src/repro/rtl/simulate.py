@@ -22,13 +22,30 @@ MemMonitor = Callable[[str, int, int, str], None]
 
 
 class RtlSimulator:
-    """Compiled cycle-based simulator for one :class:`RtlModule`."""
+    """Compiled cycle-based simulator for one :class:`RtlModule`.
+
+    ``backend="interpreted"`` (default) evaluates per-expression Python
+    closures; ``backend="compiled"`` emits the whole module -- settle,
+    register updates, memory writes and the cycle loop -- as one
+    generated function (see :mod:`repro.rtl.compiled`).  A memory
+    monitor needs per-access callbacks, so it forces the interpreted
+    engine.
+    """
 
     def __init__(self, module: RtlModule,
-                 mem_monitor: Optional[MemMonitor] = None):
+                 mem_monitor: Optional[MemMonitor] = None,
+                 backend: str = "interpreted"):
+        if backend not in ("interpreted", "compiled"):
+            raise RtlError(
+                f"unknown backend {backend!r} "
+                "(expected 'interpreted' or 'compiled')"
+            )
         module.validate()
         self.module = module
         self.mem_monitor = mem_monitor
+        if mem_monitor is not None:
+            backend = "interpreted"
+        self.backend = backend
         self.cycles = 0
 
         # memories
@@ -80,6 +97,10 @@ class RtlSimulator:
                     self._mem_reads.append(
                         (mem.name, mem.depth, rport.addr.compile(), enable_fn)
                     )
+        self._run = None
+        if backend == "compiled":
+            from .compiled import compile_rtl
+            self._run = compile_rtl(module).fn
         self._in_names = set(module.input_names())
         self.settle()
 
@@ -110,12 +131,19 @@ class RtlSimulator:
     # ------------------------------------------------------------------
     def settle(self) -> None:
         """Re-evaluate combinational logic for the current inputs/state."""
+        if self._run is not None:
+            self._run(self.env, self._memories, 0)
+            return
         env = self.env
         for name, fn in self._comb:
             env[name] = fn(env)
 
     def step(self, cycles: int = 1) -> None:
         """Advance by *cycles* clock edges (inputs held constant)."""
+        if self._run is not None:
+            self._run(self.env, self._memories, cycles)
+            self.cycles += cycles
+            return
         env = self.env
         for _ in range(cycles):
             for name, fn in self._comb:

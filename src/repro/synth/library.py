@@ -109,6 +109,121 @@ EVAL: Dict[Tuple[str, str], Callable] = {
 }
 
 
+# ----------------------------------------------------------------------
+# word-level codegen templates for the compiled parallel-pattern backend
+# ----------------------------------------------------------------------
+#
+# The compiled gate simulator (:mod:`repro.gatesim.compiled`) encodes a
+# net as two integer bitplanes: ``a`` holds the bits that are known 1,
+# ``x`` the bits that are unknown (X/Z); bit *p* of a plane belongs to
+# stimulus pattern *p*.  The planes are disjoint (``a & x == 0``) and
+# both lie inside the pattern mask ``M``.  Each template receives the
+# output plane names, the input plane-name pairs (in ``Cell.inputs``
+# order) and a unique temp-name prefix, and returns Python source lines
+# computing the cell over all patterns at once with plain int ops.
+
+def _cg_lines(fn):
+    """Wrap an expression-pair template into a line-list template."""
+
+    def template(out, ins, tmp):
+        e1, ex = fn(*ins)
+        return [f"{out[0]} = {e1}", f"{out[1]} = {ex}"]
+
+    return template
+
+
+def _cg_inv(a):
+    return (f"M&~({a[0]}|{a[1]})", a[1])
+
+
+def _cg_buf(a):
+    return (a[0], a[1])
+
+
+def _cg_and2(a, b):
+    return (f"{a[0]}&{b[0]}",
+            f"({a[1]}|{b[1]})&({a[0]}|{a[1]})&({b[0]}|{b[1]})")
+
+
+def _cg_or2(a, b):
+    return (f"{a[0]}|{b[0]}",
+            f"({a[1]}|{b[1]})&~({a[0]}|{b[0]})")
+
+
+def _cg_xor2(a, b):
+    return (f"({a[0]}^{b[0]})&~({a[1]}|{b[1]})", f"{a[1]}|{b[1]}")
+
+
+def _cg_nand2(a, b):
+    return (f"M&(~({a[0]}|{a[1]})|~({b[0]}|{b[1]}))",
+            f"({a[1]}|{b[1]})&({a[0]}|{a[1]})&({b[0]}|{b[1]})")
+
+
+def _cg_nor2(a, b):
+    return (f"M&~({a[0]}|{a[1]}|{b[0]}|{b[1]})",
+            f"({a[1]}|{b[1]})&~({a[0]}|{b[0]})")
+
+
+def _cg_xnor2(a, b):
+    return (f"M&~({a[0]}^{b[0]})&~({a[1]}|{b[1]})", f"{a[1]}|{b[1]}")
+
+
+def _cg_mux2(out, ins, tmp):
+    """Y = B when S else A; X-select resolves only when A and B agree."""
+    s, a, b = ins
+    t0 = f"{tmp}s0"
+    return [
+        f"{t0} = ~({s[0]}|{s[1]})",
+        f"{out[0]} = {t0}&{a[0]} | {s[0]}&{b[0]} | {s[1]}&{a[0]}&{b[0]}",
+        f"{out[1]} = {t0}&{a[1]} | {s[0]}&{b[1]} | "
+        f"{s[1]}&~({a[0]}&{b[0]} | M&~({a[0]}|{a[1]}|{b[0]}|{b[1]}))",
+    ]
+
+
+def _cg_ha_sum(a, b):
+    return _cg_xor2(a, b)
+
+
+def _cg_ha_carry(a, b):
+    return _cg_and2(a, b)
+
+
+def _cg_fa_sum(a, b, c):
+    return (f"({a[0]}^{b[0]}^{c[0]})&~({a[1]}|{b[1]}|{c[1]})",
+            f"{a[1]}|{b[1]}|{c[1]}")
+
+
+def _cg_fa_carry(out, ins, tmp):
+    """Majority carry: known when two inputs agree on a known value."""
+    a, b, c = ins
+    ta, tb, tc = f"{tmp}a0", f"{tmp}b0", f"{tmp}c0"
+    return [
+        f"{ta} = M&~({a[0]}|{a[1]})",
+        f"{tb} = M&~({b[0]}|{b[1]})",
+        f"{tc} = M&~({c[0]}|{c[1]})",
+        f"{out[0]} = {a[0]}&{b[0]} | {a[0]}&{c[0]} | {b[0]}&{c[0]}",
+        f"{out[1]} = M&~({out[0]} | {ta}&{tb} | {ta}&{tc} | {tb}&{tc})",
+    ]
+
+
+#: codegen templates, keyed by (cell name, output pin) like EVAL
+CODEGEN: Dict[Tuple[str, str], Callable] = {
+    ("INV", "Y"): _cg_lines(_cg_inv),
+    ("BUF", "Y"): _cg_lines(_cg_buf),
+    ("NAND2", "Y"): _cg_lines(_cg_nand2),
+    ("NOR2", "Y"): _cg_lines(_cg_nor2),
+    ("AND2", "Y"): _cg_lines(_cg_and2),
+    ("OR2", "Y"): _cg_lines(_cg_or2),
+    ("XOR2", "Y"): _cg_lines(_cg_xor2),
+    ("XNOR2", "Y"): _cg_lines(_cg_xnor2),
+    ("MUX2", "Y"): _cg_mux2,
+    ("FA", "S"): _cg_lines(_cg_fa_sum),
+    ("FA", "CO"): _cg_fa_carry,
+    ("HA", "S"): _cg_lines(_cg_ha_sum),
+    ("HA", "CO"): _cg_lines(_cg_ha_carry),
+}
+
+
 class Library:
     """A named collection of cells with lookup helpers."""
 

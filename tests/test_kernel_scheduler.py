@@ -209,6 +209,102 @@ def test_deterministic_process_order():
     assert all(run_once() == first for _ in range(3))
 
 
+def test_cancelled_timed_entry_does_not_hide_same_instant_events():
+    """A cancelled heap entry between two live same-instant notifications
+    must not stop the release loop: both live events have to fire in the
+    same delta cycle (regression for the early-exit release loop)."""
+
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.e1 = Event("e1")
+            self.e2 = Event("e2")
+            self.e3 = Event("e3")
+            self.wakes = {}
+            self.add_thread(self.setup)
+            self.add_thread(self._waiter("e1", self.e1), name="w1")
+            self.add_thread(self._waiter("e2", self.e2), name="w2")
+            self.add_thread(self._waiter("e3", self.e3), name="w3")
+
+        def setup(self):
+            self.e1.notify(to_ps(5, NS))
+            self.e2.notify(to_ps(5, NS))  # cancelled below: heap entry stays
+            self.e3.notify(to_ps(5, NS))
+            self.e2.cancel()
+            yield delay(1, NS)
+
+        def _waiter(self, tag, event):
+            def body():
+                from repro.kernel import current_simulation
+
+                yield event
+                sim = current_simulation()
+                self.wakes[tag] = (sim.time_ps, sim.delta_count)
+
+            return body
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert "e2" not in m.wakes          # cancelled: never fires
+    assert m.wakes["e1"][0] == to_ps(5, NS)
+    assert m.wakes["e3"][0] == to_ps(5, NS)
+    # same release wave -> both waiters run in the same delta cycle
+    assert m.wakes["e1"][1] == m.wakes["e3"][1]
+
+
+def test_noop_signal_write_skips_update_request():
+    """Writing the current value to a stable signal requests no update."""
+
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.s = Signal(3)
+            self.queue_len = None
+            self.add_thread(self.writer)
+
+        def writer(self):
+            from repro.kernel import current_simulation
+
+            self.s.write(3)  # no-op: equals current and pending value
+            self.queue_len = len(current_simulation()._update_queue)
+            yield delay(1, NS)
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.queue_len == 0
+    assert m.s.read() == 3
+
+
+def test_write_back_to_old_value_still_commits():
+    """write(new) then write(old) within one delta must cancel out
+    cleanly: the pending update commits the old value, no event fires."""
+
+    class M(Module):
+        def __init__(self):
+            super().__init__("m")
+            self.s = Signal(1)
+            self.fired = False
+            self.add_thread(self.writer)
+            self.add_thread(self.watcher)
+
+        def writer(self):
+            self.s.write(2)
+            self.s.write(1)  # back to the committed value
+            yield delay(1, NS)
+
+        def watcher(self):
+            yield self.s.value_changed
+            self.fired = True
+
+    m = M()
+    with Simulation(m) as sim:
+        sim.run()
+    assert m.s.read() == 1
+    assert not m.fired
+
+
 def test_stop_halts_simulation():
     class M(Module):
         def __init__(self):
