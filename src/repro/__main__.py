@@ -6,6 +6,7 @@ Usage::
     python -m repro fig9            # co-simulation comparison (Figure 9)
     python -m repro fig10           # area comparison (Figure 10)
     python -m repro refine          # bit-accuracy verification of the chain
+    python -m repro verify          # differential fuzzing across levels
     python -m repro bug             # the golden-model bug story
     python -m repro metrics         # model complexity across levels
     python -m repro profile         # simulation-time split (Section 5.1)
@@ -16,6 +17,15 @@ paper-scale one.  Defaults: paper scale for synthesis/performance,
 reduced for anything gate-level.  ``--backend interpreted|compiled``
 selects the RTL/gate simulation engine for ``fig8`` and ``fig9``
 (compiled = whole-cone codegen with parallel-pattern packing).
+
+``verify`` runs the differential verification harness: seeded stimulus
+fuzzing of all levels against the golden model with counterexample
+shrinking and coverage.  Options: ``--levels alg,tlm,beh,rtl,gate``
+(also: tlm-mono, beh-unopt, rtl-unopt, vhdl, gate-beh), ``--seed N``,
+``--budget smoke|small|medium|large``, ``--backend
+interpreted|compiled|both``, ``--out DIR`` (write coverage and
+counterexample artefacts), ``--self-check`` (inject a netlist mutation
+that must be caught and shrunk).
 """
 
 from __future__ import annotations
@@ -138,6 +148,43 @@ def cmd_profile(args) -> None:
     print(f"  simulation kernel        : {shares['kernel'] * 100:5.1f}%")
 
 
+def _option(args, name, default):
+    for i, arg in enumerate(args):
+        if arg == name and i + 1 < len(args):
+            return args[i + 1]
+        if arg.startswith(name + "="):
+            return arg.split("=", 1)[1]
+    return default
+
+
+def cmd_verify(args) -> None:
+    from .flow import write_verify_artifacts
+    from .verify import (DEFAULT_LEVELS, VerifyConfig, run_self_check,
+                         run_verify)
+
+    config = VerifyConfig(
+        params=_params(args, SMALL_PARAMS),
+        levels=_option(args, "--levels", DEFAULT_LEVELS),
+        backend=_option(args, "--backend", "both"),
+        seed=int(_option(args, "--seed", "0")),
+        budget=_option(args, "--budget", "small"),
+    )
+    if "--self-check" in args:
+        report = run_self_check(config)
+        print(report.format())
+        if not report.caught:
+            raise SystemExit(1)
+        return
+    report = run_verify(config)
+    print(report.format())
+    out_dir = _option(args, "--out", None)
+    if out_dir:
+        index = write_verify_artifacts(report, out_dir)
+        print(index.format())
+    if not report.passed:
+        raise SystemExit(1)
+
+
 def cmd_artifacts(args) -> None:
     from .flow import write_artifacts
 
@@ -155,11 +202,15 @@ COMMANDS = {
     "fig9": cmd_fig9,
     "fig10": cmd_fig10,
     "refine": cmd_refine,
+    "verify": cmd_verify,
     "bug": cmd_bug,
     "metrics": cmd_metrics,
     "profile": cmd_profile,
     "artifacts": cmd_artifacts,
 }
+
+#: commands ``all`` skips: they write to disk or run a long fuzz budget
+SKIP_IN_ALL = ("artifacts", "verify")
 
 
 def main(argv=None) -> int:
@@ -171,8 +222,8 @@ def main(argv=None) -> int:
     if names[0] == "all":
         small = args + ["--small"]
         for name, fn in COMMANDS.items():
-            if name == "artifacts":
-                continue  # writes to disk; run explicitly
+            if name in SKIP_IN_ALL:
+                continue  # writes to disk / long-running; run explicitly
             print(f"\n===== {name} =====")
             fn(small)
         return 0

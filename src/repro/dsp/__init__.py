@@ -9,16 +9,19 @@ from .metrics import db_to_bits, peak_error, sine_snr_db, snr_db
 from .polyphase import (branch_gains, decompose, mirror_index, phase_indices,
                         stored_index)
 from .resample import FloatResampler, output_count, resample
-from .stimulus import (corner_case_samples, impulse_samples, random_samples,
-                       sine_samples, step_samples)
+from .stimulus import (burst_samples, corner_case_samples, impulse_samples,
+                       random_samples, sine_samples, step_samples,
+                       swept_tone_samples)
 
 __all__ = [
-    "FloatResampler", "FrequencyResponse", "PrototypeSpec", "branch_gains", "check_symmetry",
+    "FloatResampler", "FrequencyResponse", "PrototypeSpec", "branch_gains",
+    "burst_samples", "check_symmetry",
     "coefficient_scale_bits", "chirp_samples", "corner_case_samples", "db_to_bits",
     "decompose", "design_prototype", "impulse_samples", "mirror_index",
     "output_count", "peak_error", "phase_indices", "quantize_coefficients",
     "random_samples", "resample", "sine_samples", "sine_snr_db", "snr_db",
     "measure_frequency_response", "step_samples",
-    "stopband_attenuation_db", "stored_index", "thd_plus_n_db",
+    "stopband_attenuation_db", "stored_index", "swept_tone_samples",
+    "thd_plus_n_db",
     "tone_gain",
 ]

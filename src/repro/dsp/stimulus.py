@@ -54,6 +54,46 @@ def impulse_samples(n: int, data_width: int, at: int = 0,
     return samples
 
 
+def swept_tone_samples(n: int, f_start_hz: float, f_end_hz: float,
+                       rate_hz: float, data_width: int,
+                       amplitude: float = 0.8) -> List[int]:
+    """A linear chirp from *f_start_hz* to *f_end_hz* over *n* samples.
+
+    Sweeping the tone across the band exercises every polyphase branch
+    and the full dynamic range of the MAC datapath, which a single
+    fixed-frequency sine cannot.
+    """
+    peak = max_signed(data_width) * amplitude
+    span = f_end_hz - f_start_hz
+    samples = []
+    phase = 0.0
+    for i in range(n):
+        freq = f_start_hz + span * i / max(1, n - 1)
+        phase += 2.0 * math.pi * freq / rate_hz
+        samples.append(int(math.floor(peak * math.sin(phase) + 0.5)))
+    return samples
+
+
+def burst_samples(n: int, data_width: int, seed: int = 7,
+                  burst_len: int = 8, gap_len: int = 8) -> List[int]:
+    """Alternating full-scale bursts and silent gaps (seeded jitter).
+
+    Models bursty sources with backpressure-like idle stretches: the
+    converter's ring buffer drains during the gaps and refills at burst
+    onset, stressing the address arithmetic around wrap points.
+    """
+    rng = np.random.default_rng(seed)
+    hi = max_signed(data_width)
+    lo = min_signed(data_width)
+    samples: List[int] = []
+    while len(samples) < n:
+        blen = burst_len + int(rng.integers(0, max(1, burst_len // 2)))
+        glen = gap_len + int(rng.integers(0, max(1, gap_len // 2)))
+        samples.extend(int(v) for v in rng.integers(lo, hi + 1, size=blen))
+        samples.extend([0] * glen)
+    return samples[:n]
+
+
 def corner_case_samples(n: int, data_width: int, seed: int = 99) -> List[int]:
     """Stress stimulus: full-scale swings, DC stretches, random bursts.
 

@@ -8,6 +8,7 @@ reports, and a gate-level waveform of a short run.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -127,6 +128,71 @@ def write_artifacts(params: SrcParams, directory: str,
             fh.write("rtl        " + RTL_COMPILE_CACHE.stats.format()
                      + "\n")
         index.add(cache_path)
+
+    index_path = os.path.join(directory, "INDEX.txt")
+    with open(index_path, "w", encoding="utf-8") as fh:
+        fh.write(index.format() + "\n")
+    index.add(index_path)
+    return index
+
+
+def write_verify_artifacts(report, directory: str) -> ArtifactIndex:
+    """Write a verification run's artefacts (coverage, counterexamples).
+
+    *report* is a :class:`repro.verify.VerifyReport`.  Emits:
+
+    * ``verify_report.txt`` -- the full human-readable report;
+    * ``coverage.json`` -- input value-bucket and port-toggle coverage;
+    * ``counterexample_NN.json`` -- one file per failure, holding the
+      shrunk stimulus and the first-divergence localisation, directly
+      replayable through the harness.
+    """
+    os.makedirs(directory, exist_ok=True)
+    index = ArtifactIndex(directory)
+
+    report_path = os.path.join(directory, "verify_report.txt")
+    with open(report_path, "w", encoding="utf-8") as fh:
+        fh.write(report.format() + "\n")
+    index.add(report_path)
+
+    coverage: Dict[str, object] = {}
+    if report.input_coverage is not None:
+        coverage["input"] = report.input_coverage.as_dict()
+    if report.toggle_coverage is not None:
+        coverage["toggle"] = report.toggle_coverage.as_dict()
+    coverage_path = os.path.join(directory, "coverage.json")
+    with open(coverage_path, "w", encoding="utf-8") as fh:
+        json.dump(coverage, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    index.add(coverage_path)
+
+    for n, failure in enumerate(report.failures):
+        shrunk = failure.shrink.case if failure.shrink is not None \
+            else failure.case_report.case
+        evidence = failure.shrink.evidence if failure.shrink is not None \
+            else failure.case_report.failures[0]
+        divergence = getattr(evidence, "divergence", None)
+        doc = {
+            "case": shrunk.name,
+            "seed": shrunk.seed,
+            "kind": shrunk.kind,
+            "mode": shrunk.mode,
+            "mode_changes": [list(c) for c in shrunk.mode_changes],
+            "inputs": [list(f) for f in shrunk.inputs],
+            "level": getattr(getattr(evidence, "spec", None), "key", None),
+            "first_divergence": None if divergence is None else {
+                "frame": divergence.frame,
+                "signal": divergence.signal,
+                "cycle": divergence.cycle,
+                "got": list(divergence.got or ()),
+                "want": list(divergence.want or ()),
+            },
+        }
+        path = os.path.join(directory, f"counterexample_{n:02d}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        index.add(path)
 
     index_path = os.path.join(directory, "INDEX.txt")
     with open(index_path, "w", encoding="utf-8") as fh:

@@ -56,6 +56,39 @@ class GateVcdTracer:
                 self._changes.append((cycle, ident, rendered))
 
     # ------------------------------------------------------------------
+    def toggle_counts(self) -> Dict[str, List[Tuple[int, int]]]:
+        """Per-bit (rise, fall) counts derived from the recorded changes.
+
+        Returns ``{port: [(rises, falls), ...]}`` with one pair per bit,
+        LSB first.  X/Z states do not count as either edge; only defined
+        0->1 / 1->0 transitions do.  The verification harness aggregates
+        these into its toggle-coverage metric.
+        """
+        counts: Dict[str, List[Tuple[int, int]]] = {}
+        by_ident: Dict[str, Tuple[str, int]] = {
+            ident: (name, width) for name, width, ident in self._ports
+        }
+        previous: Dict[str, str] = {}
+        for name, width, ident in self._ports:
+            counts[name] = [(0, 0)] * width
+        for _cycle, ident, rendered in self._changes:
+            name, width = by_ident[ident]
+            old = previous.get(ident)
+            if old is not None:
+                per_bit = counts[name]
+                # rendered strings are MSB first; bit i is index -1-i
+                for bit in range(width):
+                    a, b = old[-1 - bit], rendered[-1 - bit]
+                    if a == "0" and b == "1":
+                        r, f = per_bit[bit]
+                        per_bit[bit] = (r + 1, f)
+                    elif a == "1" and b == "0":
+                        r, f = per_bit[bit]
+                        per_bit[bit] = (r, f + 1)
+            previous[ident] = rendered
+        return counts
+
+    # ------------------------------------------------------------------
     def dumps(self) -> str:
         out = io.StringIO()
         self._write(out)

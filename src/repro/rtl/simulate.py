@@ -115,6 +115,12 @@ class RtlSimulator:
         target = self.module.outputs.get(name, name)
         return self.env[target]  # type: ignore[return-value]
 
+    def port_widths(self) -> Dict[str, int]:
+        """Widths of all ports, inputs first (coverage sampling helper)."""
+        module = self.module
+        return {name: module.net_width(name)
+                for name in module.input_names() + module.output_names()}
+
     def peek_memory(self, name: str) -> List[int]:
         return list(self._memories[name])
 

@@ -135,6 +135,7 @@ def run_clocked(
     schedule: Sequence[SampleEvent],
     inputs: Sequence[Sequence[int]],
     drain_cycles: Optional[int] = None,
+    on_cycle=None,
 ) -> List[Tuple[int, ...]]:
     """Run a clocked DUT over a *clock-quantised* schedule.
 
@@ -142,6 +143,11 @@ def run_clocked(
     period (build it with ``make_schedule(..., quantized=True)``); the
     matching golden reference is the algorithmic model run over the same
     quantised schedule -- exactly the paper's Figure 7 methodology.
+
+    ``on_cycle(tick, result)`` is invoked after every clock cycle with
+    the tick index and the output frame produced on that tick (or
+    ``None``) -- the differential-verification harness uses it to record
+    which cycle each output frame appeared on and to sample coverage.
     """
     clk = params.clock_period_ps
     by_tick = {}
@@ -177,6 +183,8 @@ def run_clocked(
         result = driver.cycle(frame=frame, cfg=cfg, req=req)
         if result is not None:
             outputs.append(tuple(result))
+        if on_cycle is not None:
+            on_cycle(tick, result)
         tick += 1
     if len(outputs) != expected:
         raise RuntimeError(

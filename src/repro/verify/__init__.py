@@ -1,0 +1,30 @@
+"""Differential verification: seeded fuzzing, lockstep equivalence,
+shrinking and coverage across every abstraction level of the flow."""
+
+from .coverage import InputCoverage, ToggleCoverage
+from .harness import (BUDGETS, Budget, Failure, SelfCheckReport,
+                      VerifyConfig, VerifyReport, run_self_check,
+                      run_verify)
+from .mutate import (GATE_SWAPS, Mutation, apply_mutation, iter_mutations,
+                     mutation_candidates)
+from .runner import (BACKEND_LEVELS, DEFAULT_LEVELS, LEVEL_ALIASES,
+                     CaseReport, Divergence, LevelBuilds, LevelDiff,
+                     LevelRun, LevelSpec, diff_against_reference,
+                     golden_outputs, parse_level_specs, run_case_level,
+                     run_differential)
+from .shrink import ShrinkResult, shrink_case
+from .stimulus import (MODE_CHANGE_MIN_INPUTS, STIMULUS_KINDS,
+                       StimulusCase, generate_cases)
+
+__all__ = [
+    "BACKEND_LEVELS", "BUDGETS", "Budget", "CaseReport", "DEFAULT_LEVELS",
+    "Divergence", "Failure", "GATE_SWAPS", "InputCoverage",
+    "LEVEL_ALIASES", "LevelBuilds", "LevelDiff", "LevelRun", "LevelSpec",
+    "MODE_CHANGE_MIN_INPUTS", "Mutation", "STIMULUS_KINDS",
+    "SelfCheckReport", "ShrinkResult", "StimulusCase", "ToggleCoverage",
+    "VerifyConfig", "VerifyReport", "apply_mutation",
+    "diff_against_reference", "generate_cases", "golden_outputs",
+    "iter_mutations", "mutation_candidates", "parse_level_specs",
+    "run_case_level", "run_differential", "run_self_check", "run_verify",
+    "shrink_case",
+]

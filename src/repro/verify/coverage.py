@@ -1,0 +1,209 @@
+"""Coverage metrics for the differential verification harness.
+
+Two complementary views of "did the fuzz run actually exercise the
+design":
+
+* :class:`InputCoverage` -- value-range buckets over the stimulus
+  frames (uniform buckets across the signed range plus the three
+  corner values min/zero/max per channel);
+* :class:`ToggleCoverage` -- per-port-bit 0->1/1->0 activity of the
+  clocked DUTs, harvested from :class:`~repro.gatesim.trace.GateVcdTracer`
+  samples for gate-level simulators and from integer port sampling for
+  RTL simulators.
+
+Both aggregate across all cases of a run and serialise to plain dicts
+so :func:`repro.flow.artifacts.write_verify_artifacts` can emit them as
+JSON next to the other flow artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datatypes.integers import max_signed, min_signed
+from ..gatesim import GateSimulator, GateVcdTracer
+from ..rtl import RtlSimulator
+
+#: uniform value buckets per channel (plus min/zero/max specials)
+N_BUCKETS = 16
+
+
+class InputCoverage:
+    """Value-range bucket coverage of the stereo input stimulus."""
+
+    def __init__(self, data_width: int, n_buckets: int = N_BUCKETS):
+        self.data_width = data_width
+        self.n_buckets = n_buckets
+        self.lo = min_signed(data_width)
+        self.hi = max_signed(data_width)
+        self._span = self.hi - self.lo + 1
+        # per channel: bucket hit counts + special-value hits
+        self.buckets: List[List[int]] = [[0] * n_buckets, [0] * n_buckets]
+        self.specials: List[Dict[str, int]] = [
+            {"min": 0, "zero": 0, "max": 0},
+            {"min": 0, "zero": 0, "max": 0},
+        ]
+        self.n_frames = 0
+
+    def record(self, frame: Sequence[int]) -> None:
+        self.n_frames += 1
+        for ch in (0, 1):
+            value = frame[ch]
+            index = (value - self.lo) * self.n_buckets // self._span
+            self.buckets[ch][min(max(index, 0), self.n_buckets - 1)] += 1
+            if value == self.lo:
+                self.specials[ch]["min"] += 1
+            elif value == self.hi:
+                self.specials[ch]["max"] += 1
+            elif value == 0:
+                self.specials[ch]["zero"] += 1
+
+    def record_case(self, inputs: Sequence[Sequence[int]]) -> None:
+        for frame in inputs:
+            self.record(frame)
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of (bucket + special) bins hit at least once."""
+        total = hit = 0
+        for ch in (0, 1):
+            for count in self.buckets[ch]:
+                total += 1
+                hit += count > 0
+            for count in self.specials[ch].values():
+                total += 1
+                hit += count > 0
+        return hit / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "input_value_buckets",
+            "data_width": self.data_width,
+            "n_buckets": self.n_buckets,
+            "n_frames": self.n_frames,
+            "fraction": self.fraction,
+            "channels": [
+                {"buckets": list(self.buckets[ch]),
+                 "specials": dict(self.specials[ch])}
+                for ch in (0, 1)
+            ],
+        }
+
+    def format(self) -> str:
+        return (f"input coverage: {self.fraction * 100:5.1f}% of value "
+                f"bins hit over {self.n_frames} frames")
+
+
+class _GateHandle:
+    """Per-run toggle sampling of a gate-level DUT via the VCD tracer."""
+
+    def __init__(self, key: str, sim: GateSimulator):
+        self.key = key
+        self.tracer = GateVcdTracer(sim)
+
+    def sample(self) -> None:
+        self.tracer.sample()
+
+    def counts(self) -> Dict[str, List[Tuple[int, int]]]:
+        return self.tracer.toggle_counts()
+
+
+class _RtlHandle:
+    """Per-run toggle sampling of an RTL DUT via integer port reads."""
+
+    def __init__(self, key: str, sim: RtlSimulator):
+        self.key = key
+        self.sim = sim
+        self.widths = sim.port_widths()
+        self._last: Dict[str, int] = {}
+        self._counts: Dict[str, List[Tuple[int, int]]] = {
+            name: [(0, 0)] * width for name, width in self.widths.items()
+        }
+        self.sample()
+
+    def sample(self) -> None:
+        for name, width in self.widths.items():
+            value = self.sim.get(name)
+            last = self._last.get(name)
+            if last is not None and last != value:
+                per_bit = self._counts[name]
+                changed = last ^ value
+                for bit in range(width):
+                    if changed >> bit & 1:
+                        r, f = per_bit[bit]
+                        if value >> bit & 1:
+                            per_bit[bit] = (r + 1, f)
+                        else:
+                            per_bit[bit] = (r, f + 1)
+            self._last[name] = value
+
+    def counts(self) -> Dict[str, List[Tuple[int, int]]]:
+        return self._counts
+
+
+class ToggleCoverage:
+    """Aggregated per-port-bit toggle activity across a whole run.
+
+    Implements the ``begin(spec, sim)`` / ``handle.sample()`` /
+    ``end(handle)`` protocol the runner drives once per clock cycle.
+    Unsupported DUTs (the behavioural FSM interpreter has no port-level
+    bit view) simply return no handle and are skipped.
+    """
+
+    def __init__(self):
+        #: spec key -> port -> per-bit (rises, falls)
+        self.counts: Dict[str, Dict[str, List[Tuple[int, int]]]] = {}
+
+    def begin(self, spec, sim):
+        if isinstance(sim, RtlSimulator):
+            return _RtlHandle(spec.key, sim)
+        if hasattr(sim, "netlist") and hasattr(sim, "get_logic"):
+            return _GateHandle(spec.key, sim)
+        return None
+
+    def end(self, handle) -> None:
+        merged = self.counts.setdefault(handle.key, {})
+        for port, per_bit in handle.counts().items():
+            if port not in merged:
+                merged[port] = list(per_bit)
+            else:
+                merged[port] = [
+                    (r0 + r1, f0 + f1)
+                    for (r0, f0), (r1, f1) in zip(merged[port], per_bit)
+                ]
+
+    def fraction(self, key: Optional[str] = None) -> float:
+        """Fraction of port bits that both rose and fell at least once."""
+        keys = [key] if key is not None else list(self.counts)
+        total = hit = 0
+        for k in keys:
+            for per_bit in self.counts.get(k, {}).values():
+                for rises, falls in per_bit:
+                    total += 1
+                    hit += rises > 0 and falls > 0
+        return hit / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "port_bit_toggles",
+            "fraction": self.fraction(),
+            "levels": {
+                key: {
+                    "fraction": self.fraction(key),
+                    "ports": {
+                        port: [[r, f] for r, f in per_bit]
+                        for port, per_bit in ports.items()
+                    },
+                }
+                for key, ports in self.counts.items()
+            },
+        }
+
+    def format(self) -> str:
+        if not self.counts:
+            return "toggle coverage: (no clocked port-level DUTs sampled)"
+        lines = ["toggle coverage (port bits toggled both ways):"]
+        for key in sorted(self.counts):
+            lines.append(f"  {key:24s} {self.fraction(key) * 100:5.1f}%")
+        return "\n".join(lines)

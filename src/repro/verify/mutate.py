@@ -1,0 +1,88 @@
+"""Deliberate netlist mutations for the harness self-check.
+
+A verification harness that never sees a real bug is unfalsifiable, so
+the self-check injects one: a seeded, single-cell gate substitution
+(AND<->OR, NAND<->NOR, XOR<->XNOR, INV<->BUF) into a freshly
+synthesised netlist.  The harness must then catch the divergence
+against the golden model and shrink it to a short counterexample --
+the same discipline as DAVOS-style fault injection, used here to prove
+the *tooling* works rather than to grade the design.
+
+Mutations keep pin names and counts identical, so the mutated netlist
+still validates, simulates on both backends, and hashes differently in
+the compile cache (the structural hash covers cell types).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..synth.netlist import Netlist
+
+#: cell-type substitutions that preserve the pin interface
+GATE_SWAPS = {
+    "AND2": "OR2", "OR2": "AND2",
+    "NAND2": "NOR2", "NOR2": "NAND2",
+    "XOR2": "XNOR2", "XNOR2": "XOR2",
+    "INV": "BUF", "BUF": "INV",
+}
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One applied netlist mutation."""
+
+    cell_name: str
+    original_type: str
+    mutated_type: str
+
+    def format(self) -> str:
+        return (f"cell {self.cell_name}: "
+                f"{self.original_type} -> {self.mutated_type}")
+
+
+def mutation_candidates(netlist: Netlist) -> List[str]:
+    """Names of cells eligible for a pin-compatible substitution."""
+    return [cell.name for cell in netlist.cells
+            if cell.cell_type in GATE_SWAPS]
+
+
+def apply_mutation(netlist: Netlist, cell_name: str) -> Mutation:
+    """Swap one cell's type in place; returns the mutation record."""
+    for cell in netlist.cells:
+        if cell.name == cell_name:
+            if cell.cell_type not in GATE_SWAPS:
+                raise ValueError(
+                    f"cell {cell_name!r} of type {cell.cell_type!r} "
+                    "has no pin-compatible substitution"
+                )
+            original = cell.cell_type
+            cell.cell_type = GATE_SWAPS[original]
+            netlist.validate()
+            return Mutation(cell_name, original, cell.cell_type)
+    raise ValueError(f"no cell named {cell_name!r}")
+
+
+def iter_mutations(netlist_builder, seed: int,
+                   max_mutations: Optional[int] = None
+                   ) -> Iterator:
+    """Yield ``(netlist, Mutation)`` pairs in a seeded random order.
+
+    *netlist_builder* must return a **fresh** netlist per call (each
+    yielded netlist carries exactly one mutation).  Iterating tries
+    different cells until one mutation is observably wrong -- some
+    mutations are masked (e.g. inside the scan chain or on a don't-care
+    cone) and the self-check simply moves on to the next.
+    """
+    names = mutation_candidates(netlist_builder())
+    if not names:
+        return
+    rng = random.Random(seed)
+    rng.shuffle(names)
+    if max_mutations is not None:
+        names = names[:max_mutations]
+    for name in names:
+        netlist = netlist_builder()
+        yield netlist, apply_mutation(netlist, name)

@@ -1,0 +1,142 @@
+"""Counterexample minimisation for failing stimulus cases.
+
+Given a failing :class:`~repro.verify.stimulus.StimulusCase` and a
+predicate that re-runs the differential check over candidate inputs,
+the shrinker produces a short, human-debuggable counterexample:
+
+1. drop the mode changes if the failure survives without them;
+2. binary-search the shortest failing *prefix* (outputs depend only on
+   earlier inputs, so truncating after the divergence is always sound
+   to try first);
+3. delta-debugging style chunk removal (halving chunk sizes);
+4. value simplification: replace frames with ``(0, 0)`` where the
+   failure persists.
+
+The predicate is called with ``(inputs, mode_changes)`` and returns the
+failure evidence (any truthy object, e.g. a
+:class:`~repro.verify.runner.LevelDiff`) or ``None`` when the candidate
+passes.  Every candidate evaluation costs a full simulation, so the
+total number of predicate calls is budgeted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .stimulus import StimulusCase
+
+Frames = Tuple[Tuple[int, int], ...]
+Predicate = Callable[[Frames, Tuple[Tuple[int, int], ...]], Optional[object]]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimised counterexample and how it was obtained."""
+
+    case: StimulusCase          # shrunk case (inputs replaced)
+    evidence: object            # failure evidence for the shrunk case
+    original_frames: int
+    runs_used: int
+
+    @property
+    def n_frames(self) -> int:
+        return self.case.n_inputs
+
+    def format(self) -> str:
+        return (f"shrunk counterexample: {self.original_frames} -> "
+                f"{self.n_frames} frames in {self.runs_used} runs; "
+                f"inputs={list(self.case.inputs)}")
+
+
+class _Budgeted:
+    """Wraps the predicate with a run counter and a hard budget."""
+
+    def __init__(self, predicate: Predicate, max_runs: int):
+        self.predicate = predicate
+        self.max_runs = max_runs
+        self.runs = 0
+
+    def exhausted(self) -> bool:
+        return self.runs >= self.max_runs
+
+    def __call__(self, inputs: Sequence[Tuple[int, int]],
+                 mode_changes: Tuple[Tuple[int, int], ...]):
+        if self.exhausted():
+            return None
+        self.runs += 1
+        try:
+            return self.predicate(tuple(inputs), mode_changes)
+        except ValueError:
+            # e.g. a mode change that no longer fits the shorter run:
+            # treat the candidate as invalid, keep the previous witness
+            return None
+
+
+def shrink_case(case: StimulusCase, predicate: Predicate,
+                evidence: object, max_runs: int = 150) -> ShrinkResult:
+    """Minimise *case* while *predicate* keeps failing.
+
+    *evidence* is the failure object of the original case (kept when no
+    smaller candidate fails within the run budget).
+    """
+    check = _Budgeted(predicate, max_runs)
+    best: Frames = tuple(tuple(f) for f in case.inputs)
+    best_changes = case.mode_changes
+    best_evidence = evidence
+
+    # 1. drop mode changes
+    if best_changes:
+        got = check(best, ())
+        if got is not None:
+            best_changes = ()
+            best_evidence = got
+
+    # 2. shortest failing prefix (binary search on the prefix length)
+    lo, hi = 1, len(best)          # invariant: prefix of length hi fails
+    while lo < hi and not check.exhausted():
+        mid = (lo + hi) // 2
+        got = check(best[:mid], best_changes)
+        if got is not None:
+            hi = mid
+            best_evidence = got
+        else:
+            lo = mid + 1
+    best = best[:hi]
+
+    # 3. chunk removal (ddmin-style, halving chunk sizes)
+    chunk = max(1, len(best) // 2)
+    while chunk >= 1 and not check.exhausted():
+        start = 0
+        removed_any = False
+        while start < len(best) and not check.exhausted():
+            candidate = best[:start] + best[start + chunk:]
+            if candidate:
+                got = check(candidate, best_changes)
+                if got is not None:
+                    best = candidate
+                    best_evidence = got
+                    removed_any = True
+                    continue  # retry the same start on the shorter list
+            start += chunk
+        if chunk == 1 and not removed_any:
+            break
+        chunk //= 2
+
+    # 4. value simplification: zero out frames where possible
+    index = 0
+    while index < len(best) and not check.exhausted():
+        if best[index] != (0, 0):
+            candidate = best[:index] + ((0, 0),) + best[index + 1:]
+            got = check(candidate, best_changes)
+            if got is not None:
+                best = candidate
+                best_evidence = got
+        index += 1
+
+    return ShrinkResult(
+        case=case.with_inputs(best, best_changes),
+        evidence=best_evidence,
+        original_frames=case.n_inputs,
+        runs_used=check.runs,
+    )

@@ -1,0 +1,138 @@
+"""Seeded, reproducible stimulus cases for differential verification.
+
+Every case is fully determined by ``(master seed, case index, budget)``:
+the generator derives one child seed per case from the master seed and
+feeds it to the (already seeded) generators in :mod:`repro.dsp.stimulus`.
+A failure report therefore only needs to print the master seed and the
+case name for an exact replay.
+
+Stimulus classes (cycled round-robin):
+
+* ``random``     -- uniform random frames over the full signed range;
+* ``corner``     -- full-scale swings, DC stretches, random bursts (the
+  class that historically exposed the golden-model buffer bug);
+* ``sweep``      -- a swept tone crossing every polyphase branch;
+* ``burst``      -- bursts separated by silent gaps (backpressure-like
+  buffer drain/refill);
+* ``step``       -- a full-scale step (worst-case transient);
+* ``impulse``    -- a single impulse (the filter's raw response).
+
+Cases with enough samples also carry a mode change placed in a
+guaranteed-idle gap, exercising the reconfiguration flush at every
+level.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..dsp.stimulus import (burst_samples, corner_case_samples,
+                            impulse_samples, random_samples, sine_samples,
+                            step_samples, swept_tone_samples)
+from ..src_design.params import SrcParams
+from ..src_design.schedule import make_schedule
+
+#: stimulus class names, in generation (round-robin) order
+STIMULUS_KINDS = ("random", "corner", "sweep", "burst", "step", "impulse")
+
+#: minimum run length before a mode change can be placed in an idle gap
+MODE_CHANGE_MIN_INPUTS = 96
+
+
+@dataclass(frozen=True)
+class StimulusCase:
+    """One reproducible stimulus: stereo frames plus schedule knobs."""
+
+    name: str
+    kind: str
+    seed: int
+    inputs: Tuple[Tuple[int, int], ...]
+    mode: int = 0
+    mode_changes: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    def replay_hint(self) -> str:
+        return (f"case {self.name!r} (kind={self.kind}, seed={self.seed}, "
+                f"{self.n_inputs} frames, mode_changes={self.mode_changes})")
+
+    def with_inputs(self, inputs: Sequence[Tuple[int, int]],
+                    mode_changes: Sequence[Tuple[int, int]] = None
+                    ) -> "StimulusCase":
+        """A copy with different frames (used by the shrinker)."""
+        changes = self.mode_changes if mode_changes is None \
+            else tuple(mode_changes)
+        return StimulusCase(self.name, self.kind, self.seed,
+                            tuple(tuple(f) for f in inputs),
+                            self.mode, changes)
+
+
+def _frames(kind: str, params: SrcParams, n: int, seed: int,
+            mode: int) -> List[Tuple[int, int]]:
+    """Build *n* stereo frames of the given stimulus class."""
+    dw = params.data_width
+    f_in = params.modes[mode].f_in
+    if kind == "random":
+        left = random_samples(n, dw, seed=seed)
+        right = random_samples(n, dw, seed=seed + 1)
+    elif kind == "corner":
+        left = corner_case_samples(n, dw, seed=seed)
+        right = corner_case_samples(n, dw, seed=seed + 1)
+    elif kind == "sweep":
+        left = swept_tone_samples(n, 100.0, f_in * 0.45, f_in, dw)
+        right = swept_tone_samples(n, f_in * 0.45, 100.0, f_in, dw)
+    elif kind == "burst":
+        left = burst_samples(n, dw, seed=seed)
+        right = burst_samples(n, dw, seed=seed + 1)
+    elif kind == "step":
+        left = step_samples(n, dw)
+        right = step_samples(n, dw, low_frac=0.5, high_frac=-0.5)
+    elif kind == "impulse":
+        left = impulse_samples(n, dw, at=min(2, n - 1))
+        right = impulse_samples(n, dw, at=min(5, n - 1), amplitude=-0.9)
+    else:
+        raise ValueError(f"unknown stimulus kind {kind!r}")
+    return list(zip(left, right))
+
+
+def _placeable(params: SrcParams, n_inputs: int, mode: int,
+               mode_changes: Sequence[Tuple[int, int]]) -> bool:
+    """True when a schedule with these mode changes can be built."""
+    try:
+        make_schedule(params, mode, n_inputs, quantized=True,
+                      mode_changes=mode_changes)
+    except ValueError:
+        return False
+    return True
+
+
+def generate_cases(params: SrcParams, seed: int, n_cases: int,
+                   n_inputs: int,
+                   kinds: Sequence[str] = STIMULUS_KINDS
+                   ) -> List[StimulusCase]:
+    """Derive *n_cases* reproducible cases from the master *seed*."""
+    master = random.Random(seed)
+    cases: List[StimulusCase] = []
+    for index in range(n_cases):
+        kind = kinds[index % len(kinds)]
+        child_seed = master.randrange(1 << 30)
+        mode = index % len(params.modes)
+        frames = _frames(kind, params, n_inputs, child_seed, mode)
+        mode_changes: Tuple[Tuple[int, int], ...] = ()
+        if (len(params.modes) > 1 and n_inputs >= MODE_CHANGE_MIN_INPUTS):
+            change = (n_inputs // 2, (mode + 1) % len(params.modes))
+            if _placeable(params, n_inputs, mode, (change,)):
+                mode_changes = (change,)
+        cases.append(StimulusCase(
+            name=f"s{seed}-{index:02d}-{kind}",
+            kind=kind,
+            seed=child_seed,
+            inputs=tuple(frames),
+            mode=mode,
+            mode_changes=mode_changes,
+        ))
+    return cases

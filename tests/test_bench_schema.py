@@ -1,0 +1,87 @@
+"""Regression lock on the checked-in benchmark JSON schema.
+
+``BENCH_fig08.json`` and ``BENCH_fig09.json`` are consumed by external
+plotting and by later sessions -- any field rename or restructure is a
+silent breaking change.  These tests pin the shape (and a few semantic
+invariants) of the recorded data.
+"""
+
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+RESULT_KEYS = {"level", "backend", "n_patterns", "cycles_per_second",
+               "simulated_cycles", "wall_seconds", "output_frames"}
+BACKENDS = {"interpreted", "compiled"}
+
+
+def _load(name):
+    path = os.path.join(REPO_ROOT, name)
+    if not os.path.exists(path):
+        pytest.skip(f"{name} not present in this checkout")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _check_result_rows(results):
+    assert results, "empty results list"
+    for row in results:
+        assert set(row) == RESULT_KEYS, row.get("level")
+        assert isinstance(row["level"], str) and row["level"]
+        assert row["backend"] in BACKENDS
+        assert row["n_patterns"] >= 1
+        assert row["n_patterns"] == 1 or row["backend"] == "compiled"
+        assert row["cycles_per_second"] > 0
+        assert row["simulated_cycles"] > 0
+        assert row["wall_seconds"] > 0
+        assert row["output_frames"] >= 0
+
+
+def test_fig08_schema():
+    doc = _load("BENCH_fig08.json")
+    assert set(doc) == {"results"}
+    _check_result_rows(doc["results"])
+    levels = {r["level"] for r in doc["results"]}
+    assert levels == {"C++", "SystemC", "BEH", "RTL"}
+    rtl_backends = {r["backend"] for r in doc["results"]
+                    if r["level"] == "RTL"}
+    assert rtl_backends == BACKENDS  # RTL measured on both engines
+
+
+def test_fig08_preserves_paper_ordering():
+    """The paper's Figure 8 trend: each refinement costs simulation
+    speed (C++ > SystemC > BEH > RTL, per backend)."""
+    doc = _load("BENCH_fig08.json")
+    speed = {(r["level"], r["backend"]): r["cycles_per_second"]
+             for r in doc["results"]}
+    assert speed[("C++", "interpreted")] > speed[("SystemC", "interpreted")]
+    assert speed[("SystemC", "interpreted")] > speed[("BEH", "interpreted")]
+    assert speed[("BEH", "interpreted")] > speed[("RTL", "interpreted")]
+
+
+def test_fig09_schema():
+    doc = _load("BENCH_fig09.json")
+    assert set(doc) == {"gate_speedup", "n_patterns", "results"}
+    _check_result_rows(doc["results"])
+    assert set(doc["gate_speedup"]) == {"Gate-BEH", "Gate-RTL"}
+    for value in doc["gate_speedup"].values():
+        assert value > 1.0  # compiled beat interpreted when recorded
+    assert doc["n_patterns"] >= 1
+    throughput = [r for r in doc["results"]
+                  if r["level"].endswith("/throughput")]
+    assert {r["backend"] for r in throughput} == BACKENDS
+    for row in throughput:
+        if row["backend"] == "compiled":
+            assert row["n_patterns"] == doc["n_patterns"]
+
+
+def test_fig09_compiled_beats_interpreted_in_recorded_data():
+    doc = _load("BENCH_fig09.json")
+    by_key = {(r["level"], r["backend"]): r["cycles_per_second"]
+              for r in doc["results"]}
+    for gate in ("Gate-BEH", "Gate-RTL"):
+        level = f"{gate}/throughput"
+        assert by_key[(level, "compiled")] > by_key[(level, "interpreted")]

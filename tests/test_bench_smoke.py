@@ -40,6 +40,15 @@ def test_throughput_points_have_backend_metadata(gate_points):
         CYCLES * 8 / comp.wall_seconds)
 
 
+def test_compiled_throughput_beats_interpreted(gate_points):
+    """Pattern-parallel codegen must out-simulate the event interpreter
+    even at smoke scale (recorded margin is ~30x; assert >= to stay
+    robust on loaded CI machines)."""
+    interp, comp = gate_points
+    assert comp.cycles_per_second >= interp.cycles_per_second, \
+        (comp.cycles_per_second, interp.cycles_per_second)
+
+
 def test_interpreted_rejects_patterns():
     with pytest.raises(ValueError):
         measure_gate_throughput(SMALL_PARAMS, "Gate-RTL", 2,

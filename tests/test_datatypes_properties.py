@@ -1,0 +1,208 @@
+"""Property-based laws for the SystemC-style datatypes.
+
+Hypothesis checks of the quantisation and overflow algebra the whole
+refinement chain leans on: ``Fixed`` rounding/saturation laws over the
+exact coefficient formats the SRC uses (Q1.15 at paper scale, Q1.9 at
+reduced scale, from ``src_design.params``), and the wrap/saturate laws
+of the sized integers.  Every failure replays from the seed/example
+hypothesis prints.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.datatypes.fixed import Fixed, Overflow, Rounding
+from repro.datatypes.integers import (SInt, UInt, max_signed, max_unsigned,
+                                      min_signed, saturate_signed,
+                                      saturate_unsigned, wrap_signed,
+                                      wrap_unsigned)
+from repro.src_design.params import PAPER_PARAMS, SMALL_PARAMS
+
+#: the coefficient formats actually used by the design (iwl=1: Q1.x)
+COEF_FORMATS = sorted({(PAPER_PARAMS.coef_width, 1),
+                       (SMALL_PARAMS.coef_width, 1)})
+
+widths = st.integers(min_value=1, max_value=40)
+ints = st.integers(min_value=-(1 << 48), max_value=1 << 48)
+
+
+def _ulp(wl, iwl):
+    return 1.0 / (1 << (wl - iwl))
+
+
+def _fmax(wl, iwl):
+    return max_signed(wl) * _ulp(wl, iwl)
+
+
+def _fmin(wl, iwl):
+    return min_signed(wl) * _ulp(wl, iwl)
+
+
+# ------------------------------------------------------ integer helpers
+@given(ints, widths)
+def test_wrap_is_periodic(value, width):
+    period = 1 << width
+    assert wrap_signed(value + period, width) == wrap_signed(value, width)
+    assert wrap_unsigned(value + period, width) == \
+        wrap_unsigned(value, width)
+
+
+@given(ints, widths)
+def test_wrap_lands_in_range_and_keeps_residue(value, width):
+    s = wrap_signed(value, width)
+    u = wrap_unsigned(value, width)
+    assert min_signed(width) <= s <= max_signed(width)
+    assert 0 <= u <= max_unsigned(width)
+    assert (s - value) % (1 << width) == 0
+    assert (u - value) % (1 << width) == 0
+
+
+@given(ints, widths)
+def test_saturate_is_idempotent_and_clamped(value, width):
+    s = saturate_signed(value, width)
+    u = saturate_unsigned(value, width)
+    assert saturate_signed(s, width) == s
+    assert saturate_unsigned(u, width) == u
+    assert min_signed(width) <= s <= max_signed(width)
+    assert 0 <= u <= max_unsigned(width)
+    if min_signed(width) <= value <= max_signed(width):
+        assert s == value  # identity inside the representable range
+    if 0 <= value <= max_unsigned(width):
+        assert u == value
+
+
+@given(ints, widths)
+def test_wrap_and_saturate_agree_in_range(value, width):
+    assume(min_signed(width) <= value <= max_signed(width))
+    assert wrap_signed(value, width) == saturate_signed(value, width)
+
+
+# --------------------------------------------------------- sized ints
+@given(ints, ints, widths)
+def test_sized_int_arithmetic_promotes_to_python_int(a, b, width):
+    sa, sb = SInt(width, a), SInt(width, b)
+    assert sa + sb == int(sa) + int(sb)
+    assert sa * sb == int(sa) * int(sb)
+    assert isinstance(sa + sb, int) and not isinstance(sa + sb, SInt)
+
+
+@given(ints, widths, widths)
+def test_sized_int_resize_and_saturate_laws(value, width, new_width):
+    s = SInt(width, value)
+    u = UInt(width, value)
+    assert int(s.resize(new_width)) == wrap_signed(int(s), new_width)
+    assert int(u.resize(new_width)) == wrap_unsigned(int(u), new_width)
+    assert int(s.saturated(new_width)) == saturate_signed(int(s), new_width)
+    assert int(u.saturated(new_width)) == \
+        saturate_unsigned(int(u), new_width)
+    if new_width >= width:  # widening is lossless
+        assert int(s.resize(new_width)) == int(s)
+        assert int(s.saturated(new_width)) == int(s)
+
+
+# ---------------------------------------------------------- Fixed laws
+@pytest.mark.parametrize("wl,iwl", COEF_FORMATS)
+@given(value=st.floats(min_value=-0.999, max_value=0.999,
+                       allow_nan=False, allow_infinity=False))
+@settings(max_examples=60)
+def test_round_is_within_half_ulp(wl, iwl, value):
+    fx = Fixed.from_float(value, wl, iwl, Rounding.ROUND)
+    assert abs(fx.to_float() - value) <= _ulp(wl, iwl) / 2 + 1e-12
+    assert _fmin(wl, iwl) <= fx.to_float() <= _fmax(wl, iwl)
+
+
+@pytest.mark.parametrize("wl,iwl", COEF_FORMATS)
+@given(value=st.floats(min_value=-0.999, max_value=0.999,
+                       allow_nan=False, allow_infinity=False))
+@settings(max_examples=60)
+def test_truncate_floors_truncate_zero_shrinks(wl, iwl, value):
+    ulp = _ulp(wl, iwl)
+    trn = Fixed.from_float(value, wl, iwl, Rounding.TRUNCATE)
+    assert trn.to_float() <= value + 1e-12
+    assert value - trn.to_float() < ulp + 1e-12
+    tz = Fixed.from_float(value, wl, iwl, Rounding.TRUNCATE_ZERO)
+    assert abs(tz.to_float()) <= abs(value) + 1e-12
+    assert abs(value) - abs(tz.to_float()) < ulp + 1e-12
+
+
+@pytest.mark.parametrize("wl,iwl", COEF_FORMATS)
+@given(value=st.floats(min_value=0.0, max_value=0.999,
+                       allow_nan=False, allow_infinity=False))
+@settings(max_examples=60)
+def test_truncate_zero_is_sign_symmetric(wl, iwl, value):
+    pos = Fixed.from_float(value, wl, iwl, Rounding.TRUNCATE_ZERO)
+    neg = Fixed.from_float(-value, wl, iwl, Rounding.TRUNCATE_ZERO)
+    assert neg.raw == -pos.raw
+
+
+@pytest.mark.parametrize("wl,iwl", COEF_FORMATS)
+@given(raw=st.integers())
+@settings(max_examples=60)
+def test_representable_values_round_trip_exactly(wl, iwl, raw):
+    raw = wrap_signed(raw, wl)
+    value = raw * _ulp(wl, iwl)
+    for rounding in Rounding:
+        fx = Fixed.from_float(value, wl, iwl, rounding)
+        assert fx.raw == raw, rounding
+
+
+@pytest.mark.parametrize("wl,iwl", COEF_FORMATS)
+@given(value=st.floats(min_value=-8.0, max_value=8.0,
+                       allow_nan=False, allow_infinity=False))
+@settings(max_examples=60)
+def test_saturate_clamps_wrap_keeps_residue(wl, iwl, value):
+    sat = Fixed.from_float(value, wl, iwl, Rounding.TRUNCATE,
+                           Overflow.SATURATE)
+    assert min_signed(wl) <= sat.raw <= max_signed(wl)
+    if value > _fmax(wl, iwl):
+        assert sat.raw == max_signed(wl)
+    if value < _fmin(wl, iwl):
+        assert sat.raw == min_signed(wl)
+    import math
+    unclamped = math.floor(value * (1 << (wl - iwl)))
+    wrapped = Fixed.from_float(value, wl, iwl, Rounding.TRUNCATE,
+                               Overflow.WRAP)
+    assert wrapped.raw == wrap_signed(unclamped, wl)
+
+
+@pytest.mark.parametrize("wl,iwl", COEF_FORMATS)
+@given(raw=st.integers(), extra=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60)
+def test_quantize_round_trip_through_wider_format(wl, iwl, raw, extra):
+    """Widening the fraction is exact; quantising back recovers raw."""
+    fx = Fixed(wl, iwl, raw)
+    wide = fx.quantize(wl + extra, iwl)
+    assert wide.to_float() == fx.to_float()
+    for rounding in Rounding:
+        back = wide.quantize(wl, iwl, rounding)
+        assert back.raw == fx.raw, rounding
+
+
+@pytest.mark.parametrize("wl,iwl", COEF_FORMATS)
+@given(raw=st.integers(), drop=st.integers(min_value=1, max_value=6))
+@settings(max_examples=60)
+def test_quantize_narrowing_round_within_half_ulp(wl, iwl, raw, drop):
+    assume(wl - drop > iwl)
+    fx = Fixed(wl, iwl, raw)
+    narrow = fx.quantize(wl - drop, iwl, Rounding.ROUND)
+    assume(min_signed(wl - drop) < narrow.raw < max_signed(wl - drop))
+    assert abs(narrow.to_float() - fx.to_float()) <= \
+        _ulp(wl - drop, iwl) / 2
+
+
+def test_coefficient_rom_fits_declared_format():
+    """The quantised prototype filter must fit Q1.(coef_width-1) --
+    ties the property suite back to the real coefficient ROM."""
+    from repro.src_design.coefficients import build_rom
+
+    for params in (SMALL_PARAMS, PAPER_PARAMS):
+        lo = min_signed(params.coef_width)
+        hi = max_signed(params.coef_width)
+        rom = build_rom(params)
+        assert len(rom) == params.rom_depth
+        for coef in rom:
+            assert lo <= coef <= hi
+            # the stored integer is exactly what Fixed quantisation gives
+            value = coef / (1 << params.coef_frac_bits)
+            fx = Fixed.from_float(value, params.coef_width, 1)
+            assert fx.raw == coef

@@ -125,7 +125,7 @@ def _make_program(seed):
     return prog
 
 
-def _run(dut, get, x, y, max_cycles=200):
+def _run(dut, get, x, y, max_cycles=200, label=""):
     dut.set_input("x", x)
     dut.set_input("y", y)
     dut.set_input("go", 1)
@@ -133,7 +133,7 @@ def _run(dut, get, x, y, max_cycles=200):
         dut.step()
         if get("done"):
             return get("o0"), get("o1")
-    raise AssertionError("no done pulse")
+    raise AssertionError(f"no done pulse ({label or 'unseeded run'})")
 
 
 def _build_rtl(prog, share):
@@ -161,8 +161,9 @@ def test_interpreter_matches_generated_rtl(seed):
     vec = random.Random(seed + 1)
     for _ in range(3):
         x, y = vec.randrange(256), vec.randrange(256)
-        expected = _run(interp, interp.get_output, x, y)
-        got = _run(rtl, rtl.get, x, y)
+        expected = _run(interp, interp.get_output, x, y,
+                        label=f"seed {seed}")
+        got = _run(rtl, rtl.get, x, y, label=f"seed {seed}")
         assert got == expected, f"seed {seed}"
 
 
@@ -176,7 +177,8 @@ def test_shared_binding_preserves_behaviour(seed):
     vec = random.Random(seed + 9)
     for _ in range(3):
         x, y = vec.randrange(256), vec.randrange(256)
-        assert _run(a, a.get, x, y) == _run(b, b.get, x, y), f"seed {seed}"
+        assert _run(a, a.get, x, y, label=f"seed {seed}") == \
+            _run(b, b.get, x, y, label=f"seed {seed}"), f"seed {seed}"
 
 
 @settings(max_examples=4, deadline=None)
@@ -190,5 +192,6 @@ def test_gates_match_interpreter(seed):
     gate.set_input("scan_en", 0)
     vec = random.Random(seed + 3)
     x, y = vec.randrange(256), vec.randrange(256)
-    assert _run(gate, gate.get, x, y) == \
-        _run(interp, interp.get_output, x, y), f"seed {seed}"
+    assert _run(gate, gate.get, x, y, label=f"seed {seed}") == \
+        _run(interp, interp.get_output, x, y,
+             label=f"seed {seed}"), f"seed {seed}"

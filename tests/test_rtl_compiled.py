@@ -36,13 +36,16 @@ def drive_and_compare(module, cycles=30, seed=0):
         interp.step()
         comp.step()
         for out in module.output_names():
-            assert interp.get(out) == comp.get(out), (out, cycle)
+            assert interp.get(out) == comp.get(out), \
+                (out, cycle, f"seed {seed}")
     for mem in module.memories:
-        assert interp.peek_memory(mem.name) == comp.peek_memory(mem.name)
+        assert interp.peek_memory(mem.name) == comp.peek_memory(mem.name), \
+            (mem.name, f"seed {seed}")
     interp.reset()
     comp.reset()
     for out in module.output_names():
-        assert interp.get(out) == comp.get(out), ("after reset", out)
+        assert interp.get(out) == comp.get(out), \
+            ("after reset", out, f"seed {seed}")
 
 
 # ------------------------------------------------------------- dispatch

@@ -31,7 +31,7 @@ def _equiv_check(module, vectors=100, seed=0):
         rtl.step()
         gate.step()
         for o in outs:
-            assert rtl.get(o) == gate.get(o), o
+            assert rtl.get(o) == gate.get(o), (o, f"seed {seed}")
     return before, after
 
 
