@@ -7,6 +7,7 @@ Usage::
     python -m repro fig10           # area comparison (Figure 10)
     python -m repro refine          # bit-accuracy verification of the chain
     python -m repro verify          # differential fuzzing across levels
+    python -m repro fi              # fault-injection dependability campaign
     python -m repro bug             # the golden-model bug story
     python -m repro metrics         # model complexity across levels
     python -m repro profile         # simulation-time split (Section 5.1)
@@ -23,9 +24,19 @@ fuzzing of all levels against the golden model with counterexample
 shrinking and coverage.  Options: ``--levels alg,tlm,beh,rtl,gate``
 (also: tlm-mono, beh-unopt, rtl-unopt, vhdl, gate-beh), ``--seed N``,
 ``--budget smoke|small|medium|large``, ``--backend
-interpreted|compiled|both``, ``--out DIR`` (write coverage and
-counterexample artefacts), ``--self-check`` (inject a netlist mutation
-that must be caught and shrunk).
+interpreted|compiled|both``, ``--jobs N`` (fan the cases out over a
+worker pool), ``--out DIR`` (write coverage and counterexample
+artefacts), ``--self-check`` (inject a netlist mutation that must be
+caught and shrunk).
+
+``fi`` runs a fault-injection campaign against the refined SRC and
+classifies every fault as masked, sdc, detected or hang.  Options:
+``--level rtl|gate``, ``--model stuck0,stuck1,pulse,seu`` (default:
+all), ``--n-faults N``, ``--jobs N``, ``--seed N``, ``--budget
+smoke|small|medium|large`` (workload length), ``--out DIR`` (write the
+campaign report and ``BENCH_fi.json``), ``--self-check`` (additionally
+classify a known-SDC and a known-masked fault, and fail unless both
+land where they must).
 """
 
 from __future__ import annotations
@@ -168,6 +179,7 @@ def cmd_verify(args) -> None:
         backend=_option(args, "--backend", "both"),
         seed=int(_option(args, "--seed", "0")),
         budget=_option(args, "--budget", "small"),
+        jobs=int(_option(args, "--jobs", "1")),
     )
     if "--self-check" in args:
         report = run_self_check(config)
@@ -182,6 +194,37 @@ def cmd_verify(args) -> None:
         index = write_verify_artifacts(report, out_dir)
         print(index.format())
     if not report.passed:
+        raise SystemExit(1)
+
+
+def cmd_fi(args) -> None:
+    from .fi import FAULT_MODELS, CampaignConfig, run_campaign, \
+        run_fi_self_check
+    from .flow import write_fi_artifacts
+    from .flow.artifacts import write_fi_bench_json
+
+    models = _option(args, "--model", ",".join(FAULT_MODELS))
+    config = CampaignConfig(
+        params=_params(args, SMALL_PARAMS),
+        level=_option(args, "--level", "gate"),
+        n_faults=int(_option(args, "--n-faults", "100")),
+        jobs=int(_option(args, "--jobs", "1")),
+        seed=int(_option(args, "--seed", "0")),
+        budget=_option(args, "--budget", "small"),
+        models=tuple(m.strip() for m in models.split(",") if m.strip()),
+        exhaustive="--exhaustive" in args,
+    )
+    report = run_campaign(config)
+    if "--self-check" in args:
+        report.self_check = run_fi_self_check(config)
+    print(report.format())
+    out_dir = _option(args, "--out", None)
+    if out_dir:
+        index = write_fi_artifacts(report, out_dir)
+        print(index.format())
+    else:
+        print(f"wrote {write_fi_bench_json(report)}")
+    if report.self_check is not None and not report.self_check.passed:
         raise SystemExit(1)
 
 
@@ -203,6 +246,7 @@ COMMANDS = {
     "fig10": cmd_fig10,
     "refine": cmd_refine,
     "verify": cmd_verify,
+    "fi": cmd_fi,
     "bug": cmd_bug,
     "metrics": cmd_metrics,
     "profile": cmd_profile,
@@ -210,7 +254,7 @@ COMMANDS = {
 }
 
 #: commands ``all`` skips: they write to disk or run a long fuzz budget
-SKIP_IN_ALL = ("artifacts", "verify")
+SKIP_IN_ALL = ("artifacts", "verify", "fi")
 
 
 def main(argv=None) -> int:

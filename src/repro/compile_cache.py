@@ -23,6 +23,13 @@ class CacheStats:
     misses: int
     entries: int
 
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Fold counters of another snapshot in (entry counts do not
+        add across processes; the larger store wins)."""
+        return CacheStats(self.hits + other.hits,
+                          self.misses + other.misses,
+                          max(self.entries, other.entries))
+
     def format(self) -> str:
         return (f"compile cache: {self.entries} entries, "
                 f"{self.hits} hits, {self.misses} misses")
@@ -49,6 +56,17 @@ class CompileCache:
         program = factory()
         self._store[key] = program
         return program
+
+    def absorb(self, hits: int, misses: int) -> None:
+        """Fold hit/miss counters observed elsewhere into this cache.
+
+        Worker processes of a fault-injection campaign or a parallel
+        verification run each hold their own process-local cache; their
+        per-task counter deltas are shipped back and absorbed here so
+        the parent's reported stats cover the whole run.
+        """
+        self.hits += hits
+        self.misses += misses
 
     def clear(self) -> None:
         self._store.clear()

@@ -1,0 +1,624 @@
+"""Fault-injection campaign runner.
+
+Ties the subsystem together: a seeded workload from the verification
+harness's stimulus generator, a seeded faultload over the injectable
+spaces, and lockstep execution of every fault against the
+schedule-matched golden model -- the dependability-assessment
+counterpart of the flow's bit-accuracy refinement checks.
+
+Execution strategies:
+
+* **gate level, compiled** -- parallel-fault simulation: faults are
+  batched into one saboteur overlay and run through the compiled
+  backend's pattern planes, pattern 0 carrying the fault-free run as an
+  in-flight golden cross-check.  One codegen pass and one simulation
+  sweep classify a whole batch.
+* **gate level, interpreted** -- one saboteur overlay and one
+  selective-trace simulation per fault (the throughput baseline).
+* **rtl** -- per-fault register-bit flips poked straight into the
+  simulator environment, on either RTL engine.
+
+Campaigns scale across a ``multiprocessing`` worker pool
+(:func:`parallel_map`); classification is a pure function of
+``(fault, workload)``, so any job count produces identical records,
+and per-task compile-cache deltas are shipped back to the parent so
+cache statistics stay correct under ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datatypes import logic as L
+from ..datatypes.integers import wrap_signed
+from ..flow.refinement import Level, build_module
+from ..gatesim import COMPILE_CACHE, GateSimulator
+from ..rtl import RTL_COMPILE_CACHE, RtlSimulator
+from ..src_design.params import SrcParams
+from ..src_design.schedule import KIND_IN, KIND_MODE, KIND_OUT, make_schedule
+from ..src_design.testbench import RtlDutDriver
+from ..synth import synthesize
+from ..verify.runner import golden_outputs
+from ..verify.stimulus import StimulusCase, generate_cases
+from .faultload import generate_gate_faultload, generate_rtl_faultload
+from .faults import FAULT_MODELS, Fault, build_overlay, control_name
+from .report import (CampaignReport, FaultRecord, SelfCheckResult,
+                     Throughput)
+
+#: campaign levels (the two clocked implementation extremes)
+LEVELS = ("rtl", "gate")
+
+
+class CampaignError(RuntimeError):
+    """Raised for campaign-harness failures (never for fault effects)."""
+
+
+#: workload sizes per budget name: input samples driven through the SRC
+BUDGET_FRAMES = {"smoke": 8, "small": 12, "medium": 24, "large": 64}
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything a campaign needs; fully determines its outcome."""
+
+    params: SrcParams
+    level: str = "gate"              # 'gate' | 'rtl'
+    n_faults: int = 100
+    jobs: int = 1
+    seed: int = 0
+    budget: str = "small"            # workload size, see BUDGET_FRAMES
+    models: Tuple[str, ...] = FAULT_MODELS
+    exhaustive: bool = False
+    #: faults per compiled-overlay batch (plus pattern 0 = fault-free)
+    batch_size: int = 31
+    #: faults re-run on the interpreted engine for the throughput probe
+    probe_faults: int = 16
+
+    def validated(self) -> "CampaignConfig":
+        if self.level not in LEVELS:
+            raise CampaignError(
+                f"unknown level {self.level!r} (expected one of {LEVELS})")
+        if self.budget not in BUDGET_FRAMES:
+            raise CampaignError(
+                f"unknown budget {self.budget!r} "
+                f"(known: {', '.join(BUDGET_FRAMES)})")
+        if self.n_faults < 1:
+            raise CampaignError("n_faults must be >= 1")
+        if self.batch_size < 1:
+            raise CampaignError("batch_size must be >= 1")
+        return self
+
+
+@dataclass
+class Workload:
+    """One stimulus case prepared for cycle-accurate lockstep."""
+
+    case: StimulusCase
+    golden: List[Tuple[int, ...]]
+    by_tick: Dict[int, List[object]]
+    last_tick: int
+    cycle_budget: int
+
+    @property
+    def expected(self) -> int:
+        return len(self.golden)
+
+
+def make_workload(params: SrcParams, seed: int, budget: str) -> Workload:
+    """Build the campaign workload: stimulus, schedule, golden outputs.
+
+    The workload is the first case the verification harness would fuzz
+    with the same seed (kind ``random``), run over the clock-quantised
+    schedule -- so fault outcomes are judged against exactly the golden
+    stream the differential harness uses.
+    """
+    n_inputs = BUDGET_FRAMES[budget]
+    case = generate_cases(params, seed, 1, n_inputs)[0]
+    golden = [tuple(f) for f in golden_outputs(params, case,
+                                               quantized=True)]
+    schedule = make_schedule(params, case.mode, case.n_inputs,
+                             quantized=True,
+                             mode_changes=case.mode_changes)
+    clk = params.clock_period_ps
+    by_tick: Dict[int, List[object]] = {}
+    last_tick = 0
+    for ev in schedule:
+        tick = int(ev.time_ps // clk)
+        by_tick.setdefault(tick, []).append(ev)
+        last_tick = max(last_tick, tick)
+    cycle_budget = last_tick + params.max_latency_cycles + 8
+    return Workload(case, golden, by_tick, last_tick, cycle_budget)
+
+
+def build_campaign_netlist(params: SrcParams) -> "object":
+    """The gate-level DUT of the campaign: the synthesised RTL netlist.
+
+    Synthesis inserts the scan chain (the paper's area numbers include
+    one in every design), which guarantees
+    :func:`repro.fi.targets.flop_targets` enumerates the complete state
+    space.  ``scan_en`` stays 0 throughout the workload, so the scan
+    netlist is workload-equivalent to the plain one.
+    """
+    return synthesize(build_module(params, Level.GATE_RTL))
+
+
+def _drive_workload_inputs(sim, events) -> None:
+    """Drive one tick's schedule events on the DUT inputs (broadcast)."""
+    frame = None
+    cfg = None
+    req = False
+    for ev in events:
+        if ev.kind == KIND_IN:
+            frame = ev.value
+        elif ev.kind == KIND_OUT:
+            req = True
+        elif ev.kind == KIND_MODE:
+            cfg = ev.value
+    sim.set_input("in_valid", 1 if frame is not None else 0)
+    if frame is not None:
+        sim.set_input("in_l", frame[0])
+        sim.set_input("in_r", frame[1])
+    sim.set_input("cfg_valid", 1 if cfg is not None else 0)
+    if cfg is not None:
+        sim.set_input("cfg_mode", cfg)
+    sim.set_input("out_req", 1 if req else 0)
+
+
+def _resolve_frames(workload: Workload):
+    """Replace KIND_IN event values (input indices) with sample frames."""
+    by_tick: Dict[int, List[object]] = {}
+    inputs = workload.case.inputs
+    for tick, events in workload.by_tick.items():
+        out = []
+        for ev in events:
+            if ev.kind == KIND_IN:
+                ev = replace(ev, value=inputs[ev.value])
+            out.append(ev)
+        by_tick[tick] = out
+    return by_tick
+
+
+def _classify(fault: Fault, outputs, detected, golden) -> FaultRecord:
+    """Map one fault's observed behaviour onto the outcome taxonomy."""
+    if detected is not None:
+        cycle, detail = detected
+        return FaultRecord(fault, "detected", detected_cycle=cycle,
+                           detail=detail, n_outputs=len(outputs))
+    if len(outputs) < len(golden):
+        return FaultRecord(fault, "hang", n_outputs=len(outputs))
+    for i, (got, want) in enumerate(zip(outputs, golden)):
+        if got != want:
+            return FaultRecord(fault, "sdc", first_frame=i,
+                               n_outputs=len(outputs))
+    return FaultRecord(fault, "masked", n_outputs=len(outputs))
+
+
+# ----------------------------------------------------------------------
+# gate level: parallel-fault batches on the compiled backend
+# ----------------------------------------------------------------------
+
+def run_gate_batch(netlist, workload: Workload, faults: Sequence[Fault],
+                   params: SrcParams) -> List[FaultRecord]:
+    """Classify a batch of gate-level faults in one compiled sweep.
+
+    Builds a single overlay carrying every structural fault, simulates
+    ``len(faults) + 1`` patterns at once -- pattern 0 fault-free, pattern
+    ``b + 1`` with fault ``b``'s control asserted per its schedule --
+    and diffs each pattern's output stream against the golden model.
+    The fault-free pattern doubles as an in-run sanity check: if it
+    diverges from the golden model the harness itself is broken.
+    """
+    overlay = build_overlay(netlist, faults)
+    n = len(faults)
+    sim = GateSimulator(overlay.netlist, backend="compiled",
+                        n_patterns=n + 1)
+    pattern_of = {f.index: b + 1 for b, f in enumerate(faults)}
+
+    toggles: Dict[int, List[Tuple[Fault, int]]] = {}
+    mem_pokes: Dict[int, List[Fault]] = {}
+    for fault in faults:
+        if fault.target_kind == "mem":
+            mem_pokes.setdefault(fault.cycle, []).append(fault)
+        elif fault.permanent:
+            values = [0] * (n + 1)
+            values[pattern_of[fault.index]] = 1
+            sim.set_input_patterns(control_name(fault), values)
+        else:
+            toggles.setdefault(fault.cycle, []).append((fault, 1))
+            toggles.setdefault(fault.cycle + fault.duration,
+                               []).append((fault, 0))
+
+    by_tick = _resolve_frames(workload)
+    golden = workload.golden
+    expected = workload.expected
+    dw = params.data_width
+    outputs: List[List[Tuple[int, int]]] = [[] for _ in range(n + 1)]
+    detected: List[Optional[Tuple[int, str]]] = [None] * (n + 1)
+    live = list(range(n + 1))
+
+    tick = 0
+    while tick <= workload.cycle_budget and live:
+        _drive_workload_inputs(sim, by_tick.get(tick, ()))
+        for fault, value in toggles.get(tick, ()):
+            values = [0] * (n + 1)
+            values[pattern_of[fault.index]] = value
+            sim.set_input_patterns(control_name(fault), values)
+        for fault in mem_pokes.get(tick, ()):
+            model = sim.privatize_memory(fault.target,
+                                         pattern_of[fault.index])
+            model.flip_bit(fault.address, fault.bit)
+        sim.step()
+
+        v_ones, v_unks = sim.get_port_planes("out_valid")
+        valid_ones, valid_unk = v_ones[0], v_unks[0]
+        l_planes = r_planes = None
+        if valid_ones or valid_unk:
+            l_planes = sim.get_port_planes("out_l")
+            r_planes = sim.get_port_planes("out_r")
+        still_live = []
+        for p in live:
+            bit = 1 << p
+            if valid_unk & bit:
+                detected[p] = (tick, "out_valid is X")
+                continue
+            if valid_ones & bit:
+                frame = _decode_pattern(l_planes, r_planes, p, dw)
+                if frame is None:
+                    detected[p] = (tick, "output data is X")
+                    continue
+                outputs[p].append(frame)
+                if len(outputs[p]) >= expected:
+                    continue  # pattern finished its stream
+            still_live.append(p)
+        live = still_live
+        tick += 1
+
+    if detected[0] is not None or outputs[0] != golden:
+        raise CampaignError(
+            f"fault-free pattern diverged from the golden model on "
+            f"overlay {overlay.netlist.name!r} -- campaign harness bug")
+    return [_classify(fault, outputs[b + 1], detected[b + 1], golden)
+            for b, fault in enumerate(faults)]
+
+
+def _decode_pattern(l_planes, r_planes, p: int,
+                    data_width: int) -> Optional[Tuple[int, int]]:
+    """Extract pattern *p*'s (out_l, out_r) frame; None when any bit
+    is X."""
+    bit = 1 << p
+    frame = []
+    for ones, unks in (l_planes, r_planes):
+        value = 0
+        for i in range(len(ones)):
+            if unks[i] & bit:
+                return None
+            if ones[i] & bit:
+                value |= 1 << i
+        frame.append(wrap_signed(value, data_width))
+    return (frame[0], frame[1])
+
+
+# ----------------------------------------------------------------------
+# gate level: one fault per run (interpreted-engine baseline)
+# ----------------------------------------------------------------------
+
+def run_gate_fault_scalar(netlist, workload: Workload, fault: Fault,
+                          params: SrcParams,
+                          backend: str = "interpreted") -> FaultRecord:
+    """Classify one gate-level fault with a single-pattern simulation."""
+    overlay = build_overlay(netlist, [fault])
+    by_tick = _resolve_frames(workload)
+    golden = workload.golden
+    expected = workload.expected
+    dw = params.data_width
+    outputs: List[Tuple[int, int]] = []
+    detected: Optional[Tuple[int, str]] = None
+    tick = 0
+    try:
+        sim = GateSimulator(overlay.netlist, backend=backend)
+        ctrl = control_name(fault) if fault.structural else None
+        ctrl_state = 0
+        while tick <= workload.cycle_budget and len(outputs) < expected:
+            _drive_workload_inputs(sim, by_tick.get(tick, ()))
+            if ctrl is not None:
+                want = 1 if fault.active(tick) else 0
+                if want != ctrl_state:
+                    sim.set_input(ctrl, want)
+                    ctrl_state = want
+            elif fault.target_kind == "mem" and tick == fault.cycle:
+                sim.memory_model(fault.target).flip_bit(
+                    fault.address, fault.bit)
+            sim.step()
+            valid = sim.get_logic("out_valid")[0]
+            if valid not in (L.L0, L.L1):
+                detected = (tick, "out_valid is X")
+                break
+            if valid == L.L1:
+                frame = []
+                for port in ("out_l", "out_r"):
+                    bits = sim.get_logic(port)
+                    if any(b not in (L.L0, L.L1) for b in bits):
+                        detected = (tick, "output data is X")
+                        break
+                    frame.append(wrap_signed(
+                        sum(1 << i for i, b in enumerate(bits)
+                            if b == L.L1), dw))
+                if detected is not None:
+                    break
+                outputs.append((frame[0], frame[1]))
+            tick += 1
+    except Exception as exc:  # simulator check fired: the fault was caught
+        detected = (tick, f"{type(exc).__name__}: {exc}")
+    return _classify(fault, outputs, detected, golden)
+
+
+# ----------------------------------------------------------------------
+# rtl level: register-bit flips poked into the simulator environment
+# ----------------------------------------------------------------------
+
+def run_rtl_fault(module, workload: Workload, fault: Fault,
+                  params: SrcParams,
+                  backend: str = "interpreted") -> FaultRecord:
+    """Classify one RTL register SEU on either RTL engine.
+
+    The flip is applied to the simulator environment at the start of
+    the injection cycle, so all logic evaluated on that cycle -- and the
+    next-state functions -- see the upset value, matching the gate-level
+    XOR saboteur's observation window.
+    """
+    by_tick = _resolve_frames(workload)
+    golden = workload.golden
+    expected = workload.expected
+    outputs: List[Tuple[int, int]] = []
+    detected: Optional[Tuple[int, str]] = None
+    tick = 0
+    try:
+        sim = RtlSimulator(module, backend=backend)
+        driver = RtlDutDriver(sim, params)
+        while tick <= workload.cycle_budget and len(outputs) < expected:
+            if tick == fault.cycle:
+                sim.env[fault.target] = (
+                    sim.env[fault.target] ^ (1 << fault.bit))
+                sim.settle()
+            frame = None
+            cfg = None
+            req = False
+            for ev in by_tick.get(tick, ()):
+                if ev.kind == KIND_IN:
+                    frame = ev.value
+                elif ev.kind == KIND_OUT:
+                    req = True
+                elif ev.kind == KIND_MODE:
+                    cfg = ev.value
+            result = driver.cycle(frame=frame, cfg=cfg, req=req)
+            if result is not None:
+                outputs.append(tuple(result))
+            tick += 1
+    except Exception as exc:  # model check fired: the fault was caught
+        detected = (tick, f"{type(exc).__name__}: {exc}")
+    return _classify(fault, outputs, detected, golden)
+
+
+# ----------------------------------------------------------------------
+# worker pool
+# ----------------------------------------------------------------------
+
+#: per-process campaign state, (re)built by :func:`_init_worker`
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(params: SrcParams, level: str, seed: int,
+                 budget: str) -> None:
+    """(Re)build per-process campaign state.
+
+    Pure function of its arguments, so forked workers (which inherit
+    the parent's state -- detected via the key check) skip the rebuild,
+    while spawned workers reconstruct identical state from scratch.
+    """
+    key = (params, level, seed, budget)
+    if _WORKER.get("key") == key:
+        return
+    _WORKER.clear()
+    _WORKER["key"] = key
+    _WORKER["params"] = params
+    _WORKER["workload"] = make_workload(params, seed, budget)
+    if level == "gate":
+        _WORKER["netlist"] = build_campaign_netlist(params)
+    else:
+        _WORKER["module"] = build_module(params, Level.RTL_OPT)
+
+
+def cache_counters() -> Tuple[int, int, int, int]:
+    """Snapshot of this process's compile-cache hit/miss counters.
+
+    Pool tasks snapshot before/after their work and ship the deltas
+    back; :func:`absorb_cache_deltas` folds them into the parent's
+    caches so reported stats cover every worker process.
+    """
+    g, r = COMPILE_CACHE.stats, RTL_COMPILE_CACHE.stats
+    return (g.hits, g.misses, r.hits, r.misses)
+
+
+def _gate_batch_task(faults: Sequence[Fault]):
+    """Pool task: classify one batch; returns records + cache deltas."""
+    before = cache_counters()
+    try:
+        records = run_gate_batch(_WORKER["netlist"], _WORKER["workload"],
+                                 faults, _WORKER["params"])
+    except CampaignError:
+        raise
+    except Exception:
+        # a whole-batch failure cannot be attributed to one fault:
+        # isolate by re-running each fault in its own single-pattern run
+        records = [
+            run_gate_fault_scalar(_WORKER["netlist"], _WORKER["workload"],
+                                  fault, _WORKER["params"],
+                                  backend="compiled")
+            for fault in faults
+        ]
+    after = cache_counters()
+    return records, tuple(a - b for a, b in zip(after, before))
+
+
+def _rtl_fault_task(fault: Fault):
+    """Pool task: classify one RTL fault; returns record + cache deltas."""
+    before = cache_counters()
+    record = run_rtl_fault(_WORKER["module"], _WORKER["workload"], fault,
+                           _WORKER["params"], backend="compiled")
+    after = cache_counters()
+    return record, tuple(a - b for a, b in zip(after, before))
+
+
+def parallel_map(fn, tasks: Sequence, jobs: int,
+                 initializer=None, initargs=()) -> List:
+    """``map(fn, tasks)`` over a worker pool, order-preserving.
+
+    With ``jobs <= 1`` (or a single task) everything runs in-process.
+    Fork is preferred -- workers inherit built state for free -- with
+    spawn as the fallback; *initializer* must rebuild any needed state
+    deterministically, which keeps both start methods equivalent.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(task) for task in tasks]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    with ctx.Pool(min(jobs, len(tasks)), initializer, initargs) as pool:
+        return pool.map(fn, tasks)
+
+
+def absorb_cache_deltas(deltas) -> None:
+    """Fold worker cache deltas into the parent's caches."""
+    gh = gm = rh = rm = 0
+    for d in deltas:
+        gh += d[0]
+        gm += d[1]
+        rh += d[2]
+        rm += d[3]
+    COMPILE_CACHE.absorb(gh, gm)
+    RTL_COMPILE_CACHE.absorb(rh, rm)
+
+
+# ----------------------------------------------------------------------
+# campaign entry points
+# ----------------------------------------------------------------------
+
+def run_campaign(config: CampaignConfig) -> CampaignReport:
+    """Run a full fault-injection campaign per *config*.
+
+    Classifies every fault on the compiled engine (batched at gate
+    level), then re-runs a probe slice on the interpreted engine to
+    measure both engines' injection throughput -- cross-checking that
+    the probe's classifications agree exactly.
+    """
+    config = config.validated()
+    _init_worker(config.params, config.level, config.seed, config.budget)
+    workload: Workload = _WORKER["workload"]  # type: ignore[assignment]
+
+    if config.level == "gate":
+        netlist = _WORKER["netlist"]
+        faults = generate_gate_faultload(
+            netlist, config.n_faults, config.seed, workload.cycle_budget,
+            models=config.models, exhaustive=config.exhaustive)
+        design = netlist.name
+        tasks = [faults[i:i + config.batch_size]
+                 for i in range(0, len(faults), config.batch_size)]
+        task_fn = _gate_batch_task
+    else:
+        module = _WORKER["module"]
+        faults = generate_rtl_faultload(
+            module, config.n_faults, config.seed, workload.cycle_budget,
+            exhaustive=config.exhaustive)
+        design = module.name
+        tasks = list(faults)
+        task_fn = _rtl_fault_task
+
+    t0 = time.perf_counter()
+    results = parallel_map(
+        task_fn, tasks, config.jobs, initializer=_init_worker,
+        initargs=(config.params, config.level, config.seed, config.budget))
+    compiled_wall = time.perf_counter() - t0
+    if config.jobs > 1 and len(tasks) > 1:
+        # pool runs hit worker-local caches; in-process runs already
+        # counted against the parent's, so absorbing would double-count
+        absorb_cache_deltas([r[1] for r in results])
+    if config.level == "gate":
+        records = [rec for batch, _ in results for rec in batch]
+    else:
+        records = [rec for rec, _ in results]
+
+    # interpreted-engine probe: same faults, same classifications
+    probe = faults[:min(config.probe_faults, len(faults))]
+    t0 = time.perf_counter()
+    for fault, compiled_record in zip(probe, records):
+        if config.level == "gate":
+            interp = run_gate_fault_scalar(
+                _WORKER["netlist"], workload, fault, config.params,
+                backend="interpreted")
+        else:
+            interp = run_rtl_fault(
+                _WORKER["module"], workload, fault, config.params,
+                backend="interpreted")
+        if interp.outcome != compiled_record.outcome:
+            raise CampaignError(
+                f"engines disagree on {fault.format()}: interpreted says "
+                f"{interp.outcome}, compiled says "
+                f"{compiled_record.outcome}")
+    interp_wall = time.perf_counter() - t0
+
+    report = CampaignReport(
+        level=config.level, design=design, seed=config.seed,
+        budget=config.budget, jobs=config.jobs,
+        n_workload_frames=workload.case.n_inputs,
+        cycle_budget=workload.cycle_budget, records=records,
+        throughput=[
+            Throughput("compiled", len(faults), compiled_wall),
+            Throughput("interpreted", len(probe), interp_wall),
+        ],
+        cache_stats={
+            "gate": COMPILE_CACHE.stats,
+            "rtl": RTL_COMPILE_CACHE.stats,
+        },
+    )
+    return report
+
+
+def run_fi_self_check(config: CampaignConfig) -> SelfCheckResult:
+    """Classify one known-SDC and one known-masked fault.
+
+    The known-SDC fault sticks the ``out_l`` LSB at the polarity that
+    contradicts at least one golden frame, so the stream must corrupt
+    silently.  The known-masked fault sticks ``scan_en`` at 0 -- the
+    workload never asserts scan mode, so forcing its idle value cannot
+    change anything.  Both run through the regular batch classifier;
+    misclassification of either means the campaign machinery is broken.
+    """
+    config = config.validated()
+    _init_worker(config.params, "gate", config.seed, config.budget)
+    netlist = _WORKER["netlist"]
+    workload: Workload = _WORKER["workload"]  # type: ignore[assignment]
+    if not workload.golden:
+        raise CampaignError("self-check needs a non-empty golden stream")
+
+    out_net = netlist.outputs["out_l"][0]
+    # pick the stuck polarity that some golden frame contradicts
+    if any(frame[0] & 1 for frame in workload.golden):
+        sdc_model, sdc_value = "stuck0", 0
+    else:
+        sdc_model, sdc_value = "stuck1", 1
+    sdc_fault = Fault(0, sdc_model, "gate", "net", out_net.name,
+                      uid=out_net.uid, value=sdc_value)
+
+    scan_en = netlist.inputs["scan_en"][0]
+    masked_fault = Fault(1, "stuck0", "gate", "net", scan_en.name,
+                         uid=scan_en.uid, value=0)
+
+    records = run_gate_batch(netlist, workload,
+                             [sdc_fault, masked_fault], config.params)
+    return SelfCheckResult(sdc_record=records[0],
+                           masked_record=records[1])

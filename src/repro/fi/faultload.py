@@ -1,0 +1,162 @@
+"""Faultload generation: seeded sampling over the injectable space.
+
+A faultload is a reproducible list of :class:`~repro.fi.faults.Fault`
+records.  Everything is derived from ``(target space, master seed)``:
+the generator walks the enumerated spaces of :mod:`repro.fi.targets`
+and draws faults with an explicitly seeded PRNG, so re-running a
+campaign with the same seed replays the exact same faults in the same
+order -- DAVOS-style SBFI faultload discipline.
+
+Workloads come from :mod:`repro.verify.stimulus`: the same seeded
+stimulus classes that drive the differential-verification harness
+drive the fault campaign, so a fault's outcome is judged against the
+schedule-matched golden model of the very workload it ran.
+
+``exhaustive`` mode enumerates the full cross product for small cones
+(every net x stuck-at polarity, every flop x injection cycle bucket,
+...) instead of sampling -- useful for sign-off on small designs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..rtl.ir import RtlModule
+from ..synth.netlist import Netlist
+from .faults import FAULT_MODELS, Fault, FaultError
+from .targets import (flop_targets, injectable_nets, memory_targets,
+                      register_targets)
+
+#: default pulse window length in clock cycles
+PULSE_CYCLES = 2
+
+
+def _gate_fault(model: str, index: int, rng: random.Random,
+                nets, flops, mems, max_cycle: int) -> Optional[Fault]:
+    """Draw one gate-level fault of *model*; None if no target exists."""
+    if model in ("stuck0", "stuck1"):
+        if not nets:
+            return None
+        net = rng.choice(nets)
+        return Fault(index, model, "gate", "net", net.name, uid=net.uid,
+                     value=1 if model == "stuck1" else 0)
+    if model == "pulse":
+        if not nets:
+            return None
+        net = rng.choice(nets)
+        duration = min(PULSE_CYCLES, max_cycle)
+        start = rng.randrange(max(1, max_cycle - duration))
+        return Fault(index, model, "gate", "net", net.name, uid=net.uid,
+                     value=rng.randrange(2), cycle=start,
+                     duration=duration)
+    if model == "seu":
+        # split the SEU space between flop state and memory cells,
+        # weighted by state-bit population
+        mem_bits = sum(m.depth * m.width for m in mems)
+        total = len(flops) + mem_bits
+        if not total:
+            return None
+        if rng.randrange(total) < len(flops):
+            flop = rng.choice(flops)
+            return Fault(index, model, "gate", "flop", flop.name,
+                         uid=flop.uid, cycle=rng.randrange(max_cycle))
+        macro = rng.choices(mems,
+                            weights=[m.depth * m.width for m in mems])[0]
+        return Fault(index, model, "gate", "mem", macro.name,
+                     address=rng.randrange(macro.depth),
+                     bit=rng.randrange(macro.width),
+                     cycle=rng.randrange(max_cycle))
+    raise FaultError(f"unknown fault model {model!r} "
+                     f"(known: {', '.join(FAULT_MODELS)})")
+
+
+def generate_gate_faultload(netlist: Netlist, n_faults: int, seed: int,
+                            max_cycle: int,
+                            models: Sequence[str] = FAULT_MODELS,
+                            exhaustive: bool = False) -> List[Fault]:
+    """Sample *n_faults* gate-level faults from *netlist*'s spaces.
+
+    Transient injection cycles are drawn from ``[0, max_cycle)`` -- the
+    campaign passes its workload's cycle count.  With ``exhaustive``
+    the stuck-at space is enumerated completely first (both polarities
+    over every net), then transients are sampled for the remainder.
+    """
+    for model in models:
+        if model not in FAULT_MODELS:
+            raise FaultError(f"unknown fault model {model!r} "
+                             f"(known: {', '.join(FAULT_MODELS)})")
+    if max_cycle < 1:
+        raise FaultError(f"max_cycle must be >= 1, got {max_cycle}")
+    rng = random.Random(seed)
+    nets = injectable_nets(netlist) if ("stuck0" in models
+                                       or "stuck1" in models
+                                       or "pulse" in models) else []
+    flops = flop_targets(netlist) if "seu" in models else []
+    mems = memory_targets(netlist) if "seu" in models else []
+    faults: List[Fault] = []
+    if exhaustive:
+        for net in nets:
+            for model in ("stuck0", "stuck1"):
+                if model in models and len(faults) < n_faults:
+                    faults.append(Fault(
+                        len(faults), model, "gate", "net", net.name,
+                        uid=net.uid, value=1 if model == "stuck1" else 0))
+        if "seu" in models:
+            for flop in flops:
+                if len(faults) >= n_faults:
+                    break
+                faults.append(Fault(
+                    len(faults), "seu", "gate", "flop", flop.name,
+                    uid=flop.uid, cycle=rng.randrange(max_cycle)))
+    while len(faults) < n_faults:
+        fault = _gate_fault(models[len(faults) % len(models)],
+                            len(faults), rng, nets, flops, mems,
+                            max_cycle)
+        if fault is None:
+            # this model has no targets; try the others round-robin
+            alternatives = [m for m in models
+                            if _gate_fault(m, len(faults), random.Random(0),
+                                           nets, flops, mems, max_cycle)]
+            if not alternatives:
+                raise FaultError(
+                    f"netlist {netlist.name!r} has no injectable targets "
+                    f"for models {list(models)}"
+                )
+            fault = _gate_fault(alternatives[0], len(faults), rng,
+                                nets, flops, mems, max_cycle)
+        faults.append(fault)
+    return faults
+
+
+def generate_rtl_faultload(module: RtlModule, n_faults: int, seed: int,
+                           max_cycle: int,
+                           exhaustive: bool = False) -> List[Fault]:
+    """Sample register-bit SEUs from *module*'s state space.
+
+    The RTL fault model is the register SEU (the paper's flow has no
+    RTL netlist to stick at); with ``exhaustive`` every register bit is
+    hit once (cycle still sampled) before sampling repeats.
+    """
+    if max_cycle < 1:
+        raise FaultError(f"max_cycle must be >= 1, got {max_cycle}")
+    regs = register_targets(module)
+    if not regs:
+        raise FaultError(f"module {module.name!r} has no registers")
+    rng = random.Random(seed)
+    faults: List[Fault] = []
+    if exhaustive:
+        for reg in regs:
+            for bit in range(reg.width):
+                if len(faults) >= n_faults:
+                    break
+                faults.append(Fault(
+                    len(faults), "seu", "rtl", "reg", reg.name, bit=bit,
+                    cycle=rng.randrange(max_cycle)))
+    weights = [reg.width for reg in regs]
+    while len(faults) < n_faults:
+        reg = rng.choices(regs, weights=weights)[0]
+        faults.append(Fault(
+            len(faults), "seu", "rtl", "reg", reg.name,
+            bit=rng.randrange(reg.width), cycle=rng.randrange(max_cycle)))
+    return faults

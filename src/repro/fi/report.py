@@ -1,0 +1,231 @@
+"""Campaign outcome records and dependability metrics.
+
+Every injected fault ends in exactly one class, the SBFI taxonomy
+adapted to this flow's observation model:
+
+* ``masked``   -- the output stream is bit-identical to the golden
+  model's: the fault had no architectural effect on this workload;
+* ``sdc``      -- silent data corruption: the run completed and
+  produced the full stream, but at least one frame differs;
+* ``detected`` -- the fault made itself visible to the checking
+  machinery before corrupting data silently: an X reached an observed
+  port or a simulator/model check fired (the gate-level analogue of
+  the flow's bit-accuracy re-validation catching a refinement bug);
+* ``hang``     -- the design failed to deliver the expected output
+  stream within the cycle budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..compile_cache import CacheStats
+from .faults import Fault
+
+#: the four outcome classes, in report order
+OUTCOMES = ("masked", "sdc", "detected", "hang")
+
+
+@dataclass
+class FaultRecord:
+    """Outcome of one injected fault."""
+
+    fault: Fault
+    outcome: str
+    #: first diverging output frame (sdc) or -1
+    first_frame: int = -1
+    #: cycle the fault became visible (detected) or -1
+    detected_cycle: int = -1
+    #: what the detection was (X on a port, model check, crash)
+    detail: str = ""
+    #: outputs delivered before the budget ran out
+    n_outputs: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        f = self.fault
+        return {
+            "index": f.index,
+            "model": f.model,
+            "level": f.level,
+            "target_kind": f.target_kind,
+            "target": f.target,
+            "bit": f.bit,
+            "address": f.address,
+            "cycle": f.cycle,
+            "duration": f.duration,
+            "outcome": self.outcome,
+            "first_frame": self.first_frame,
+            "detected_cycle": self.detected_cycle,
+            "detail": self.detail,
+            "n_outputs": self.n_outputs,
+        }
+
+    def format(self) -> str:
+        extra = ""
+        if self.outcome == "sdc":
+            extra = f" first frame {self.first_frame}"
+        elif self.outcome == "detected":
+            extra = f" at cycle {self.detected_cycle}: {self.detail}"
+        elif self.outcome == "hang":
+            extra = f" ({self.n_outputs} outputs delivered)"
+        return f"[{self.outcome.upper():8s}] {self.fault.format()}{extra}"
+
+
+@dataclass
+class Throughput:
+    """Injection throughput of one backend."""
+
+    backend: str
+    faults: int
+    wall_seconds: float
+
+    @property
+    def faults_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.faults / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "faults": self.faults,
+            "wall_seconds": self.wall_seconds,
+            "faults_per_second": self.faults_per_second,
+        }
+
+    def format(self) -> str:
+        return (f"{self.backend:12s} {self.faults:5d} faults in "
+                f"{self.wall_seconds:7.2f} s = "
+                f"{self.faults_per_second:8.1f} faults/s")
+
+
+def tally(records: Sequence[FaultRecord]) -> Dict[str, int]:
+    counts = {name: 0 for name in OUTCOMES}
+    for record in records:
+        counts[record.outcome] += 1
+    return counts
+
+
+def tally_by(records: Sequence[FaultRecord],
+             key) -> Dict[str, Dict[str, int]]:
+    out: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        out.setdefault(key(record), {n: 0 for n in OUTCOMES})[
+            record.outcome] += 1
+    return out
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced."""
+
+    level: str
+    design: str
+    seed: int
+    budget: str
+    jobs: int
+    n_workload_frames: int
+    cycle_budget: int
+    records: List[FaultRecord] = field(default_factory=list)
+    throughput: List[Throughput] = field(default_factory=list)
+    #: aggregated across parent + worker processes
+    cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
+    self_check: Optional["SelfCheckResult"] = None
+
+    @property
+    def classification(self) -> Dict[str, int]:
+        return tally(self.records)
+
+    @property
+    def by_model(self) -> Dict[str, Dict[str, int]]:
+        return tally_by(self.records, lambda r: r.fault.model)
+
+    @property
+    def by_target_kind(self) -> Dict[str, Dict[str, int]]:
+        return tally_by(self.records, lambda r: r.fault.target_kind)
+
+    def throughput_of(self, backend: str) -> Optional[Throughput]:
+        for t in self.throughput:
+            if t.backend == backend:
+                return t
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": {
+                "level": self.level,
+                "design": self.design,
+                "seed": self.seed,
+                "budget": self.budget,
+                "jobs": self.jobs,
+                "n_faults": len(self.records),
+                "workload_frames": self.n_workload_frames,
+                "cycle_budget": self.cycle_budget,
+            },
+            "classification": self.classification,
+            "by_model": self.by_model,
+            "by_target_kind": self.by_target_kind,
+            "throughput": {t.backend: t.as_dict()
+                           for t in self.throughput},
+            "cache": {name: {"hits": s.hits, "misses": s.misses,
+                             "entries": s.entries}
+                      for name, s in self.cache_stats.items()},
+            "results": [r.as_dict() for r in self.records],
+        }
+
+    def format(self, verbose: bool = False) -> str:
+        n = len(self.records)
+        counts = self.classification
+        lines = [
+            f"Fault-injection campaign: {n} faults, level={self.level}, "
+            f"design={self.design}, seed={self.seed}, "
+            f"budget={self.budget}, jobs={self.jobs}",
+            f"workload: {self.n_workload_frames} frames, "
+            f"cycle budget {self.cycle_budget}",
+        ]
+        for name in OUTCOMES:
+            share = counts[name] / n * 100 if n else 0.0
+            lines.append(f"  {name:9s} {counts[name]:5d}  ({share:5.1f}%)")
+        if self.by_model:
+            lines.append("per fault model:")
+            for model in sorted(self.by_model):
+                row = self.by_model[model]
+                total = sum(row.values())
+                cells = " ".join(f"{name}={row[name]}"
+                                 for name in OUTCOMES)
+                lines.append(f"  {model:8s} {total:5d}  {cells}")
+        if self.throughput:
+            lines.append("injection throughput:")
+            for t in self.throughput:
+                lines.append("  " + t.format())
+        for name, stats in sorted(self.cache_stats.items()):
+            lines.append(f"{name} {stats.format()} (aggregated over "
+                         f"{self.jobs} job(s))")
+        if verbose:
+            lines += ["  " + r.format() for r in self.records]
+        if self.self_check is not None:
+            lines.append(self.self_check.format())
+        return "\n".join(lines)
+
+
+@dataclass
+class SelfCheckResult:
+    """Outcome of the known-fault classification self-check."""
+
+    sdc_record: FaultRecord
+    masked_record: FaultRecord
+
+    @property
+    def passed(self) -> bool:
+        return (self.sdc_record.outcome == "sdc"
+                and self.masked_record.outcome == "masked")
+
+    def format(self) -> str:
+        lines = ["self-check (known-SDC and known-masked faults):"]
+        lines.append("  " + self.sdc_record.format())
+        lines.append("  " + self.masked_record.format())
+        lines.append("  PASS: both known faults classified correctly"
+                     if self.passed else
+                     "  FAIL: known-fault classification is wrong")
+        return "\n".join(lines)

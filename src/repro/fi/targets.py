@@ -1,0 +1,156 @@
+"""Enumeration of the injectable-target space.
+
+Single source of truth for "what can a fault land on", shared by the
+fault-injection faultload generator (:mod:`repro.fi.faultload`) and the
+verification harness's mutation self-check
+(:mod:`repro.verify.mutate`).  Everything here is a pure query over an
+already-built :class:`~repro.synth.netlist.Netlist` or
+:class:`~repro.rtl.ir.RtlModule`; nothing is mutated.
+
+Gate-level spaces:
+
+* **nets** -- every functional net (stuck-at / transient-pulse sites);
+* **flop state bits** -- every sequential cell's Q (register SEU sites);
+  scan insertion guarantees this enumeration covers the full state;
+* **memory bits** -- ``depth x width`` per macro (memory-cell SEUs);
+* **cell swaps** -- pin-compatible library-cell substitutions, derived
+  from the cell definitions rather than a hard-coded table.
+
+RTL-level space:
+
+* **register bits** -- every declared register times its width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..rtl.ir import RtlModule
+from ..synth.library import Library
+from ..synth.netlist import CellInstance, Net, Netlist
+
+
+@dataclass(frozen=True)
+class NetTarget:
+    """One injectable gate-level net."""
+
+    uid: int
+    name: str
+    is_flop_state: bool = False
+
+
+@dataclass(frozen=True)
+class MemoryTarget:
+    """One injectable memory macro (the bit space is depth x width)."""
+
+    name: str
+    depth: int
+    width: int
+    writable: bool
+
+
+@dataclass(frozen=True)
+class RegisterTarget:
+    """One injectable RTL register (the bit space is its width)."""
+
+    name: str
+    width: int
+
+
+def injectable_nets(netlist: Netlist) -> List[NetTarget]:
+    """Nets eligible for stuck-at / pulse saboteurs.
+
+    A net qualifies when forcing it is observable in principle: it
+    feeds at least one cell pin, memory-port pin or output port.
+    Constant nets are excluded (forcing a constant models a library
+    bug, not a wiring fault), as are dangling nets.
+    """
+    loaded = set()
+    for cell in netlist.cells:
+        for net in cell.pins.values():
+            loaded.add(net.uid)
+    for macro in netlist.memories:
+        for rp in macro.read_ports:
+            for net in rp.addr:
+                loaded.add(net.uid)
+            if rp.enable is not None:
+                loaded.add(rp.enable.uid)
+        for wp in macro.write_ports:
+            loaded.add(wp.enable.uid)
+            for net in wp.addr + wp.data:
+                loaded.add(net.uid)
+    for nets in netlist.outputs.values():
+        for net in nets:
+            loaded.add(net.uid)
+    flop_uids = {c.outputs["Q"].uid for c in netlist.flops()}
+    out: List[NetTarget] = []
+    for net in netlist.nets:
+        if net.kind in ("const0", "const1"):
+            continue
+        if net.uid not in loaded:
+            continue
+        out.append(NetTarget(net.uid, net.name,
+                             is_flop_state=net.uid in flop_uids))
+    return out
+
+
+def flop_targets(netlist: Netlist) -> List[NetTarget]:
+    """State bits for register SEUs: every flop's Q net.
+
+    When a scan chain is present the enumeration follows chain order --
+    scan insertion is what guarantees every flop is exposed (and the
+    scan tests pin that the chain covers ``netlist.flops()`` exactly).
+    """
+    flops = netlist.scan_chain or netlist.flops()
+    return [NetTarget(c.outputs["Q"].uid, c.name, is_flop_state=True)
+            for c in flops]
+
+
+def memory_targets(netlist: Netlist) -> List[MemoryTarget]:
+    """Memory macros whose cells can take an SEU."""
+    return [MemoryTarget(m.name, m.depth, m.width, m.writable)
+            for m in netlist.memories]
+
+
+def register_targets(module: RtlModule) -> List[RegisterTarget]:
+    """RTL registers whose bits can take an SEU."""
+    return [RegisterTarget(reg.name, reg.width)
+            for reg in module.registers]
+
+
+# ----------------------------------------------------------------------
+# pin-compatible cell substitutions (the mutation space)
+# ----------------------------------------------------------------------
+
+def derive_gate_swaps(library: Library) -> Dict[str, Tuple[str, ...]]:
+    """Pin-compatible substitutions per cell type, from the library.
+
+    Two combinational cells are swappable when they expose identical
+    input and output pin tuples -- the substituted instance then still
+    validates, simulates on both backends and hashes differently in the
+    compile cache.  Derived from the cell definitions so multi-input
+    and multi-output cells join the space automatically as the library
+    grows (the historic hand-written table only knew 2-input gates and
+    INV/BUF).
+    """
+    groups: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], List[str]] = {}
+    for cell in library.cells.values():
+        if cell.sequential:
+            continue
+        groups.setdefault((cell.inputs, cell.outputs), []).append(cell.name)
+    swaps: Dict[str, Tuple[str, ...]] = {}
+    for names in groups.values():
+        if len(names) < 2:
+            continue
+        for name in names:
+            swaps[name] = tuple(n for n in names if n != name)
+    return swaps
+
+
+def swap_targets(netlist: Netlist
+                 ) -> List[Tuple[CellInstance, Tuple[str, ...]]]:
+    """Cells with at least one pin-compatible substitution."""
+    swaps = derive_gate_swaps(netlist.library)
+    return [(cell, swaps[cell.cell_type]) for cell in netlist.cells
+            if cell.cell_type in swaps]

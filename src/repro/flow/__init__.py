@@ -1,8 +1,8 @@
 """The refinement-driven design flow: verification, synthesis, performance."""
 
 from .artifacts import (COMPILE_CACHE, ArtifactIndex, CacheStats,
-                        CompileCache, write_artifacts,
-                        write_verify_artifacts)
+                        CompileCache, write_artifacts, write_fi_artifacts,
+                        write_fi_bench_json, write_verify_artifacts)
 from .compare import ComparisonResult, compare_streams
 from .figures import render_figure8, render_figure9, render_figure10
 from .metrics import (ModelMetrics, collect_model_metrics, format_metrics,
@@ -34,5 +34,6 @@ __all__ = [
     "measure_behavioral", "measure_cycle_dut", "measure_figure8",
     "measure_kernel_cycle_dut", "measure_tlm", "run_level",
     "run_synthesis_flow", "verify_refinement", "write_artifacts",
-    "write_bench_json", "write_verify_artifacts",
+    "write_bench_json", "write_fi_artifacts", "write_fi_bench_json",
+    "write_verify_artifacts",
 ]

@@ -199,3 +199,53 @@ def write_verify_artifacts(report, directory: str) -> ArtifactIndex:
         fh.write(index.format() + "\n")
     index.add(index_path)
     return index
+
+
+def write_fi_bench_json(report, path: str = "BENCH_fi.json") -> str:
+    """Write a campaign's dependability metrics as machine-readable JSON.
+
+    *report* is a :class:`repro.fi.CampaignReport`.  Like
+    :func:`repro.flow.performance.write_bench_json`, the target
+    directory can be redirected with ``REPRO_BENCH_DIR``; returns the
+    path written.  The payload pins the campaign identity (level, seed,
+    budget), the outcome classification (total and per fault model /
+    target kind), injection throughput of both simulation engines and
+    the aggregated compile-cache counters -- enough to track
+    dependability and injection-speed trajectories across changes.
+    """
+    bench_dir = os.environ.get("REPRO_BENCH_DIR")
+    if bench_dir:
+        os.makedirs(bench_dir, exist_ok=True)
+        path = os.path.join(bench_dir, os.path.basename(path))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def write_fi_artifacts(report, directory: str) -> ArtifactIndex:
+    """Write a fault-injection campaign's artefacts.
+
+    *report* is a :class:`repro.fi.CampaignReport`.  Emits:
+
+    * ``fi_report.txt`` -- the human-readable campaign report with the
+      per-fault record list (each line is a replayable fault spec);
+    * ``BENCH_fi.json`` -- the dependability/throughput benchmark
+      payload (same schema as the repository-root ``BENCH_fi.json``).
+    """
+    os.makedirs(directory, exist_ok=True)
+    index = ArtifactIndex(directory)
+
+    report_path = os.path.join(directory, "fi_report.txt")
+    with open(report_path, "w", encoding="utf-8") as fh:
+        fh.write(report.format(verbose=True) + "\n")
+    index.add(report_path)
+
+    index.add(write_fi_bench_json(
+        report, os.path.join(directory, "BENCH_fi.json")))
+
+    index_path = os.path.join(directory, "INDEX.txt")
+    with open(index_path, "w", encoding="utf-8") as fh:
+        fh.write(index.format() + "\n")
+    index.add(index_path)
+    return index

@@ -518,6 +518,60 @@ class CompiledGateSimulator:
                 ones &= ones - 1
         return out
 
+    def get_port_planes(self, name: str) -> Tuple[List[int], List[int]]:
+        """Read a port as raw bitplanes: per bit, (ones, unknowns).
+
+        Bit *p* of each returned plane belongs to pattern *p*.  This is
+        the bulk-observation entry point of the fault-injection
+        campaign: one call yields every pattern's view of the port with
+        plain integer ops, X included, without the per-pattern decode
+        of :meth:`get_patterns` / :meth:`get_logic_pattern`.
+        """
+        srcs = self._ports.get(name)
+        if srcs is None:
+            raise GateSimError(f"no port named {name!r}")
+        self._ensure_settled()
+        ones: List[int] = []
+        unks: List[int] = []
+        for src in srcs:
+            a, x = self._planes(src)
+            ones.append(a)
+            unks.append(x)
+        return ones, unks
+
+    def memory_model(self, name: str, pattern: int = 0) -> MemoryModel:
+        """The behavioural model backing *name* for one pattern.
+
+        RAM banks diverge per pattern; ROM patterns share bank 0.  The
+        fault-injection campaign pokes pattern-private banks to model
+        memory-cell SEUs without touching the other patterns.
+        """
+        bank = self._mem_banks.get(name)
+        if bank is None:
+            raise GateSimError(f"no memory named {name!r}")
+        if not 0 <= pattern < self.n_patterns:
+            raise GateSimError(
+                f"pattern {pattern} outside 0..{self.n_patterns - 1}"
+            )
+        return bank[pattern]
+
+    def privatize_memory(self, name: str, pattern: int) -> MemoryModel:
+        """Give *pattern* its own copy of a shared (ROM) bank entry.
+
+        ROM patterns alias bank 0 to save state; injecting an SEU into
+        an aliased bank would corrupt every pattern, so the campaign
+        un-aliases the target pattern first.  Idempotent; returns the
+        pattern-private model.
+        """
+        model = self.memory_model(name, pattern)
+        bank = self._mem_banks[name]
+        if pattern > 0 and model is bank[0]:
+            macro = self._macros[name]
+            model = MemoryModel(macro.name, macro.depth, macro.width,
+                                macro.contents)
+            bank[pattern] = model
+        return model
+
     def get_logic_pattern(self, name: str, pattern: int = 0) -> List[int]:
         """Read a port of one pattern as logic values (X allowed)."""
         srcs = self._ports.get(name)

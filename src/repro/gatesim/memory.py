@@ -77,6 +77,24 @@ class MemoryModel:
             return
         self._data[address] = value & mask(self.width)
 
+    def flip_bit(self, address: int, bit: int) -> None:
+        """Flip one stored bit in place -- a memory-cell SEU.
+
+        Works on ROMs too (a configuration upset): bypasses the
+        ROM-write guard on purpose.  :meth:`reset` restores the
+        original contents either way.
+        """
+        if not 0 <= address < self.depth:
+            raise ValueError(
+                f"{self.name}: SEU address {address} outside depth "
+                f"{self.depth}"
+            )
+        if not 0 <= bit < self.width:
+            raise ValueError(
+                f"{self.name}: SEU bit {bit} outside width {self.width}"
+            )
+        self._data[address] ^= 1 << bit
+
     def reset(self) -> None:
         if self._init is not None:
             self._data[:] = self._init

@@ -251,6 +251,22 @@ class GateSimulator:
             raise GateSimError(f"no port named {name!r}")
         return [self.values[n.uid] for n in nets]
 
+    def memory_model(self, name: str, pattern: int = 0) -> MemoryModel:
+        """The behavioural model backing memory macro *name*.
+
+        *pattern* exists for API parity with the compiled backend; the
+        interpreted simulator holds a single state copy (pattern 0).
+        """
+        if pattern != 0:
+            raise GateSimError(
+                "interpreted backend simulates a single pattern; "
+                f"pattern {pattern} does not exist"
+            )
+        model = self.memories.get(name)
+        if model is None:
+            raise GateSimError(f"no memory named {name!r}")
+        return model
+
     def step(self, cycles: int = 1) -> None:
         """Advance one or more clock edges."""
         values = self.values

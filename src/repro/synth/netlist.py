@@ -182,6 +182,73 @@ class Netlist:
             MemWriteMacroPort(enable, list(addr), list(data))
         )
 
+    def clone(self, name: Optional[str] = None) -> "Netlist":
+        """A deep structural copy, preserving net uids and cell names.
+
+        With *name* unset the clone hashes identically to the original
+        (see :func:`repro.gatesim.compiled.structural_hash`); pass a new
+        name to key overlay variants -- e.g. fault-injection saboteur
+        netlists -- distinctly in the compile cache.  Mutating the clone
+        (rewiring pins, swapping cell types, inserting cells) never
+        touches the original.
+        """
+        dup = Netlist.__new__(Netlist)
+        dup.name = name if name is not None else self.name
+        dup.library = self.library
+        dup.nets = []
+        net_map: Dict[Net, Net] = {}
+        max_uid = -1
+        for net in self.nets:
+            copy = Net(net.uid, net.name)
+            copy.kind = net.kind
+            dup.nets.append(copy)
+            net_map[net] = copy
+            max_uid = max(max_uid, net.uid)
+        dup.const0 = net_map[self.const0]
+        dup.const1 = net_map[self.const1]
+        cell_map: Dict[CellInstance, CellInstance] = {}
+        dup.cells = []
+        for cell in self.cells:
+            copy_cell = CellInstance(
+                cell.name, cell.cell_type,
+                {pin: net_map[n] for pin, n in cell.pins.items()},
+                {pin: net_map[n] for pin, n in cell.outputs.items()},
+                cell.init,
+            )
+            for pin, net in copy_cell.outputs.items():
+                net.driver = (copy_cell, pin)
+            dup.cells.append(copy_cell)
+            cell_map[cell] = copy_cell
+        dup.memories = []
+        for macro in self.memories:
+            copy_macro = MemoryMacro(
+                macro.name, macro.depth, macro.width,
+                list(macro.contents) if macro.contents is not None
+                else None,
+                [MemReadMacroPort([net_map[n] for n in rp.addr],
+                                  [net_map[n] for n in rp.data],
+                                  net_map[rp.enable]
+                                  if rp.enable is not None else None)
+                 for rp in macro.read_ports],
+                [MemWriteMacroPort(net_map[wp.enable],
+                                   [net_map[n] for n in wp.addr],
+                                   [net_map[n] for n in wp.data])
+                 for wp in macro.write_ports],
+            )
+            dup.memories.append(copy_macro)
+        dup.inputs = {port: [net_map[n] for n in nets]
+                      for port, nets in self.inputs.items()}
+        dup.outputs = {port: [net_map[n] for n in nets]
+                       for port, nets in self.outputs.items()}
+        dup.scan_chain = [cell_map[c] for c in self.scan_chain]
+        dup._uid = itertools.count(max_uid + 1)
+        max_cell = -1
+        for cell in self.cells:
+            if cell.name.startswith("u") and cell.name[1:].isdigit():
+                max_cell = max(max_cell, int(cell.name[1:]))
+        dup._cell_uid = itertools.count(max_cell + 1)
+        return dup
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -163,15 +163,28 @@ class ToggleCoverage:
         return None
 
     def end(self, handle) -> None:
-        merged = self.counts.setdefault(handle.key, {})
-        for port, per_bit in handle.counts().items():
-            if port not in merged:
-                merged[port] = list(per_bit)
-            else:
-                merged[port] = [
-                    (r0 + r1, f0 + f1)
-                    for (r0, f0), (r1, f1) in zip(merged[port], per_bit)
-                ]
+        self.absorb({handle.key: handle.counts()})
+
+    def absorb(self, counts: Dict[str, Dict[str, List[Tuple[int, int]]]]
+               ) -> None:
+        """Merge another run's raw counts into this aggregate.
+
+        The parallel verification path runs each case in a worker
+        process and ships the worker's ``counts`` dict back; absorbing
+        them here keeps cross-process coverage identical to a
+        sequential run.
+        """
+        for key, ports in counts.items():
+            merged = self.counts.setdefault(key, {})
+            for port, per_bit in ports.items():
+                if port not in merged:
+                    merged[port] = [tuple(rf) for rf in per_bit]
+                else:
+                    merged[port] = [
+                        (r0 + r1, f0 + f1)
+                        for (r0, f0), (r1, f1) in zip(merged[port],
+                                                      per_bit)
+                    ]
 
     def fraction(self, key: Optional[str] = None) -> float:
         """Fraction of port bits that both rose and fell at least once."""

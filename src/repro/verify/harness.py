@@ -62,6 +62,8 @@ class VerifyConfig:
     backend: str = "both"
     seed: int = 0
     budget: str = "small"
+    #: worker processes for the case loop (1 = in-process, sequential)
+    jobs: int = 1
 
     def specs(self) -> List[LevelSpec]:
         return parse_level_specs(self.levels, self.backend)
@@ -151,8 +153,52 @@ def _shrink_failure(config: VerifyConfig, report: CaseReport,
                        max_runs=budget.shrink_runs)
 
 
+#: per-process verification state for the parallel case loop
+_WORKER: Dict[str, object] = {}
+
+
+def _init_verify_worker(params: SrcParams, levels: str,
+                        backend: str) -> None:
+    """(Re)build per-process harness state (see fi.campaign pattern:
+    pure function of its arguments, so forked workers skip the rebuild
+    and spawned workers reconstruct identical state)."""
+    key = (params, levels, backend)
+    if _WORKER.get("key") == key:
+        return
+    _WORKER.clear()
+    _WORKER["key"] = key
+    _WORKER["params"] = params
+    _WORKER["specs"] = parse_level_specs(levels, backend)
+    _WORKER["builds"] = LevelBuilds(params)
+
+
+def _verify_case_task(case: StimulusCase):
+    """Pool task: one case through the differential runner.
+
+    Returns the case report, the worker's raw toggle counts and its
+    compile-cache deltas -- everything the parent needs to keep
+    coverage and cache statistics identical to a sequential run.
+    """
+    from ..fi.campaign import cache_counters
+
+    before = cache_counters()
+    coverage = ToggleCoverage()
+    case_report = run_differential(
+        _WORKER["params"], _WORKER["specs"], case, _WORKER["builds"],
+        coverage=coverage)
+    after = cache_counters()
+    return (case_report, coverage.counts,
+            tuple(a - b for a, b in zip(after, before)))
+
+
 def run_verify(config: VerifyConfig) -> VerifyReport:
-    """Run the full differential harness per *config*."""
+    """Run the full differential harness per *config*.
+
+    With ``jobs > 1`` the (independent, seeded) cases fan out across
+    the fault-injection subsystem's worker pool; case order, coverage
+    and compile-cache statistics are preserved, and any failure is
+    shrunk in the parent, so reports are identical for every job count.
+    """
     budget = config.budget_obj()
     specs = config.specs()
     params = config.params
@@ -162,6 +208,23 @@ def run_verify(config: VerifyConfig) -> VerifyReport:
     report.toggle_coverage = ToggleCoverage()
     cases = generate_cases(params, config.seed, budget.n_cases,
                            budget.n_inputs)
+    if config.jobs > 1 and len(cases) > 1:
+        from ..fi.campaign import absorb_cache_deltas, parallel_map
+
+        results = parallel_map(
+            _verify_case_task, cases, config.jobs,
+            initializer=_init_verify_worker,
+            initargs=(params, config.levels, config.backend))
+        absorb_cache_deltas([r[2] for r in results])
+        for case, (case_report, toggle_counts, _) in zip(cases, results):
+            report.input_coverage.record_case(case.inputs)
+            report.toggle_coverage.absorb(toggle_counts)
+            report.case_reports.append(case_report)
+            if not case_report.passed:
+                shrink = _shrink_failure(config, case_report, builds,
+                                         budget)
+                report.failures.append(Failure(case_report, shrink))
+        return report
     for case in cases:
         report.input_coverage.record_case(case.inputs)
         case_report = run_differential(params, specs, case, builds,

@@ -2,32 +2,35 @@
 
 A verification harness that never sees a real bug is unfalsifiable, so
 the self-check injects one: a seeded, single-cell gate substitution
-(AND<->OR, NAND<->NOR, XOR<->XNOR, INV<->BUF) into a freshly
-synthesised netlist.  The harness must then catch the divergence
-against the golden model and shrink it to a short counterexample --
-the same discipline as DAVOS-style fault injection, used here to prove
-the *tooling* works rather than to grade the design.
+into a freshly synthesised netlist.  The harness must then catch the
+divergence against the golden model and shrink it to a short
+counterexample -- the same discipline as DAVOS-style fault injection,
+used here to prove the *tooling* works rather than to grade the design.
 
-Mutations keep pin names and counts identical, so the mutated netlist
-still validates, simulates on both backends, and hashes differently in
-the compile cache (the structural hash covers cell types).
+The substitution table is **derived from the cell library** through
+:func:`repro.fi.targets.derive_gate_swaps` -- the same
+target-enumeration module the fault-injection campaign samples from --
+so any combinational cell with a pin-compatible sibling joins the
+mutation space automatically (the historic hand-written table only knew
+2-input gates and INV/BUF).  Mutations keep pin names and counts
+identical, so the mutated netlist still validates, simulates on both
+backends, and hashes differently in the compile cache (the structural
+hash covers cell types).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..fi.targets import derive_gate_swaps
+from ..synth.library import DEFAULT_LIBRARY
 from ..synth.netlist import Netlist
 
-#: cell-type substitutions that preserve the pin interface
-GATE_SWAPS = {
-    "AND2": "OR2", "OR2": "AND2",
-    "NAND2": "NOR2", "NOR2": "NAND2",
-    "XOR2": "XNOR2", "XNOR2": "XOR2",
-    "INV": "BUF", "BUF": "INV",
-}
+#: pin-compatible substitutions per cell type, derived from the library
+#: (cell name -> tuple of alternative cell names)
+GATE_SWAPS: Dict[str, Tuple[str, ...]] = derive_gate_swaps(DEFAULT_LIBRARY)
 
 
 @dataclass(frozen=True)
@@ -45,21 +48,38 @@ class Mutation:
 
 def mutation_candidates(netlist: Netlist) -> List[str]:
     """Names of cells eligible for a pin-compatible substitution."""
+    swaps = derive_gate_swaps(netlist.library)
     return [cell.name for cell in netlist.cells
-            if cell.cell_type in GATE_SWAPS]
+            if cell.cell_type in swaps]
 
 
-def apply_mutation(netlist: Netlist, cell_name: str) -> Mutation:
-    """Swap one cell's type in place; returns the mutation record."""
+def apply_mutation(netlist: Netlist, cell_name: str,
+                   new_type: Optional[str] = None) -> Mutation:
+    """Swap one cell's type in place; returns the mutation record.
+
+    *new_type* picks a specific substitution; by default the first
+    pin-compatible alternative from the library-derived table is used
+    (deterministic, so seeded self-check runs replay).
+    """
+    swaps = derive_gate_swaps(netlist.library)
     for cell in netlist.cells:
         if cell.name == cell_name:
-            if cell.cell_type not in GATE_SWAPS:
+            alternatives = swaps.get(cell.cell_type, ())
+            if not alternatives:
                 raise ValueError(
                     f"cell {cell_name!r} of type {cell.cell_type!r} "
                     "has no pin-compatible substitution"
                 )
+            if new_type is None:
+                new_type = alternatives[0]
+            elif new_type not in alternatives:
+                raise ValueError(
+                    f"{new_type!r} is not pin-compatible with "
+                    f"{cell.cell_type!r} (alternatives: "
+                    f"{', '.join(alternatives)})"
+                )
             original = cell.cell_type
-            cell.cell_type = GATE_SWAPS[original]
+            cell.cell_type = new_type
             netlist.validate()
             return Mutation(cell_name, original, cell.cell_type)
     raise ValueError(f"no cell named {cell_name!r}")
@@ -74,7 +94,10 @@ def iter_mutations(netlist_builder, seed: int,
     yielded netlist carries exactly one mutation).  Iterating tries
     different cells until one mutation is observably wrong -- some
     mutations are masked (e.g. inside the scan chain or on a don't-care
-    cone) and the self-check simply moves on to the next.
+    cone) and the self-check simply moves on to the next.  The
+    substituted type is drawn from the same seeded stream, so cells
+    with several alternatives explore them across runs of the
+    iterator's consumer.
     """
     names = mutation_candidates(netlist_builder())
     if not names:
@@ -85,4 +108,8 @@ def iter_mutations(netlist_builder, seed: int,
         names = names[:max_mutations]
     for name in names:
         netlist = netlist_builder()
-        yield netlist, apply_mutation(netlist, name)
+        swaps = derive_gate_swaps(netlist.library)
+        cell_type = next(c.cell_type for c in netlist.cells
+                         if c.name == name)
+        new_type = rng.choice(swaps[cell_type])
+        yield netlist, apply_mutation(netlist, name, new_type)

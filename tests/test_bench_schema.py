@@ -1,9 +1,9 @@
 """Regression lock on the checked-in benchmark JSON schema.
 
-``BENCH_fig08.json`` and ``BENCH_fig09.json`` are consumed by external
-plotting and by later sessions -- any field rename or restructure is a
-silent breaking change.  These tests pin the shape (and a few semantic
-invariants) of the recorded data.
+``BENCH_fig08.json``, ``BENCH_fig09.json`` and ``BENCH_fi.json`` are
+consumed by external plotting and by later sessions -- any field rename
+or restructure is a silent breaking change.  These tests pin the shape
+(and a few semantic invariants) of the recorded data.
 """
 
 import json
@@ -85,3 +85,55 @@ def test_fig09_compiled_beats_interpreted_in_recorded_data():
     for gate in ("Gate-BEH", "Gate-RTL"):
         level = f"{gate}/throughput"
         assert by_key[(level, "compiled")] > by_key[(level, "interpreted")]
+
+
+FI_OUTCOMES = {"masked", "sdc", "detected", "hang"}
+FI_MODELS = {"stuck0", "stuck1", "pulse", "seu"}
+FI_RESULT_KEYS = {"index", "model", "level", "target_kind", "target",
+                  "bit", "address", "cycle", "duration", "outcome",
+                  "first_frame", "detected_cycle", "detail", "n_outputs"}
+
+
+def test_fi_schema():
+    doc = _load("BENCH_fi.json")
+    assert set(doc) == {"campaign", "classification", "by_model",
+                        "by_target_kind", "throughput", "cache",
+                        "results"}
+    campaign = doc["campaign"]
+    assert set(campaign) == {"level", "design", "seed", "budget", "jobs",
+                             "n_faults", "workload_frames",
+                             "cycle_budget"}
+    assert campaign["level"] in {"rtl", "gate"}
+    assert campaign["n_faults"] >= 1
+    assert campaign["cycle_budget"] > 0
+
+    # every fault lands in exactly one class
+    assert set(doc["classification"]) == FI_OUTCOMES
+    assert sum(doc["classification"].values()) == campaign["n_faults"]
+    assert len(doc["results"]) == campaign["n_faults"]
+    for row in doc["results"]:
+        assert set(row) == FI_RESULT_KEYS
+        assert row["model"] in FI_MODELS
+        assert row["outcome"] in FI_OUTCOMES
+    for table in (doc["by_model"], doc["by_target_kind"]):
+        assert sum(sum(r.values()) for r in table.values()) \
+            == campaign["n_faults"]
+
+    assert set(doc["throughput"]) == BACKENDS
+    for backend, row in doc["throughput"].items():
+        assert set(row) == {"backend", "faults", "wall_seconds",
+                            "faults_per_second"}
+        assert row["backend"] == backend
+        assert row["faults"] >= 1
+        assert row["wall_seconds"] > 0
+        assert row["faults_per_second"] > 0
+    for stats in doc["cache"].values():
+        assert set(stats) == {"hits", "misses", "entries"}
+        assert all(v >= 0 for v in stats.values())
+
+
+def test_fi_compiled_beats_interpreted_in_recorded_data():
+    doc = _load("BENCH_fi.json")
+    throughput = doc["throughput"]
+    assert throughput["compiled"]["faults_per_second"] >= \
+        throughput["interpreted"]["faults_per_second"]

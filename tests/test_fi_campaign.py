@@ -1,0 +1,115 @@
+"""Fault-injection campaign: classification, determinism, self-check.
+
+Smoke-budget campaigns over the synthesised SRC.  Everything here runs
+in tier 1 (the ``fi`` marker is informational); the deep campaign at
+the bottom additionally carries ``fuzz`` and is opt-in.
+"""
+
+import pytest
+
+from repro.fi import (BUDGET_FRAMES, CampaignConfig, CampaignError,
+                      OUTCOMES, run_campaign, run_fi_self_check)
+from repro.gatesim import COMPILE_CACHE
+from repro.src_design.params import SMALL_PARAMS
+
+pytestmark = pytest.mark.fi
+
+SMOKE = CampaignConfig(params=SMALL_PARAMS, level="gate", n_faults=24,
+                       jobs=1, seed=3, budget="smoke", probe_faults=4)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_campaign(SMOKE)
+
+
+def _classifications(report):
+    return [(r.fault.index, r.fault.model, r.fault.target,
+             r.outcome) for r in report.records]
+
+
+def test_every_fault_lands_in_exactly_one_class(smoke_report):
+    report = smoke_report
+    assert len(report.records) == SMOKE.n_faults
+    assert [r.fault.index for r in report.records] == \
+        list(range(SMOKE.n_faults))
+    for record in report.records:
+        assert record.outcome in OUTCOMES
+    assert sum(report.classification.values()) == SMOKE.n_faults
+    assert sum(sum(row.values()) for row in report.by_model.values()) \
+        == SMOKE.n_faults
+
+
+def test_report_metadata_reflects_config(smoke_report):
+    report = smoke_report
+    assert report.level == "gate"
+    assert report.seed == SMOKE.seed
+    assert report.n_workload_frames == BUDGET_FRAMES["smoke"]
+    doc = report.as_dict()
+    assert doc["campaign"]["n_faults"] == SMOKE.n_faults
+    assert len(doc["results"]) == SMOKE.n_faults
+    assert set(doc["throughput"]) == {"compiled", "interpreted"}
+
+
+def test_compiled_throughput_beats_interpreted(smoke_report):
+    compiled = smoke_report.throughput_of("compiled")
+    interp = smoke_report.throughput_of("interpreted")
+    assert compiled is not None and interp is not None
+    assert compiled.faults == SMOKE.n_faults
+    assert interp.faults == SMOKE.probe_faults
+    # parallel-fault batching must not be slower than one-at-a-time
+    # event-driven runs, even with compile time on the clock
+    assert compiled.faults_per_second >= interp.faults_per_second
+
+
+def test_same_seed_any_jobs_identical_classifications(smoke_report):
+    COMPILE_CACHE.clear()
+    pooled = run_campaign(
+        CampaignConfig(params=SMALL_PARAMS, level="gate",
+                       n_faults=SMOKE.n_faults, jobs=2, seed=SMOKE.seed,
+                       budget="smoke", probe_faults=4, batch_size=8))
+    assert _classifications(pooled) == _classifications(smoke_report)
+    # worker-process cache traffic was shipped back and aggregated:
+    # the overlay compilations happened in the pool, yet the parent's
+    # counters (cleared above) see them
+    assert pooled.cache_stats["gate"].misses > 0
+
+
+def test_rtl_level_campaign(smoke_report):
+    report = run_campaign(
+        CampaignConfig(params=SMALL_PARAMS, level="rtl", n_faults=8,
+                       jobs=1, seed=1, budget="smoke", probe_faults=2))
+    assert len(report.records) == 8
+    for record in report.records:
+        assert record.fault.level == "rtl"
+        assert record.fault.target_kind == "reg"
+        assert record.outcome in OUTCOMES
+
+
+def test_self_check_classifies_known_faults(smoke_report):
+    result = run_fi_self_check(SMOKE)
+    assert result.sdc_record.outcome == "sdc"
+    assert result.masked_record.outcome == "masked"
+    assert result.passed
+    assert "PASS" in result.format()
+
+
+def test_config_validation_rejects_nonsense():
+    with pytest.raises(CampaignError):
+        CampaignConfig(params=SMALL_PARAMS, level="netlist").validated()
+    with pytest.raises(CampaignError):
+        CampaignConfig(params=SMALL_PARAMS, budget="huge").validated()
+    with pytest.raises(CampaignError):
+        CampaignConfig(params=SMALL_PARAMS, n_faults=0).validated()
+
+
+@pytest.mark.fuzz
+def test_deep_campaign_small_budget():
+    report = run_campaign(
+        CampaignConfig(params=SMALL_PARAMS, level="gate", n_faults=200,
+                       jobs=4, seed=7, budget="small"))
+    assert len(report.records) == 200
+    assert sum(report.classification.values()) == 200
+    compiled = report.throughput_of("compiled")
+    interp = report.throughput_of("interpreted")
+    assert compiled.faults_per_second >= interp.faults_per_second
