@@ -14,13 +14,17 @@ the clocked models.
 import pytest
 
 from repro.flow import (format_results, measure_algorithmic,
-                        measure_behavioral, measure_figure8,
-                        measure_kernel_cycle_dut, measure_tlm,
-                        write_bench_json)
+                        measure_beh_throughput, measure_behavioral,
+                        measure_figure8, measure_kernel_cycle_dut,
+                        measure_tlm, write_bench_json)
 from repro.rtl import RtlSimulator
 from repro.src_design import build_rtl_design
 
 N_INPUTS = 300
+#: cycles for the batch-parallel compiled behavioural throughput point
+BATCH_CYCLES = 400
+#: parallel patterns for that point (the tentpole's headline width)
+N_PATTERNS = 64
 
 
 @pytest.fixture(scope="module")
@@ -29,29 +33,64 @@ def rtl_module(bench_params):
 
 
 def test_fig08_table(bench_params, rtl_module, capsys):
-    """Prints the Figure 8 series, asserts its shape, writes the JSON."""
+    """Prints the Figure 8 series, asserts its shape, writes the JSON.
+
+    On top of the paper's four interpreted points, the JSON records the
+    clocked levels again on the compiled backend -- the kernel-hosted
+    BEH and RTL rows (n_patterns=1) plus the batch-parallel compiled
+    behavioural throughput row (n_patterns=64), whose pattern-cycles
+    per second must clear 10x the interpreted BEH row: the headline of
+    the compiled behavioural backend.
+    """
     results = measure_figure8(bench_params, N_INPUTS,
                               rtl_module=rtl_module)
-    # the RTL point again on the compiled backend, for the perf record
+    # The kernel-hosted BEH row is dominated by kernel machinery, so
+    # the engine gap is only ~10% of the wall time; take best-of-3
+    # (minimum wall) on both engines to keep the comparison out of the
+    # timing-noise floor.
+    beh_inputs = max(40, N_INPUTS // 4)
+    beh_idx = next(i for i, r in enumerate(results) if r.level == "BEH")
+    results[beh_idx] = min(
+        [results[beh_idx]]
+        + [measure_behavioral(bench_params, beh_inputs)
+           for _ in range(2)],
+        key=lambda r: r.wall_seconds)
+    beh_compiled = min(
+        (measure_behavioral(bench_params, beh_inputs, backend="compiled")
+         for _ in range(3)),
+        key=lambda r: r.wall_seconds)
     rtl_compiled = measure_kernel_cycle_dut(
         bench_params, RtlSimulator(rtl_module, backend="compiled"),
         max(20, N_INPUTS // 8), "RTL",
     )
     rtl_compiled.backend = "compiled"
-    path = write_bench_json("BENCH_fig08.json",
-                            results + [rtl_compiled])
+    # the headline row: generated code stepping 64 patterns per call
+    beh_batch = measure_beh_throughput(bench_params, BATCH_CYCLES,
+                                       backend="compiled",
+                                       n_patterns=N_PATTERNS)
+    path = write_bench_json(
+        "BENCH_fig08.json",
+        results + [beh_compiled, rtl_compiled, beh_batch])
     with capsys.disabled():
         print()
         print(format_results(
             results, "Figure 8 -- simulation performance (cycles/second)"
         ))
+        print(f"BEH compiled backend: "
+              f"{beh_compiled.cycles_per_second:.1f} cyc/s")
         print(f"RTL compiled backend: "
               f"{rtl_compiled.cycles_per_second:.1f} cyc/s")
+        print(f"BEH compiled x{N_PATTERNS} patterns: "
+              f"{beh_batch.cycles_per_second:.1f} pattern-cyc/s")
         print(f"wrote {path}")
     speed = {r.level: r.cycles_per_second for r in results}
     assert speed["C++"] > speed["SystemC"] > speed["BEH"] > speed["RTL"]
     assert speed["C++"] > 10 * speed["BEH"]
+    # compiled never loses to interpreted on the same clocked level
+    assert beh_compiled.cycles_per_second >= speed["BEH"]
     assert rtl_compiled.cycles_per_second > speed["RTL"]
+    # the acceptance headline: >= 10x interpreted BEH at 64 patterns
+    assert beh_batch.cycles_per_second >= 10 * speed["BEH"]
 
 
 def bench_cpp(benchmark, bench_params):
@@ -66,6 +105,11 @@ def bench_behavioral(benchmark, bench_params):
     benchmark(measure_behavioral, bench_params, 48)
 
 
+def bench_behavioral_compiled_batch(benchmark, bench_params):
+    benchmark(measure_beh_throughput, bench_params, 200, "compiled",
+              N_PATTERNS)
+
+
 def bench_rtl(benchmark, bench_params, rtl_module):
     sim = RtlSimulator(rtl_module)
     benchmark(measure_kernel_cycle_dut, bench_params, sim, 24, "RTL")
@@ -75,4 +119,5 @@ def bench_rtl(benchmark, bench_params, rtl_module):
 test_bench_cpp_level = bench_cpp
 test_bench_systemc_level = bench_systemc
 test_bench_behavioral_level = bench_behavioral
+test_bench_behavioral_compiled_batch = bench_behavioral_compiled_batch
 test_bench_rtl_level = bench_rtl

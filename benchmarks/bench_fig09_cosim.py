@@ -1,10 +1,11 @@
 """Figure 9 -- co-simulation vs. native HDL simulation.
 
-Regenerates the paper's Figure 9: cycles/second for the three DUTs
-(intermediate RTL Verilog from RTL-SystemC synthesis, gates from the
-behavioural flow, gates from the RTL flow), each simulated once in the
-VHDL testbench (native, fully interpreted) and once in the SystemC
-testbench (compiled testbench through the co-simulation bridge).
+Regenerates the paper's Figure 9: cycles/second for the paper's three
+DUTs (intermediate RTL Verilog from RTL-SystemC synthesis, gates from
+the behavioural flow, gates from the RTL flow) plus the behavioural
+model behind a pin adapter, each simulated once in the VHDL testbench
+(native, fully interpreted) and once in the SystemC testbench
+(compiled testbench through the co-simulation bridge).
 
 Asserts the paper's observation: "the co-simulation of the DUT in the
 SystemC testbench is slightly faster than a native HDL simulation".
@@ -15,7 +16,7 @@ import pytest
 from repro.cosim import (CosimSimulation, NativeHdlSimulation, build_dut,
                          format_figure9, measure_figure9,
                          measure_gate_throughput)
-from repro.flow import write_bench_json
+from repro.flow import measure_beh_throughput, write_bench_json
 
 CYCLES = 1500
 GATE_CYCLES = 600
@@ -25,14 +26,27 @@ THROUGHPUT_CYCLES = 250
 N_PATTERNS = 64
 
 
+def _best_pair(params, cycles, kind, repeats=3):
+    """Best-of-N (minimum wall) per testbench side.
+
+    Native and co-sim run at parity within a few percent, so a single
+    sample sits inside the timing-noise floor; the minimum over
+    repeated runs discards load spikes on either side.
+    """
+    pairs = [measure_figure9(params, cycles, duts=[kind])[kind]
+             for _ in range(repeats)]
+    return {tb: min((pair[tb] for pair in pairs),
+                    key=lambda r: r.wall_seconds)
+            for tb in pairs[0]}
+
+
 @pytest.fixture(scope="module")
 def fig9_results(gate_params):
     return {
-        "RTL": measure_figure9(gate_params, CYCLES, duts=["RTL"])["RTL"],
-        "Gate-BEH": measure_figure9(gate_params, GATE_CYCLES,
-                                    duts=["Gate-BEH"])["Gate-BEH"],
-        "Gate-RTL": measure_figure9(gate_params, GATE_CYCLES,
-                                    duts=["Gate-RTL"])["Gate-RTL"],
+        "BEH": _best_pair(gate_params, CYCLES, "BEH"),
+        "RTL": _best_pair(gate_params, CYCLES, "RTL"),
+        "Gate-BEH": _best_pair(gate_params, GATE_CYCLES, "Gate-BEH"),
+        "Gate-RTL": _best_pair(gate_params, GATE_CYCLES, "Gate-RTL"),
     }
 
 
@@ -74,18 +88,34 @@ def test_fig09_backends_json(fig9_results, gate_params, capsys):
         speedups[kind] = (compiled.cycles_per_second
                           / interp.cycles_per_second)
         results += [interp, compiled]
+    # the behavioural mirror of the gate-throughput pair: the scheduled
+    # FSM driven with fresh random vectors, interpreted vs. compiled
+    # batch-parallel generated code
+    beh_interp = measure_beh_throughput(
+        gate_params, THROUGHPUT_CYCLES, backend="interpreted",
+        label="BEH/throughput")
+    beh_compiled = measure_beh_throughput(
+        gate_params, THROUGHPUT_CYCLES, backend="compiled",
+        n_patterns=N_PATTERNS, label="BEH/throughput")
+    beh_speedup = (beh_compiled.cycles_per_second
+                   / beh_interp.cycles_per_second)
+    results += [beh_interp, beh_compiled]
     path = write_bench_json(
         "BENCH_fig09.json", results,
-        extra={"gate_speedup": speedups, "n_patterns": N_PATTERNS},
+        extra={"gate_speedup": speedups, "beh_speedup": beh_speedup,
+               "n_patterns": N_PATTERNS},
     )
     with capsys.disabled():
         print()
         for kind, ratio in speedups.items():
             print(f"{kind}: compiled x{N_PATTERNS} patterns = "
                   f"{ratio:.1f}x interpreted gate throughput")
+        print(f"BEH: compiled x{N_PATTERNS} patterns = "
+              f"{beh_speedup:.1f}x interpreted FSM throughput")
         print(f"wrote {path}")
     for kind, ratio in speedups.items():
         assert ratio >= 10.0, (kind, ratio)
+    assert beh_speedup > 1.0, beh_speedup
 
 
 def test_bench_native_rtl(benchmark, gate_params):

@@ -16,8 +16,10 @@ Usage::
 Options: ``--small`` forces the reduced configuration, ``--paper`` the
 paper-scale one.  Defaults: paper scale for synthesis/performance,
 reduced for anything gate-level.  ``--backend interpreted|compiled``
-selects the RTL/gate simulation engine for ``fig8`` and ``fig9``
-(compiled = whole-cone codegen with parallel-pattern packing).
+selects the simulation engine for ``fig8`` and ``fig9`` at every
+clocked level -- behavioural FSM, RTL and gate (compiled = specialised
+codegen with parallel-pattern packing; at the behavioural level each
+scheduled FSM is flattened into straight-line Python).
 
 ``verify`` runs the differential verification harness: seeded stimulus
 fuzzing of all levels against the golden model with counterexample
@@ -31,7 +33,9 @@ caught and shrunk).
 
 ``fi`` runs a fault-injection campaign against the refined SRC and
 classifies every fault as masked, sdc, detected or hang.  Options:
-``--level rtl|gate``, ``--model stuck0,stuck1,pulse,seu`` (default:
+``--level rtl|beh|gate`` (``beh`` = SEUs in the scheduled-FSM state,
+simulated parallel-fault on the compiled behavioural backend),
+``--model stuck0,stuck1,pulse,seu`` (default:
 all), ``--n-faults N``, ``--jobs N``, ``--seed N``, ``--budget
 smoke|small|medium|large`` (workload length), ``--out DIR`` (write the
 campaign report and ``BENCH_fi.json``), ``--self-check`` (additionally

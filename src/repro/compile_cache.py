@@ -1,64 +1,100 @@
 """In-process cache for compiled simulation artifacts.
 
 Shared by the compiled gate-level backend
-(:mod:`repro.gatesim.compiled`) and the compiled RTL backend
-(:mod:`repro.rtl.compiled`); lives in its own leaf module because both
-sit on opposite sides of the rtl <-> synth import cycle.  The flow
-layer re-exports it from :mod:`repro.flow.artifacts`.
+(:mod:`repro.gatesim.compiled`), the compiled RTL backend
+(:mod:`repro.rtl.compiled`) and the compiled behavioural backend
+(:mod:`repro.hls.compiled`); lives in its own leaf module because the
+users sit on opposite sides of the rtl <-> synth import cycle.  The
+flow layer re-exports it from :mod:`repro.flow.artifacts`.
+
+The store is bounded: entries are kept in least-recently-used order and
+the oldest one is evicted once ``max_entries`` is exceeded.  Long
+fault-injection campaigns compile one overlay per structural fault set,
+so an unbounded store would grow linearly with campaign size; the LRU
+bound keeps the working set (baseline + recently-hit overlays) resident
+while retiring one-shot artifacts.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, TypeVar
+from typing import Callable, TypeVar
 
 T = TypeVar("T")
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of a :class:`CompileCache`."""
+    """Counters of a :class:`CompileCache` (a point-in-time snapshot)."""
 
-    hits: int
-    misses: int
-    entries: int
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    #: entries retired by the LRU bound since the last clear
+    evictions: int = 0
+    #: total generated-source size of the resident entries, in bytes
+    source_bytes: int = 0
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
-        """Fold counters of another snapshot in (entry counts do not
-        add across processes; the larger store wins)."""
+        """Fold counters of another snapshot in (resident-store sizes do
+        not add across processes; the larger store wins)."""
         return CacheStats(self.hits + other.hits,
                           self.misses + other.misses,
-                          max(self.entries, other.entries))
+                          max(self.entries, other.entries),
+                          self.evictions + other.evictions,
+                          max(self.source_bytes, other.source_bytes))
 
     def format(self) -> str:
-        return (f"compile cache: {self.entries} entries, "
-                f"{self.hits} hits, {self.misses} misses")
+        return (f"compile cache: {self.entries} entries "
+                f"({self.source_bytes} source bytes), "
+                f"{self.hits} hits, {self.misses} misses, "
+                f"{self.evictions} evictions")
 
 
 class CompileCache:
-    """Cache of compiled simulation programs, keyed by structural hash.
+    """LRU cache of compiled simulation programs, keyed by structural
+    hash.
 
-    Counts hits and misses so flows and benchmarks can report how often
-    codegen was amortised.
+    Counts hits, misses and evictions so flows and benchmarks can
+    report how often codegen was amortised and whether the bound is
+    thrashing.  ``max_entries`` caps the resident store; a hit
+    refreshes the entry's recency, a miss inserts at the fresh end and
+    evicts the stalest entry when over the cap.
     """
 
-    def __init__(self) -> None:
-        self._store: Dict[str, object] = {}
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._source_bytes = 0
+
+    @staticmethod
+    def _size_of(program: object) -> int:
+        return len(getattr(program, "source", "") or "")
 
     def get_or_compile(self, key: str, factory: Callable[[], T]) -> T:
         program = self._store.get(key)
         if program is not None:
             self.hits += 1
+            self._store.move_to_end(key)
             return program  # type: ignore[return-value]
         self.misses += 1
         program = factory()
         self._store[key] = program
+        self._source_bytes += self._size_of(program)
+        while len(self._store) > self.max_entries:
+            _, evicted = self._store.popitem(last=False)
+            self._source_bytes -= self._size_of(evicted)
+            self.evictions += 1
         return program
 
-    def absorb(self, hits: int, misses: int) -> None:
-        """Fold hit/miss counters observed elsewhere into this cache.
+    def absorb(self, hits: int, misses: int, evictions: int = 0) -> None:
+        """Fold counters observed elsewhere into this cache.
 
         Worker processes of a fault-injection campaign or a parallel
         verification run each hold their own process-local cache; their
@@ -67,15 +103,19 @@ class CompileCache:
         """
         self.hits += hits
         self.misses += misses
+        self.evictions += evictions
 
     def clear(self) -> None:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._source_bytes = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(self.hits, self.misses, len(self._store))
+        return CacheStats(self.hits, self.misses, len(self._store),
+                          self.evictions, self._source_bytes)

@@ -14,7 +14,8 @@ from ..src_design.behavioral import build_behavioral_design
 from ..src_design.params import SrcParams
 from ..src_design.rtl_design import build_rtl_design
 from ..synth import synthesize
-from .bridge import CosimSimulation, NativeHdlSimulation
+from .bridge import (BehavioralPinAdapter, CosimSimulation,
+                     NativeHdlSimulation)
 
 #: Figure 9's three DUTs, in plot order
 FIG9_DUTS = ("RTL", "Gate-BEH", "Gate-RTL")
@@ -34,6 +35,7 @@ def build_dut(params: SrcParams, kind: str,
               backend: str = "interpreted", **backend_opts):
     """Build one of Figure 9's DUT simulators.
 
+    * ``BEH`` -- the behavioural model behind a pin-level adapter;
     * ``RTL`` -- the intermediate RTL Verilog from RTL-SystemC synthesis
       (cycle simulation of the RTL netlist);
     * ``Gate-BEH`` -- the gate-level design from the behavioural flow;
@@ -43,6 +45,8 @@ def build_dut(params: SrcParams, kind: str,
     extra keyword options (e.g. ``n_patterns``) go to the compiled
     gate-level simulator.
     """
+    if kind == "BEH":
+        return BehavioralPinAdapter(params, True, backend=backend)
     if kind == "RTL":
         return RtlSimulator(build_rtl_design(params, True).module,
                             backend=backend)

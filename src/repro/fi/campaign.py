@@ -17,6 +17,11 @@ Execution strategies:
   selective-trace simulation per fault (the throughput baseline).
 * **rtl** -- per-fault register-bit flips poked straight into the
   simulator environment, on either RTL engine.
+* **beh** -- FSM variable-bit flips.  On the compiled behavioural
+  backend faults are batched into the pattern planes of one
+  :class:`~repro.hls.compiled.CompiledFsmBatch` (pattern 0 fault-free
+  as the in-flight golden cross-check, exactly like the gate batches);
+  the interpreted engine runs one fault per simulation.
 
 Campaigns scale across a ``multiprocessing`` worker pool
 (:func:`parallel_map`); classification is a pure function of
@@ -36,20 +41,24 @@ from ..datatypes import logic as L
 from ..datatypes.integers import wrap_signed
 from ..flow.refinement import Level, build_module
 from ..gatesim import COMPILE_CACHE, GateSimulator
+from ..hls.compiled import HLS_COMPILE_CACHE
 from ..rtl import RTL_COMPILE_CACHE, RtlSimulator
+from ..src_design.behavioral import (BehavioralBatchSimulation,
+                                     BehavioralSimulation, build_main_fsm)
 from ..src_design.params import SrcParams
 from ..src_design.schedule import KIND_IN, KIND_MODE, KIND_OUT, make_schedule
-from ..src_design.testbench import RtlDutDriver
+from ..src_design.testbench import BehavioralDutDriver, RtlDutDriver
 from ..synth import synthesize
 from ..verify.runner import golden_outputs
 from ..verify.stimulus import StimulusCase, generate_cases
-from .faultload import generate_gate_faultload, generate_rtl_faultload
+from .faultload import (generate_beh_faultload, generate_gate_faultload,
+                        generate_rtl_faultload)
 from .faults import FAULT_MODELS, Fault, build_overlay, control_name
 from .report import (CampaignReport, FaultRecord, SelfCheckResult,
                      Throughput)
 
-#: campaign levels (the two clocked implementation extremes)
-LEVELS = ("rtl", "gate")
+#: campaign levels (the clocked implementation levels of the flow)
+LEVELS = ("rtl", "beh", "gate")
 
 
 class CampaignError(RuntimeError):
@@ -65,7 +74,7 @@ class CampaignConfig:
     """Everything a campaign needs; fully determines its outcome."""
 
     params: SrcParams
-    level: str = "gate"              # 'gate' | 'rtl'
+    level: str = "gate"              # 'gate' | 'rtl' | 'beh'
     n_faults: int = 100
     jobs: int = 1
     seed: int = 0
@@ -403,6 +412,108 @@ def run_rtl_fault(module, workload: Workload, fault: Fault,
 
 
 # ----------------------------------------------------------------------
+# behavioural level: FSM variable-bit flips
+# ----------------------------------------------------------------------
+
+def _workload_stimulus(events):
+    """Split one tick's schedule events into (frame, cfg, req)."""
+    frame = None
+    cfg = None
+    req = False
+    for ev in events:
+        if ev.kind == KIND_IN:
+            frame = ev.value
+        elif ev.kind == KIND_OUT:
+            req = True
+        elif ev.kind == KIND_MODE:
+            cfg = ev.value
+    return frame, cfg, req
+
+
+def run_beh_batch(fsm, workload: Workload, faults: Sequence[Fault],
+                  params: SrcParams) -> List[FaultRecord]:
+    """Classify a batch of behavioural faults in one compiled sweep.
+
+    One :class:`BehavioralBatchSimulation` carries ``len(faults) + 1``
+    private FSM instances under the common workload: pattern 0 runs
+    fault-free as the in-flight golden cross-check, pattern ``b + 1``
+    takes fault ``b``'s variable-bit flip at its injection cycle --
+    the behavioural mirror of the gate level's parallel-fault batches.
+    """
+    n = len(faults)
+    sim = BehavioralBatchSimulation(params, n + 1, fsm=fsm)
+    pokes: Dict[int, List[Tuple[int, Fault]]] = {}
+    for b, fault in enumerate(faults):
+        pokes.setdefault(fault.cycle, []).append((b + 1, fault))
+
+    by_tick = _resolve_frames(workload)
+    golden = workload.golden
+    expected = workload.expected
+    dw = params.data_width
+    outputs: List[List[Tuple[int, int]]] = [[] for _ in range(n + 1)]
+    remaining = n + 1
+    tick = 0
+    while tick <= workload.cycle_budget and remaining:
+        for p, fault in pokes.get(tick, ()):
+            env = sim.batch.envs[p]
+            env[fault.target] = env[fault.target] ^ (1 << fault.bit)
+        frame, cfg, req = _workload_stimulus(by_tick.get(tick, ()))
+        if frame is not None:
+            sim.drive_input(frame[0], frame[1])
+        if cfg is not None:
+            sim.drive_cfg(cfg)
+        if req:
+            sim.drive_req()
+        frames = sim.step()
+        for p, result in enumerate(frames):
+            if result is not None and len(outputs[p]) < expected:
+                outputs[p].append((wrap_signed(result[0], dw),
+                                   wrap_signed(result[1], dw)))
+                if len(outputs[p]) >= expected:
+                    remaining -= 1
+        tick += 1
+
+    if outputs[0] != golden:
+        raise CampaignError(
+            f"fault-free pattern diverged from the golden model on "
+            f"FSM {fsm.name!r} -- campaign harness bug")
+    return [_classify(fault, outputs[b + 1], None, golden)
+            for b, fault in enumerate(faults)]
+
+
+def run_beh_fault_scalar(fsm, workload: Workload, fault: Fault,
+                         params: SrcParams,
+                         backend: str = "interpreted") -> FaultRecord:
+    """Classify one behavioural fault on either FSM engine.
+
+    The flip is applied to the FSM environment at the start of the
+    injection cycle, before that cycle's evaluation -- the same
+    observation window as :func:`run_rtl_fault`.
+    """
+    by_tick = _resolve_frames(workload)
+    golden = workload.golden
+    expected = workload.expected
+    outputs: List[Tuple[int, int]] = []
+    detected: Optional[Tuple[int, str]] = None
+    tick = 0
+    try:
+        sim = BehavioralSimulation(params, fsm=fsm, backend=backend)
+        driver = BehavioralDutDriver(sim, params)
+        while tick <= workload.cycle_budget and len(outputs) < expected:
+            if tick == fault.cycle:
+                env = sim.interp.env
+                env[fault.target] = env[fault.target] ^ (1 << fault.bit)
+            frame, cfg, req = _workload_stimulus(by_tick.get(tick, ()))
+            result = driver.cycle(frame=frame, cfg=cfg, req=req)
+            if result is not None:
+                outputs.append(tuple(result))
+            tick += 1
+    except Exception as exc:  # model check fired: the fault was caught
+        detected = (tick, f"{type(exc).__name__}: {exc}")
+    return _classify(fault, outputs, detected, golden)
+
+
+# ----------------------------------------------------------------------
 # worker pool
 # ----------------------------------------------------------------------
 
@@ -427,19 +538,22 @@ def _init_worker(params: SrcParams, level: str, seed: int,
     _WORKER["workload"] = make_workload(params, seed, budget)
     if level == "gate":
         _WORKER["netlist"] = build_campaign_netlist(params)
+    elif level == "beh":
+        _WORKER["fsm"] = build_main_fsm(params, True)
     else:
         _WORKER["module"] = build_module(params, Level.RTL_OPT)
 
 
-def cache_counters() -> Tuple[int, int, int, int]:
+def cache_counters() -> Tuple[int, int, int, int, int, int]:
     """Snapshot of this process's compile-cache hit/miss counters.
 
     Pool tasks snapshot before/after their work and ship the deltas
     back; :func:`absorb_cache_deltas` folds them into the parent's
     caches so reported stats cover every worker process.
     """
-    g, r = COMPILE_CACHE.stats, RTL_COMPILE_CACHE.stats
-    return (g.hits, g.misses, r.hits, r.misses)
+    g, r, h = (COMPILE_CACHE.stats, RTL_COMPILE_CACHE.stats,
+               HLS_COMPILE_CACHE.stats)
+    return (g.hits, g.misses, r.hits, r.misses, h.hits, h.misses)
 
 
 def _gate_batch_task(faults: Sequence[Fault]):
@@ -472,6 +586,27 @@ def _rtl_fault_task(fault: Fault):
     return record, tuple(a - b for a, b in zip(after, before))
 
 
+def _beh_batch_task(faults: Sequence[Fault]):
+    """Pool task: classify one behavioural batch; records + deltas."""
+    before = cache_counters()
+    try:
+        records = run_beh_batch(_WORKER["fsm"], _WORKER["workload"],
+                                faults, _WORKER["params"])
+    except CampaignError:
+        raise
+    except Exception:
+        # a whole-batch failure cannot be attributed to one fault:
+        # isolate by re-running each fault in its own scalar run
+        records = [
+            run_beh_fault_scalar(_WORKER["fsm"], _WORKER["workload"],
+                                 fault, _WORKER["params"],
+                                 backend="compiled")
+            for fault in faults
+        ]
+    after = cache_counters()
+    return records, tuple(a - b for a, b in zip(after, before))
+
+
 def parallel_map(fn, tasks: Sequence, jobs: int,
                  initializer=None, initargs=()) -> List:
     """``map(fn, tasks)`` over a worker pool, order-preserving.
@@ -494,14 +629,17 @@ def parallel_map(fn, tasks: Sequence, jobs: int,
 
 def absorb_cache_deltas(deltas) -> None:
     """Fold worker cache deltas into the parent's caches."""
-    gh = gm = rh = rm = 0
+    gh = gm = rh = rm = hh = hm = 0
     for d in deltas:
         gh += d[0]
         gm += d[1]
         rh += d[2]
         rm += d[3]
+        hh += d[4]
+        hm += d[5]
     COMPILE_CACHE.absorb(gh, gm)
     RTL_COMPILE_CACHE.absorb(rh, rm)
+    HLS_COMPILE_CACHE.absorb(hh, hm)
 
 
 # ----------------------------------------------------------------------
@@ -529,6 +667,15 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         tasks = [faults[i:i + config.batch_size]
                  for i in range(0, len(faults), config.batch_size)]
         task_fn = _gate_batch_task
+    elif config.level == "beh":
+        fsm = _WORKER["fsm"]
+        faults = generate_beh_faultload(
+            fsm, config.n_faults, config.seed, workload.cycle_budget,
+            exhaustive=config.exhaustive)
+        design = fsm.name
+        tasks = [faults[i:i + config.batch_size]
+                 for i in range(0, len(faults), config.batch_size)]
+        task_fn = _beh_batch_task
     else:
         module = _WORKER["module"]
         faults = generate_rtl_faultload(
@@ -547,7 +694,7 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         # pool runs hit worker-local caches; in-process runs already
         # counted against the parent's, so absorbing would double-count
         absorb_cache_deltas([r[1] for r in results])
-    if config.level == "gate":
+    if config.level in ("gate", "beh"):
         records = [rec for batch, _ in results for rec in batch]
     else:
         records = [rec for rec, _ in results]
@@ -559,6 +706,10 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         if config.level == "gate":
             interp = run_gate_fault_scalar(
                 _WORKER["netlist"], workload, fault, config.params,
+                backend="interpreted")
+        elif config.level == "beh":
+            interp = run_beh_fault_scalar(
+                _WORKER["fsm"], workload, fault, config.params,
                 backend="interpreted")
         else:
             interp = run_rtl_fault(
@@ -583,6 +734,7 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         cache_stats={
             "gate": COMPILE_CACHE.stats,
             "rtl": RTL_COMPILE_CACHE.stats,
+            "hls": HLS_COMPILE_CACHE.stats,
         },
     )
     return report

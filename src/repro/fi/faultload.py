@@ -25,8 +25,8 @@ from typing import List, Optional, Sequence
 from ..rtl.ir import RtlModule
 from ..synth.netlist import Netlist
 from .faults import FAULT_MODELS, Fault, FaultError
-from .targets import (flop_targets, injectable_nets, memory_targets,
-                      register_targets)
+from .targets import (flop_targets, fsm_register_targets, injectable_nets,
+                      memory_targets, register_targets)
 
 #: default pulse window length in clock cycles
 PULSE_CYCLES = 2
@@ -158,5 +158,38 @@ def generate_rtl_faultload(module: RtlModule, n_faults: int, seed: int,
         reg = rng.choices(regs, weights=weights)[0]
         faults.append(Fault(
             len(faults), "seu", "rtl", "reg", reg.name,
+            bit=rng.randrange(reg.width), cycle=rng.randrange(max_cycle)))
+    return faults
+
+
+def generate_beh_faultload(fsm, n_faults: int, seed: int, max_cycle: int,
+                           exhaustive: bool = False) -> List[Fault]:
+    """Sample variable-bit SEUs from a scheduled FSM's state space.
+
+    The behavioural fault model mirrors the RTL one: a single bit-flip
+    in one program variable at one workload cycle, weighted by variable
+    width.  With ``exhaustive`` every variable bit is hit once (cycle
+    still sampled) before sampling repeats.
+    """
+    if max_cycle < 1:
+        raise FaultError(f"max_cycle must be >= 1, got {max_cycle}")
+    regs = fsm_register_targets(fsm)
+    if not regs:
+        raise FaultError(f"FSM {fsm.name!r} has no variables")
+    rng = random.Random(seed)
+    faults: List[Fault] = []
+    if exhaustive:
+        for reg in regs:
+            for bit in range(reg.width):
+                if len(faults) >= n_faults:
+                    break
+                faults.append(Fault(
+                    len(faults), "seu", "beh", "reg", reg.name, bit=bit,
+                    cycle=rng.randrange(max_cycle)))
+    weights = [reg.width for reg in regs]
+    while len(faults) < n_faults:
+        reg = rng.choices(regs, weights=weights)[0]
+        faults.append(Fault(
+            len(faults), "seu", "beh", "reg", reg.name,
             bit=rng.randrange(reg.width), cycle=rng.randrange(max_cycle)))
     return faults

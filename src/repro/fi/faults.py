@@ -59,7 +59,7 @@ class Fault:
 
     index: int
     model: str           # one of FAULT_MODELS
-    level: str           # 'gate' | 'rtl'
+    level: str           # 'gate' | 'rtl' | 'beh'
     target_kind: str     # 'net' | 'flop' | 'reg' | 'mem'
     target: str          # net name / flop cell name / register / macro
     uid: int = -1        # gate net uid ('net' and 'flop' targets)

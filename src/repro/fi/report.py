@@ -169,7 +169,9 @@ class CampaignReport:
             "throughput": {t.backend: t.as_dict()
                            for t in self.throughput},
             "cache": {name: {"hits": s.hits, "misses": s.misses,
-                             "entries": s.entries}
+                             "entries": s.entries,
+                             "evictions": s.evictions,
+                             "source_bytes": s.source_bytes}
                       for name, s in self.cache_stats.items()},
             "results": [r.as_dict() for r in self.records],
         }

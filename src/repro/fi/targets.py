@@ -19,6 +19,11 @@ Gate-level spaces:
 RTL-level space:
 
 * **register bits** -- every declared register times its width.
+
+Behavioural-level space:
+
+* **FSM variable bits** -- every scheduled-program variable times its
+  width (the state the behavioural simulation actually holds).
 """
 
 from __future__ import annotations
@@ -117,6 +122,18 @@ def register_targets(module: RtlModule) -> List[RegisterTarget]:
     """RTL registers whose bits can take an SEU."""
     return [RegisterTarget(reg.name, reg.width)
             for reg in module.registers]
+
+
+def fsm_register_targets(fsm) -> List[RegisterTarget]:
+    """Behavioural-level SEU sites: the scheduled FSM's variables.
+
+    *fsm* is a :class:`~repro.hls.schedule.Fsm`; its program variables
+    are exactly the state the behavioural simulation holds between
+    cycles, so they are the behavioural counterpart of the RTL register
+    space.
+    """
+    return [RegisterTarget(name, width)
+            for name, width in fsm.program.variables.items()]
 
 
 # ----------------------------------------------------------------------

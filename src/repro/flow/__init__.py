@@ -9,10 +9,10 @@ from .metrics import (ModelMetrics, collect_model_metrics, format_metrics,
                       netlist_metrics, program_metrics, rtl_metrics,
                       tlm_metrics)
 from .performance import (SimPerfResult, default_stimulus, format_results,
-                          measure_algorithmic, measure_behavioral,
-                          measure_cycle_dut, measure_figure8,
-                          measure_kernel_cycle_dut, measure_tlm,
-                          write_bench_json)
+                          measure_algorithmic, measure_beh_throughput,
+                          measure_behavioral, measure_cycle_dut,
+                          measure_figure8, measure_kernel_cycle_dut,
+                          measure_tlm, write_bench_json)
 from .refinement import (Level, REFINEMENT_CHAIN, RefinementReport,
                          RefinementStep, build_module, run_level,
                          verify_refinement)
@@ -31,8 +31,9 @@ __all__ = [
     "default_stimulus", "format_metrics", "netlist_metrics",
     "program_metrics", "rtl_metrics", "tlm_metrics",
     "format_results", "main_module_share", "measure_algorithmic",
-    "measure_behavioral", "measure_cycle_dut", "measure_figure8",
-    "measure_kernel_cycle_dut", "measure_tlm", "run_level",
+    "measure_beh_throughput", "measure_behavioral", "measure_cycle_dut",
+    "measure_figure8", "measure_kernel_cycle_dut", "measure_tlm",
+    "run_level",
     "run_synthesis_flow", "verify_refinement", "write_artifacts",
     "write_bench_json", "write_fi_artifacts", "write_fi_bench_json",
     "write_verify_artifacts",

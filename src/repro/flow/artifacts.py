@@ -122,10 +122,14 @@ def write_artifacts(params: SrcParams, directory: str,
     index.add(wave_path)
 
     if backend == "compiled":
+        from ..hls import HLS_COMPILE_CACHE
+
         cache_path = os.path.join(directory, "compile_cache.txt")
         with open(cache_path, "w", encoding="utf-8") as fh:
-            fh.write("gate-level " + COMPILE_CACHE.stats.format() + "\n")
-            fh.write("rtl        " + RTL_COMPILE_CACHE.stats.format()
+            fh.write("gate-level  " + COMPILE_CACHE.stats.format() + "\n")
+            fh.write("rtl         " + RTL_COMPILE_CACHE.stats.format()
+                     + "\n")
+            fh.write("behavioural " + HLS_COMPILE_CACHE.stats.format()
                      + "\n")
         index.add(cache_path)
 

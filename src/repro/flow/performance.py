@@ -14,15 +14,18 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..gatesim import GateSimulator
+from ..hls.compiled import CompiledFsmBatch
+from ..hls.interpreter import FsmInterpreter
 from ..kernel import Clock, Module, Simulation
 from ..rtl import RtlSimulator
+from ..src_design.behavioral import BehavioralSimulation, build_main_fsm
 from ..src_design.algorithmic import AlgorithmicSrc
-from ..src_design.behavioral import BehavioralSimulation
 from ..src_design.params import SrcParams
 from ..src_design.schedule import (KIND_IN, KIND_MODE, KIND_OUT,
                                    SampleEvent, make_schedule)
@@ -136,10 +139,10 @@ class _KernelBehavioralBench(Module):
     def __init__(self, name: str, params: SrcParams,
                  schedule: Sequence[SampleEvent],
                  inputs: Sequence[Tuple[int, int]],
-                 optimized: bool = True):
+                 optimized: bool = True, backend: str = "interpreted"):
         super().__init__(name)
         self.params = params
-        self.beh = BehavioralSimulation(params, optimized)
+        self.beh = BehavioralSimulation(params, optimized, backend=backend)
         self.outputs: List[Tuple[int, int]] = []
         clk_ps = params.clock_period_ps
         self._by_tick: Dict[int, List[SampleEvent]] = {}
@@ -180,18 +183,75 @@ class _KernelBehavioralBench(Module):
 
 
 def measure_behavioral(params: SrcParams, n_inputs: int,
-                       optimized: bool = True) -> SimPerfResult:
+                       optimized: bool = True,
+                       backend: str = "interpreted") -> SimPerfResult:
     """Synthesisable behavioural level, hosted in the kernel."""
     schedule = make_schedule(params, 0, n_inputs, quantized=True)
     inputs = default_stimulus(params, n_inputs)
     bench = _KernelBehavioralBench("beh_bench", params, schedule, inputs,
-                                   optimized)
+                                   optimized, backend=backend)
     start = time.perf_counter()
     with Simulation(bench) as sim:
         sim.run()
     wall = time.perf_counter() - start
     return SimPerfResult("BEH", wall, _simulated_cycles(params, schedule),
-                         len(bench.outputs))
+                         len(bench.outputs), backend=backend)
+
+
+def measure_beh_throughput(params: SrcParams, cycles: int,
+                           backend: str = "interpreted",
+                           n_patterns: int = 1, optimized: bool = True,
+                           seed: int = 0,
+                           label: str = "BEH") -> SimPerfResult:
+    """Raw behavioural (scheduled-FSM) stimulus throughput.
+
+    Drives every input port of the main-process FSM with fresh random
+    vectors each cycle -- the access pattern of batch regression and
+    fault simulation, mirroring
+    :func:`repro.cosim.measure.measure_gate_throughput`.  With the
+    compiled backend and ``n_patterns=N`` each simulated cycle
+    evaluates N independent stimulus vectors in one generated-code
+    call, and :attr:`SimPerfResult.cycles_per_second` reports
+    pattern-cycles per second.
+    """
+    fsm = build_main_fsm(params, optimized)
+    in_ports = [(p.name, 1 << p.width)
+                for p in fsm.program.ports.values() if p.direction == "in"]
+    out_name = next(p.name for p in fsm.program.ports.values()
+                    if p.direction == "out")
+    if backend == "compiled":
+        sim = CompiledFsmBatch(fsm, n_patterns)
+    elif backend == "interpreted":
+        if n_patterns != 1:
+            raise ValueError("parallel patterns need the compiled backend")
+        sim = FsmInterpreter(fsm)
+    else:
+        raise ValueError(f"unknown behavioural backend {backend!r}")
+    rng = random.Random(seed)
+    # Stimulus is pre-generated so the timed region measures the FSM
+    # engine, not the random-number generator (whose cost would grow
+    # with n_patterns and flatten the batch advantage).
+    if backend == "compiled":
+        stim = [[(name, [rng.randrange(span) for _ in range(n_patterns)])
+                 for name, span in in_ports] for _ in range(cycles)]
+        start = time.perf_counter()
+        for vectors in stim:
+            for name, values in vectors:
+                sim.set_input_patterns(name, values)
+            sim.step()
+        sim.get_output_patterns(out_name)
+    else:
+        stim = [[(name, rng.randrange(span)) for name, span in in_ports]
+                for _ in range(cycles)]
+        start = time.perf_counter()
+        for vectors in stim:
+            for name, value in vectors:
+                sim.set_input(name, value)
+            sim.step()
+        sim.get_output(out_name)
+    wall = time.perf_counter() - start
+    return SimPerfResult(label, wall, float(cycles), 0, backend=backend,
+                         n_patterns=n_patterns)
 
 
 def measure_cycle_dut(params: SrcParams, sim, n_inputs: int,
@@ -282,15 +342,18 @@ def measure_figure8(params: SrcParams, n_inputs: int = 400,
 
     Every point runs inside the SystemC kernel, as in the paper (the
     abstraction level changes, the simulation environment does not).
-    *backend* selects the RTL simulation engine for the RTL point; the
-    untimed/behavioural levels have no netlist to compile.
+    *backend* selects the simulation engine for the clocked points: the
+    BEH point's FSM engine (interpreted stepper vs. generated code) and
+    the RTL point's netlist simulator.  The untimed levels have nothing
+    to compile and keep the default.
     """
     from ..src_design.rtl_design import build_rtl_design
 
     results = [
         measure_algorithmic(params, n_inputs),
         measure_tlm(params, n_inputs),
-        measure_behavioral(params, max(40, n_inputs // 4)),
+        measure_behavioral(params, max(40, n_inputs // 4),
+                           backend=backend),
     ]
     module = rtl_module or build_rtl_design(params, optimized=True).module
     rtl_inputs = max(20, n_inputs // 8)

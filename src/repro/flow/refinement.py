@@ -94,10 +94,14 @@ def run_level(
     inputs: Sequence[Sequence[int]],
     with_corner_bug: bool = True,
     mem_monitor=None,
+    backend: str = "interpreted",
 ) -> List[Tuple[int, ...]]:
     """Execute one abstraction level over *schedule*; returns outputs.
 
-    Clocked levels require a clock-quantised schedule.
+    Clocked levels require a clock-quantised schedule.  *backend*
+    selects the simulation engine for the behavioural, RTL and
+    gate-level points ("interpreted"/"compiled"); the untimed levels
+    ignore it.
     """
     if level is Level.ALGORITHMIC:
         src = AlgorithmicSrc(params, mode=0, monitor=None,
@@ -112,19 +116,20 @@ def run_level(
     if level in (Level.BEH_UNOPT, Level.BEH_OPT):
         sim = BehavioralSimulation(
             params, optimized=(level is Level.BEH_OPT),
-            mem_monitor=mem_monitor,
+            mem_monitor=mem_monitor, backend=backend,
         )
         return run_clocked(params, BehavioralDutDriver(sim, params),
                            schedule, inputs)
     if level in (Level.RTL_UNOPT, Level.RTL_OPT, Level.VHDL_REF):
         module = build_module(params, level)
-        sim = RtlSimulator(module, mem_monitor=mem_monitor)
+        sim = RtlSimulator(module, mem_monitor=mem_monitor,
+                           backend=backend)
         return run_clocked(params, RtlDutDriver(sim, params),
                            schedule, inputs)
     if level in (Level.GATE_BEH, Level.GATE_RTL):
         module = build_module(params, level)
         netlist = synthesize(module)
-        sim = GateSimulator(netlist)
+        sim = GateSimulator(netlist, backend=backend)
         return run_clocked(params, RtlDutDriver(sim, params),
                            schedule, inputs)
     raise ValueError(f"unknown level {level}")

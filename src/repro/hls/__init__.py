@@ -2,6 +2,8 @@
 
 from .binding import RegisterBinding, bind_registers, compute_liveness
 from .codegen import GeneratedFsm, generate_rtl
+from .compiled import (HLS_COMPILE_CACHE, CompiledFsm, CompiledFsmBatch,
+                       HlsCompiledProgram, compile_fsm, fsm_digest)
 from .delay import estimate_delay, node_delay
 from .interpreter import FsmInterpreter
 from .ir import (Assign, For, HlsError, HlsMemory, HlsPort, HlsProgram, If,
@@ -12,11 +14,12 @@ from .schedule import (Fsm, FsmState, MemReadOp, MemWriteOp, PortWriteOp,
                        Transition, prune_dead_reg_writes)
 
 __all__ = [
-    "Assign", "For", "Fsm", "FsmInterpreter", "FsmState", "GeneratedFsm",
-    "HlsError", "HlsMemory", "HlsPort", "HlsProgram", "If", "MemReadOp",
-    "MemReadStmt", "MemWriteOp", "MemWriteStmt", "PortWrite", "PortWriteOp",
-    "RegWriteOp", "RegisterBinding", "Scheduler", "SchedulingConstraints",
-    "Stmt", "Transition", "WaitCycle", "WaitUntil", "bind_registers",
-    "compute_liveness", "estimate_delay", "generate_rtl", "node_delay",
-    "prune_dead_reg_writes",
+    "Assign", "CompiledFsm", "CompiledFsmBatch", "For", "Fsm",
+    "FsmInterpreter", "FsmState", "GeneratedFsm", "HLS_COMPILE_CACHE",
+    "HlsCompiledProgram", "HlsError", "HlsMemory", "HlsPort", "HlsProgram",
+    "If", "MemReadOp", "MemReadStmt", "MemWriteOp", "MemWriteStmt",
+    "PortWrite", "PortWriteOp", "RegWriteOp", "RegisterBinding", "Scheduler",
+    "SchedulingConstraints", "Stmt", "Transition", "WaitCycle", "WaitUntil",
+    "bind_registers", "compile_fsm", "compute_liveness", "estimate_delay",
+    "fsm_digest", "generate_rtl", "node_delay", "prune_dead_reg_writes",
 ]

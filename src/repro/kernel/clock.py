@@ -41,16 +41,20 @@ class Clock(Module):
             raise ValueError("duty cycle leaves no low time")
         self.start_high = start_high
         self.signal = Signal(0, name=f"{name}.sig")
+        # Timeout specs are immutable, so the generator recycles one per
+        # phase instead of allocating two objects every clock period.
+        self._high_wait = Timeout(self.high_ps)
+        self._low_wait = Timeout(self.low_ps)
         self.add_thread(self._toggle, name=f"{name}.gen")
 
     def _toggle(self):
         if not self.start_high:
-            yield Timeout(self.low_ps)
+            yield self._low_wait
         while True:
             self.signal.write(1)
-            yield Timeout(self.high_ps)
+            yield self._high_wait
             self.signal.write(0)
-            yield Timeout(self.low_ps)
+            yield self._low_wait
 
     # -- signal-like facade ------------------------------------------------
     def read(self) -> int:

@@ -14,9 +14,9 @@ strictly earlier notification arrives).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
-from .context import current_simulation
+from .context import current_simulation, current_simulation_or_none
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .process import Process
@@ -32,6 +32,7 @@ class Event:
     __slots__ = (
         "name",
         "_static",
+        "_static_triggers",
         "_dynamic",
         "_pending",
         "_pending_time",
@@ -42,6 +43,10 @@ class Event:
         self.name = name
         #: processes statically sensitive to this event
         self._static: List["Process"] = []
+        #: pre-resolved ``proc._triggered_static`` bound methods, parallel
+        #: to ``_static`` -- sensitivity lists are fixed at elaboration,
+        #: so the method lookup is hoisted out of the per-trigger path
+        self._static_triggers: List[Callable[[], None]] = []
         #: processes dynamically waiting on this event
         self._dynamic: List["Process"] = []
         self._pending = _NOT_PENDING
@@ -62,8 +67,6 @@ class Event:
         Outside an active simulation (e.g. channel setup in plain unit
         code) the notification degrades to an immediate trigger.
         """
-        from .context import current_simulation_or_none
-
         if delay_ps < 0:
             raise ValueError(f"negative notification delay: {delay_ps}")
         sim = current_simulation_or_none()
@@ -104,9 +107,9 @@ class Event:
         """Fire the event: wake statically-sensitive and waiting processes."""
         self._pending = _NOT_PENDING
         self._pending_handle = None
-        if self._static:
-            for proc in self._static:
-                proc._triggered_static()
+        if self._static_triggers:
+            for trigger in self._static_triggers:
+                trigger()
         if self._dynamic:
             waiting = self._dynamic
             self._dynamic = []
@@ -116,6 +119,7 @@ class Event:
     def _add_static(self, proc: "Process") -> None:
         if proc not in self._static:
             self._static.append(proc)
+            self._static_triggers.append(proc._triggered_static)
 
     def _add_dynamic(self, proc: "Process") -> None:
         self._dynamic.append(proc)

@@ -63,7 +63,7 @@ class ThreadProcess(Process):
     """A coroutine process (SystemC ``SC_THREAD`` / ``SC_CTHREAD``)."""
 
     __slots__ = ("_factory", "_gen", "_waiting_events", "_all_remaining",
-                 "_timeout_event")
+                 "_timeout_event", "_timeout_ev_cache")
 
     def __init__(self, name: str, factory: Callable[[], Generator]):
         super().__init__(name)
@@ -72,6 +72,13 @@ class ThreadProcess(Process):
         self._waiting_events: List[Event] = []
         self._all_remaining: int = 0
         self._timeout_event: Optional[Event] = None
+        #: lazily-created private event recycled across Timeout waits.
+        #: A thread has at most one timeout pending (waits are
+        #: exclusive), and the only way out of a Timeout wait is that
+        #: event firing -- so when the next Timeout wait starts, the
+        #: cached event is guaranteed idle (no waiters, no pending
+        #: notification) and can carry the new wait without allocating.
+        self._timeout_ev_cache: Optional[Event] = None
 
     # -- trigger handling -------------------------------------------------
     def _triggered_static(self) -> None:
@@ -132,7 +139,10 @@ class ThreadProcess(Process):
             spec._add_dynamic(self)
             return
         if isinstance(spec, Timeout):
-            ev = Event(f"{self.name}.timeout")
+            ev = self._timeout_ev_cache
+            if ev is None:
+                ev = Event(f"{self.name}.timeout")
+                self._timeout_ev_cache = ev
             self._timeout_event = ev
             self._waiting_events = [ev]
             ev._add_dynamic(self)

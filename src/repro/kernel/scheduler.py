@@ -63,8 +63,14 @@ class Simulation:
         self.time_ps = 0
         self.delta_count = 0
         self._runnable: deque = deque()
+        # update/delta queues are double-buffered: the drained list is
+        # recycled as the next fill buffer instead of allocating a fresh
+        # list every delta cycle (two per delta adds up -- the scheduler
+        # loop runs millions of deltas in the clocked benchmarks)
         self._update_queue: List[object] = []
+        self._update_spare: List[object] = []
         self._delta_events: List[Event] = []
+        self._delta_spare: List[Event] = []
         self._timed: List[_TimedEntry] = []
         self._seq = itertools.count()
         self._max_deltas = max_deltas_per_step
@@ -129,30 +135,39 @@ class Simulation:
         end_time = None if duration_ps is None else self.time_ps + duration_ps
         self._stopped = False
         deltas_here = 0
+        runnable = self._runnable  # deque identity is fixed for the run
         while not self._stopped:
             # -- evaluate phase ----------------------------------------
-            if self._runnable:
+            if runnable:
                 hook = self._profile_hook
-                while self._runnable:
-                    proc = self._runnable.popleft()
-                    if hook is None:
-                        proc._execute()
-                    else:
-                        hook(proc)
-                    if self._stopped:
-                        break
+                if hook is None:
+                    while runnable:
+                        runnable.popleft()._execute()
+                        if self._stopped:
+                            break
+                else:
+                    while runnable:
+                        hook(runnable.popleft())
+                        if self._stopped:
+                            break
                 if self._stopped:
                     break
                 # -- update phase --------------------------------------
                 if self._update_queue:
-                    updates, self._update_queue = self._update_queue, []
+                    updates = self._update_queue
+                    self._update_queue = self._update_spare
                     for prim in updates:
                         prim._update()
+                    updates.clear()
+                    self._update_spare = updates
                 # -- delta notification phase --------------------------
                 if self._delta_events:
-                    events, self._delta_events = self._delta_events, []
+                    events = self._delta_events
+                    self._delta_events = self._delta_spare
                     for ev in events:
                         ev._trigger()
+                    events.clear()
+                    self._delta_spare = events
                 self.delta_count += 1
                 deltas_here += 1
                 if deltas_here > self._max_deltas:

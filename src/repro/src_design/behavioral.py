@@ -23,11 +23,12 @@ model at gate level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..datatypes.integers import max_signed, min_signed
 from ..hls.binding import RegisterBinding, bind_registers
 from ..hls.codegen import GeneratedFsm, generate_rtl
+from ..hls.compiled import CompiledFsm, CompiledFsmBatch
 from ..hls.interpreter import FsmInterpreter, MemMonitor
 from ..hls.ir import (Assign, For, HlsProgram, If, MemReadStmt, PortWrite,
                       WaitCycle, WaitUntil)
@@ -283,6 +284,21 @@ def build_main_program(params: SrcParams, optimized) -> HlsProgram:
     return prog
 
 
+def build_main_fsm(params: SrcParams, optimized=True) -> Fsm:
+    """Build and schedule the main process FSM (shared by both the
+    interpreted and compiled behavioural backends)."""
+    options = _coerce_options(optimized)
+    program = build_main_program(params, options)
+    constraints = SchedulingConstraints(
+        clock_ns=params.clock_period_ps / 1000.0,
+        materialize_all_regs=not options.prune_dead_writes,
+    )
+    fsm = Scheduler(program, constraints).run()
+    if options.prune_dead_writes:
+        prune_dead_reg_writes(fsm)
+    return fsm
+
+
 @dataclass
 class BehavioralDesign:
     """A fully built behavioural SRC: RTL module + metadata."""
@@ -316,14 +332,8 @@ def build_behavioral_design(params: SrcParams, optimized,
     fe = FrontEnd(module, p, fe_opts)
     fe.declare()
 
-    program = build_main_program(p, options)
-    constraints = SchedulingConstraints(
-        clock_ns=p.clock_period_ps / 1000.0,
-        materialize_all_regs=not options.prune_dead_writes,
-    )
-    fsm = Scheduler(program, constraints).run()
-    if options.prune_dead_writes:
-        prune_dead_reg_writes(fsm)
+    fsm = build_main_fsm(p, options)
+    program = fsm.program
     binding = bind_registers(fsm, share=options.share_registers)
 
     inputs: Dict[str, Ref] = {
@@ -370,21 +380,22 @@ class BehavioralSimulation:
 
     def __init__(self, params: SrcParams, optimized=True,
                  mem_monitor: Optional[MemMonitor] = None,
-                 fsm: Optional[Fsm] = None):
+                 fsm: Optional[Fsm] = None, backend: str = "interpreted"):
         self.params = params
         self.options = _coerce_options(optimized)
         self.optimized = self.options == BehavioralOptions.optimized()
         self._handshake = self.options.handshake
+        self.backend = backend
         if fsm is None:
-            program = build_main_program(params, self.options)
-            constraints = SchedulingConstraints(
-                clock_ns=params.clock_period_ps / 1000.0,
-                materialize_all_regs=not self.options.prune_dead_writes,
-            )
-            fsm = Scheduler(program, constraints).run()
-            if self.options.prune_dead_writes:
-                prune_dead_reg_writes(fsm)
-        self.interp = FsmInterpreter(fsm, mem_monitor=mem_monitor)
+            fsm = build_main_fsm(params, self.options)
+        if backend == "interpreted":
+            self.interp = FsmInterpreter(fsm, mem_monitor=mem_monitor)
+        elif backend == "compiled":
+            self.interp = CompiledFsm(fsm, mem_monitor=mem_monitor)
+        else:
+            raise ValueError(
+                f"unknown behavioural backend {backend!r} "
+                "(expected 'interpreted' or 'compiled')")
         # front-end state
         self.mode = 0
         self.wr_ptr = params.buffer_depth - 1
@@ -449,3 +460,99 @@ class BehavioralSimulation:
         if interp.get_output("out_valid"):
             return (interp.get_output("out_l"), interp.get_output("out_r"))
         return None
+
+
+class BehavioralBatchSimulation:
+    """N independent behavioural SRC instances advanced in lock-step.
+
+    Built on :class:`CompiledFsmBatch`: one compiled FSM program, N
+    private environments/memories, plus an N-wide mirror of the
+    front-end state.  Stimulus (``drive_input`` / ``drive_cfg`` /
+    ``drive_req``) is broadcast to every pattern -- the fault-injection
+    campaign uses this to run one fault-free golden pattern alongside
+    N-1 faulty patterns under a common workload, with faults poked into
+    individual patterns via ``batch.envs[i]``.
+
+    ``step()`` returns one ``Optional[(left, right)]`` frame per
+    pattern.
+    """
+
+    def __init__(self, params: SrcParams, n_patterns: int, optimized=True,
+                 fsm: Optional[Fsm] = None):
+        self.params = params
+        self.options = _coerce_options(optimized)
+        self.optimized = self.options == BehavioralOptions.optimized()
+        self._handshake = self.options.handshake
+        if fsm is None:
+            fsm = build_main_fsm(params, self.options)
+        self.batch = CompiledFsmBatch(fsm, n_patterns)
+        self.n_patterns = n_patterns
+        n = n_patterns
+        # per-pattern front-end mirror (faults make patterns diverge)
+        self.mode = [0] * n
+        self.wr_ptr = [params.buffer_depth - 1] * n
+        self.fill = [0] * n
+        self.pos = [0] * n
+        self._gnt = [0] * n
+        # pending broadcast stimulus
+        self._in_frame: Optional[Tuple[int, int]] = None
+        self._cfg: Optional[int] = None
+        self._req = 0
+
+    # -- stimulus (broadcast to every pattern) -------------------------
+    def drive_input(self, left: int, right: int) -> None:
+        self._in_frame = (left, right)
+
+    def drive_cfg(self, mode: int) -> None:
+        self._cfg = mode
+
+    def drive_req(self) -> None:
+        self._req = 1
+
+    # -- one clock cycle ----------------------------------------------
+    def step(self) -> List[Optional[Tuple[int, int]]]:
+        """Advance all patterns one cycle; per-pattern output frames."""
+        p = self.params
+        batch = self.batch
+        n = self.n_patterns
+        pos_after = [p.pos_after_output(self.pos[i], self.mode[i])
+                     for i in range(n)]
+        batch.set_input("req", self._req)
+        batch.set_input_patterns(
+            "phase", [p.phase_from_pos(pa) for pa in pos_after])
+        batch.set_input_patterns("wr_ptr", self.wr_ptr)
+        batch.set_input_patterns("fill", self.fill)
+        if self._handshake:
+            batch.set_input_patterns("gnt", self._gnt)
+        take = batch.get_output_patterns("take")
+        buf_req_now = (batch.get_output_patterns("buf_req")
+                       if self._handshake else None)
+        batch.step()
+        # front-end sequential update (mirrors BehavioralSimulation.step)
+        for i in range(n):
+            if self._cfg is not None:
+                self.mode[i] = self._cfg
+                self.wr_ptr[i] = p.buffer_depth - 1
+                self.fill[i] = 0
+                self.pos[i] = 0
+            else:
+                if take[i]:
+                    self.pos[i] = p.pos_after_output(self.pos[i],
+                                                     self.mode[i])
+                if self._in_frame is not None:
+                    self.wr_ptr[i] = (self.wr_ptr[i] + 1) % p.buffer_depth
+                    left, right = self._in_frame
+                    batch.write_memory(i, "buf_l", self.wr_ptr[i], left)
+                    batch.write_memory(i, "buf_r", self.wr_ptr[i], right)
+                    self.fill[i] = min(self.fill[i] + 1, p.taps_per_phase)
+                    self.pos[i] = p.pos_after_input(self.pos[i])
+            if self._handshake:
+                self._gnt[i] = buf_req_now[i]
+        self._in_frame = None
+        self._cfg = None
+        self._req = 0
+        out_valid = batch.get_output_patterns("out_valid")
+        out_l = batch.get_output_patterns("out_l")
+        out_r = batch.get_output_patterns("out_r")
+        return [(out_l[i], out_r[i]) if out_valid[i] else None
+                for i in range(n)]

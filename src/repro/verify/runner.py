@@ -1,8 +1,8 @@
 """Lockstep differential execution of abstraction levels.
 
 Drives any set of abstraction levels -- algorithmic golden, TLM,
-behavioural, RTL (interpreted or compiled), gate level (interpreted or
-compiled) -- over one :class:`~repro.verify.stimulus.StimulusCase` and
+behavioural, RTL and gate level (each either interpreted or compiled)
+-- over one :class:`~repro.verify.stimulus.StimulusCase` and
 diffs every level bit-exactly against the golden model of its schedule
 domain:
 
@@ -53,6 +53,7 @@ LEVEL_ALIASES = {
 
 #: levels whose simulator has an interpreted/compiled engine choice
 BACKEND_LEVELS = frozenset((
+    Level.BEH_UNOPT, Level.BEH_OPT,
     Level.RTL_UNOPT, Level.RTL_OPT, Level.VHDL_REF,
     Level.GATE_BEH, Level.GATE_RTL,
 ))
@@ -205,7 +206,8 @@ def make_dut(params: SrcParams, spec: LevelSpec, builds: LevelBuilds):
     level = spec.level
     if level in (Level.BEH_UNOPT, Level.BEH_OPT):
         sim = BehavioralSimulation(params,
-                                   optimized=(level is Level.BEH_OPT))
+                                   optimized=(level is Level.BEH_OPT),
+                                   backend=spec.backend)
         return BehavioralDutDriver(sim, params), sim
     if level in (Level.RTL_UNOPT, Level.RTL_OPT, Level.VHDL_REF):
         sim = RtlSimulator(builds.module(level), backend=spec.backend)

@@ -46,9 +46,11 @@ def test_fig08_schema():
     _check_result_rows(doc["results"])
     levels = {r["level"] for r in doc["results"]}
     assert levels == {"C++", "SystemC", "BEH", "RTL"}
-    rtl_backends = {r["backend"] for r in doc["results"]
-                    if r["level"] == "RTL"}
-    assert rtl_backends == BACKENDS  # RTL measured on both engines
+    # the clocked levels are measured on both engines
+    for level in ("BEH", "RTL"):
+        backends = {r["backend"] for r in doc["results"]
+                    if r["level"] == level}
+        assert backends == BACKENDS, level
 
 
 def test_fig08_preserves_paper_ordering():
@@ -56,23 +58,51 @@ def test_fig08_preserves_paper_ordering():
     speed (C++ > SystemC > BEH > RTL, per backend)."""
     doc = _load("BENCH_fig08.json")
     speed = {(r["level"], r["backend"]): r["cycles_per_second"]
-             for r in doc["results"]}
+             for r in doc["results"] if r["n_patterns"] == 1}
     assert speed[("C++", "interpreted")] > speed[("SystemC", "interpreted")]
     assert speed[("SystemC", "interpreted")] > speed[("BEH", "interpreted")]
     assert speed[("BEH", "interpreted")] > speed[("RTL", "interpreted")]
 
 
+def test_fig08_compiled_beats_interpreted_in_recorded_data():
+    """Per clocked level, the generated-code engine never loses to the
+    interpreter, and the batch-parallel compiled behavioural row clears
+    the tentpole's headline: >= 10x the interpreted BEH row at its
+    recorded pattern width (64)."""
+    doc = _load("BENCH_fig08.json")
+    speed = {(r["level"], r["backend"], r["n_patterns"]):
+             r["cycles_per_second"] for r in doc["results"]}
+    for level in ("BEH", "RTL"):
+        assert speed[(level, "compiled", 1)] \
+            >= speed[(level, "interpreted", 1)], level
+    batch = [r for r in doc["results"]
+             if r["level"] == "BEH" and r["n_patterns"] > 1]
+    assert len(batch) == 1
+    assert batch[0]["backend"] == "compiled"
+    assert batch[0]["n_patterns"] >= 64
+    assert batch[0]["cycles_per_second"] \
+        >= 10 * speed[("BEH", "interpreted", 1)]
+
+
 def test_fig09_schema():
     doc = _load("BENCH_fig09.json")
-    assert set(doc) == {"gate_speedup", "n_patterns", "results"}
+    assert set(doc) == {"beh_speedup", "gate_speedup", "n_patterns",
+                        "results"}
     _check_result_rows(doc["results"])
     assert set(doc["gate_speedup"]) == {"Gate-BEH", "Gate-RTL"}
     for value in doc["gate_speedup"].values():
         assert value > 1.0  # compiled beat interpreted when recorded
+    assert doc["beh_speedup"] > 1.0
     assert doc["n_patterns"] >= 1
     throughput = [r for r in doc["results"]
                   if r["level"].endswith("/throughput")]
-    assert {r["backend"] for r in throughput} == BACKENDS
+    levels = {r["level"] for r in throughput}
+    assert levels == {"BEH/throughput", "Gate-BEH/throughput",
+                      "Gate-RTL/throughput"}
+    for level in levels:
+        backends = {r["backend"] for r in throughput
+                    if r["level"] == level}
+        assert backends == BACKENDS, level
     for row in throughput:
         if row["backend"] == "compiled":
             assert row["n_patterns"] == doc["n_patterns"]
@@ -82,8 +112,8 @@ def test_fig09_compiled_beats_interpreted_in_recorded_data():
     doc = _load("BENCH_fig09.json")
     by_key = {(r["level"], r["backend"]): r["cycles_per_second"]
               for r in doc["results"]}
-    for gate in ("Gate-BEH", "Gate-RTL"):
-        level = f"{gate}/throughput"
+    for dut in ("BEH", "Gate-BEH", "Gate-RTL"):
+        level = f"{dut}/throughput"
         assert by_key[(level, "compiled")] > by_key[(level, "interpreted")]
 
 
@@ -103,7 +133,7 @@ def test_fi_schema():
     assert set(campaign) == {"level", "design", "seed", "budget", "jobs",
                              "n_faults", "workload_frames",
                              "cycle_budget"}
-    assert campaign["level"] in {"rtl", "gate"}
+    assert campaign["level"] in {"rtl", "beh", "gate"}
     assert campaign["n_faults"] >= 1
     assert campaign["cycle_budget"] > 0
 
@@ -128,7 +158,8 @@ def test_fi_schema():
         assert row["wall_seconds"] > 0
         assert row["faults_per_second"] > 0
     for stats in doc["cache"].values():
-        assert set(stats) == {"hits", "misses", "entries"}
+        assert set(stats) == {"hits", "misses", "entries", "evictions",
+                              "source_bytes"}
         assert all(v >= 0 for v in stats.values())
 
 

@@ -86,6 +86,36 @@ def test_rtl_level_campaign(smoke_report):
         assert record.outcome in OUTCOMES
 
 
+def test_beh_level_campaign(smoke_report):
+    """Behavioural SEU campaign: parallel-fault batching on the
+    compiled FSM backend, with the interpreted probe cross-check."""
+    report = run_campaign(
+        CampaignConfig(params=SMALL_PARAMS, level="beh", n_faults=10,
+                       jobs=1, seed=2, budget="smoke", probe_faults=3))
+    assert report.level == "beh"
+    assert len(report.records) == 10
+    for record in report.records:
+        assert record.fault.level == "beh"
+        assert record.fault.model == "seu"
+        assert record.fault.target_kind == "reg"
+        assert record.outcome in OUTCOMES
+    assert sum(report.classification.values()) == 10
+    # the behavioural compile cache was exercised and reported
+    assert "hls" in report.cache_stats
+    assert report.cache_stats["hls"].misses >= 1
+    # probe re-ran a subset on the interpreted engine and agreed
+    interp = report.throughput_of("interpreted")
+    assert interp is not None and interp.faults == 3
+
+
+def test_beh_campaign_deterministic_across_jobs():
+    kwargs = dict(params=SMALL_PARAMS, level="beh", n_faults=10, seed=2,
+                  budget="smoke", probe_faults=0, batch_size=4)
+    solo = run_campaign(CampaignConfig(jobs=1, **kwargs))
+    pooled = run_campaign(CampaignConfig(jobs=2, **kwargs))
+    assert _classifications(solo) == _classifications(pooled)
+
+
 def test_self_check_classifies_known_faults(smoke_report):
     result = run_fi_self_check(SMOKE)
     assert result.sdc_record.outcome == "sdc"

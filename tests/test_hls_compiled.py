@@ -1,0 +1,226 @@
+"""The compiled behavioural (HLS-FSM) backend.
+
+Pins the tentpole's contract: the generated steppers are bit-identical
+to the cycle interpreter (scalar, batch, fast single-cycle path and
+chunked path alike), share the interpreter's memory-port semantics
+module, key structurally in the compile cache, and the cache's LRU
+bound evicts coldest-first.
+"""
+
+import random
+
+import pytest
+
+from repro.compile_cache import CompileCache
+from repro.hls import memports
+from repro.hls.compiled import (CompiledFsm, CompiledFsmBatch,
+                                HLS_COMPILE_CACHE, compile_fsm, fsm_digest)
+from repro.hls.interpreter import FsmInterpreter
+from repro.src_design.behavioral import build_main_fsm
+from repro.src_design.params import PAPER_PARAMS, SMALL_PARAMS
+
+
+def _in_ports(fsm):
+    return [(p.name, 1 << p.width) for p in fsm.program.ports.values()
+            if p.direction == "in"]
+
+
+def _env_match(interp, comp):
+    """Interpreter env keys are a subset: it materialises memory-read
+    wires lazily, while the compiled env pre-seeds them."""
+    return all(comp.env.get(k) == v for k, v in interp.env.items())
+
+
+@pytest.mark.parametrize("params,optimized", [
+    (SMALL_PARAMS, True), (SMALL_PARAMS, False), (PAPER_PARAMS, True),
+])
+def test_scalar_equivalence(params, optimized):
+    """Driven lockstep run: env, state and memories never diverge.
+
+    Mixes step(1) (the marshalling-free fast path) with step(2)
+    (the chunked locals path) so both generated bodies are exercised,
+    and pokes external memory writes mid-run.
+    """
+    fsm = build_main_fsm(params, optimized)
+    interp, comp = FsmInterpreter(fsm), CompiledFsm(fsm)
+    rng = random.Random(7)
+    for cyc in range(900):
+        for name, span in _in_ports(fsm):
+            value = rng.randrange(span)
+            interp.set_input(name, value)
+            comp.set_input(name, value)
+        if cyc % 17 == 0:
+            addr, data = rng.randrange(64), rng.randrange(1 << 8)
+            interp.write_memory("buf_l", addr, data)
+            comp.write_memory("buf_l", addr, data)
+        width = 1 if cyc % 3 else 2
+        interp.step(width)
+        comp.step(width)
+        assert _env_match(interp, comp), f"env diverged at cycle {cyc}"
+        assert interp.state == comp.state, f"state diverged at cycle {cyc}"
+    assert interp.memories == comp.memories
+    assert interp.cycles == comp.cycles
+
+
+def test_batch_matches_scalars():
+    """Each batch pattern is a private simulation: per-pattern stimulus
+    and per-pattern memory pokes stay fully independent."""
+    fsm = build_main_fsm(SMALL_PARAMS, True)
+    n = 5
+    batch = CompiledFsmBatch(fsm, n)
+    scalars = [CompiledFsm(fsm) for _ in range(n)]
+    rng = random.Random(3)
+    for cyc in range(600):
+        for name, span in _in_ports(fsm):
+            values = [rng.randrange(span) for _ in range(n)]
+            batch.set_input_patterns(name, values)
+            for scalar, value in zip(scalars, values):
+                scalar.set_input(name, value)
+        if cyc % 29 == 0:
+            victim = rng.randrange(n)
+            addr, data = rng.randrange(16), rng.randrange(1 << 8)
+            batch.write_memory(victim, "buf_r", addr, data)
+            scalars[victim].write_memory("buf_r", addr, data)
+        width = 1 if cyc % 4 else 3
+        batch.step(width)
+        for scalar in scalars:
+            scalar.step(width)
+    for i, scalar in enumerate(scalars):
+        assert batch.envs[i] == scalar.env, f"pattern {i} env diverged"
+        assert batch.states[i] == scalar.state
+        assert batch.memories[i] == scalar.memories
+
+
+def test_batch_broadcast_set_input():
+    fsm = build_main_fsm(SMALL_PARAMS, True)
+    batch = CompiledFsmBatch(fsm, 3)
+    batch.set_input("req", 1)
+    assert all(env["req"] == 1 for env in batch.envs)
+    with pytest.raises(ValueError):
+        batch.set_input_patterns("req", [1, 0])  # wrong width
+    with pytest.raises(KeyError):
+        batch.set_input("out_valid", 1)  # not an input
+
+
+def test_memory_monitor_parity():
+    """Both backends report the same access stream to the monitor."""
+    fsm = build_main_fsm(SMALL_PARAMS, True)
+    seen = {"interp": [], "comp": []}
+    interp = FsmInterpreter(
+        fsm, mem_monitor=lambda m, a, d, k: seen["interp"].append(
+            (m, a, d, k)))
+    comp = CompiledFsm(
+        fsm, mem_monitor=lambda m, a, d, k: seen["comp"].append(
+            (m, a, d, k)))
+    rng = random.Random(5)
+    for cyc in range(400):
+        for name, span in _in_ports(fsm):
+            value = rng.randrange(span)
+            interp.set_input(name, value)
+            comp.set_input(name, value)
+        interp.step()
+        comp.step()
+    assert seen["interp"], "workload never touched a memory"
+    assert seen["interp"] == seen["comp"]
+
+
+def test_drop_in_surface():
+    fsm = build_main_fsm(SMALL_PARAMS, True)
+    comp = CompiledFsm(fsm)
+    with pytest.raises(KeyError):
+        comp.set_input("out_valid", 1)  # output, not input
+    with pytest.raises(KeyError):
+        comp.get_output("req")  # input, not output
+    comp.set_input("req", 1)
+    comp.step(3)
+    assert comp.cycles == 3
+    comp.reset()
+    assert comp.cycles == 0 and comp.state == fsm.entry
+    assert all(v == 0 for v in comp.env.values())
+
+
+def test_memports_templates_match_helpers():
+    """The codegen templates and the interpreter helpers are two views
+    of one semantics module -- they must agree bit for bit."""
+    storage = memports.init_storage(4, 8, contents=[1, 2, 3, 4])
+    for addr in (-1, 0, 3, 4, 99):
+        expr = memports.READ_EXPR.format(storage="storage", addr="addr",
+                                         depth=4)
+        assert eval(expr, {"storage": storage, "addr": addr}) \
+            == memports.read_mem(storage, addr, 4)
+    for addr in (-1, 0, 3, 4):
+        guarded = eval(memports.WRITE_GUARD.format(addr="addr", depth=4),
+                       {"addr": addr})
+        before = list(storage)
+        memports.write_mem(storage, addr, 4, 0x1FF, 0xFF)
+        if guarded:
+            assert storage[addr] == 0xFF  # masked to width
+        else:
+            assert storage == before  # out-of-range write dropped
+    memports.reset_storage(storage, 4, 8, contents=[1, 2, 3, 4])
+    assert storage == [1, 2, 3, 4]
+
+
+def test_structural_cache_keying():
+    """Same structure -> one artifact; the monitor flag forks the key."""
+    fsm = build_main_fsm(SMALL_PARAMS, True)
+    cache = CompileCache()
+    first = compile_fsm(fsm, cache=cache)
+    again = compile_fsm(fsm, cache=cache)
+    assert first is again
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    monitored = compile_fsm(fsm, monitored=True, cache=cache)
+    assert monitored is not first
+    assert cache.stats.misses == 2
+    assert fsm_digest(fsm) == first.structural_key
+    assert fsm_digest(fsm, monitored=True) == monitored.structural_key
+    assert fsm_digest(fsm) != fsm_digest(fsm, monitored=True)
+    assert first.structural_key.startswith("hls:")
+    assert cache.stats.source_bytes == len(first.source) \
+        + len(monitored.source)
+
+
+def test_process_wide_cache_amortises():
+    before = HLS_COMPILE_CACHE.stats
+    fsm = build_main_fsm(SMALL_PARAMS, True)
+    CompiledFsm(fsm)
+    CompiledFsm(fsm)  # second instance must hit
+    after = HLS_COMPILE_CACHE.stats
+    assert after.hits >= before.hits + 1
+
+
+class _FakeProgram:
+    def __init__(self, source):
+        self.source = source
+
+
+def test_cache_lru_eviction():
+    cache = CompileCache(max_entries=2)
+    a = cache.get_or_compile("a", lambda: _FakeProgram("x" * 10))
+    cache.get_or_compile("b", lambda: _FakeProgram("y" * 20))
+    # touch 'a' so 'b' is now the coldest entry
+    assert cache.get_or_compile("a", lambda: _FakeProgram("!")) is a
+    cache.get_or_compile("c", lambda: _FakeProgram("z" * 30))  # evicts 'b'
+    assert len(cache) == 2
+    stats = cache.stats
+    assert stats.evictions == 1
+    assert stats.source_bytes == 10 + 30
+    rebuilt = []
+    cache.get_or_compile("b", lambda: rebuilt.append(1) or
+                         _FakeProgram("y" * 20))
+    assert rebuilt, "evicted entry must recompile"
+    assert cache.stats.evictions == 2  # inserting 'b' evicted 'a'
+    with pytest.raises(ValueError):
+        CompileCache(max_entries=0)
+
+
+def test_cache_stats_fold():
+    cache = CompileCache()
+    cache.get_or_compile("k", lambda: _FakeProgram("abc"))
+    cache.absorb(4, 2, evictions=1)
+    stats = cache.stats + cache.stats
+    assert stats.hits == 8 and stats.misses == 6
+    assert stats.entries == 1  # store sizes do not add across processes
+    assert stats.evictions == 2
+    assert stats.source_bytes == 3
+    assert "compile cache" in stats.format()

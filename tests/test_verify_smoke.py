@@ -21,7 +21,8 @@ def test_verify_smoke_clean_on_head():
     assert report.passed, report.format()
     # every requested level was diffed on every case (alg is the golden)
     keys = {d.spec.key for r in report.case_reports for d in r.diffs}
-    assert keys == {"tlm_refined", "beh_opt",
+    assert keys == {"tlm_refined",
+                    "beh_opt/interpreted", "beh_opt/compiled",
                     "rtl_opt/interpreted", "rtl_opt/compiled",
                     "gate_rtl/interpreted", "gate_rtl/compiled"}
     # coverage was actually collected
