@@ -21,10 +21,13 @@ from repro.rtl import RtlSimulator
 from repro.src_design import build_rtl_design
 
 N_INPUTS = 300
-#: cycles for the batch-parallel compiled behavioural throughput point
+#: cycles for the batch-parallel behavioural throughput points
 BATCH_CYCLES = 400
-#: parallel patterns for that point (the tentpole's headline width)
+#: parallel patterns for the compiled point (the machine-word cap)
 N_PATTERNS = 64
+#: parallel patterns for the vectorized point (numpy lane arrays have
+#: no word cap; 4096 sits past the engine's amortisation knee)
+N_PATTERNS_VEC = 4096
 
 
 @pytest.fixture(scope="module")
@@ -39,8 +42,11 @@ def test_fig08_table(bench_params, rtl_module, capsys):
     clocked levels again on the compiled backend -- the kernel-hosted
     BEH and RTL rows (n_patterns=1) plus the batch-parallel compiled
     behavioural throughput row (n_patterns=64), whose pattern-cycles
-    per second must clear 10x the interpreted BEH row: the headline of
-    the compiled behavioural backend.
+    per second must clear 10x the interpreted BEH row -- and the
+    vectorized behavioural throughput row (n_patterns=4096), which
+    must clear 5x the compiled BEH row and beat the compiled batch
+    row outright.  Batch rows are best-of-3 (minimum wall) so the
+    cross-engine assertions sit above the timing-noise floor.
     """
     results = measure_figure8(bench_params, N_INPUTS,
                               rtl_module=rtl_module)
@@ -64,13 +70,25 @@ def test_fig08_table(bench_params, rtl_module, capsys):
         max(20, N_INPUTS // 8), "RTL",
     )
     rtl_compiled.backend = "compiled"
-    # the headline row: generated code stepping 64 patterns per call
-    beh_batch = measure_beh_throughput(bench_params, BATCH_CYCLES,
-                                       backend="compiled",
-                                       n_patterns=N_PATTERNS)
+    # the compiled headline row: generated code stepping 64 patterns
+    # per call (best-of-3 against the vectorized row below)
+    beh_batch = min(
+        (measure_beh_throughput(bench_params, BATCH_CYCLES,
+                                backend="compiled",
+                                n_patterns=N_PATTERNS)
+         for _ in range(3)),
+        key=lambda r: r.wall_seconds)
+    # the vectorized headline row: the same generated structure over
+    # numpy uint64 lane arrays, 4096 stimulus vectors per call
+    beh_vec = min(
+        (measure_beh_throughput(bench_params, BATCH_CYCLES,
+                                backend="vectorized",
+                                n_patterns=N_PATTERNS_VEC)
+         for _ in range(3)),
+        key=lambda r: r.wall_seconds)
     path = write_bench_json(
         "BENCH_fig08.json",
-        results + [beh_compiled, rtl_compiled, beh_batch])
+        results + [beh_compiled, rtl_compiled, beh_batch, beh_vec])
     with capsys.disabled():
         print()
         print(format_results(
@@ -82,6 +100,8 @@ def test_fig08_table(bench_params, rtl_module, capsys):
               f"{rtl_compiled.cycles_per_second:.1f} cyc/s")
         print(f"BEH compiled x{N_PATTERNS} patterns: "
               f"{beh_batch.cycles_per_second:.1f} pattern-cyc/s")
+        print(f"BEH vectorized x{N_PATTERNS_VEC} patterns: "
+              f"{beh_vec.cycles_per_second:.1f} pattern-cyc/s")
         print(f"wrote {path}")
     speed = {r.level: r.cycles_per_second for r in results}
     assert speed["C++"] > speed["SystemC"] > speed["BEH"] > speed["RTL"]
@@ -91,6 +111,12 @@ def test_fig08_table(bench_params, rtl_module, capsys):
     assert rtl_compiled.cycles_per_second > speed["RTL"]
     # the acceptance headline: >= 10x interpreted BEH at 64 patterns
     assert beh_batch.cycles_per_second >= 10 * speed["BEH"]
+    # the vectorized tier's acceptance: >= 5x the compiled BEH row at
+    # >= 1024 patterns, and it never loses to the compiled batch row
+    assert beh_vec.n_patterns >= 1024
+    assert beh_vec.cycles_per_second \
+        >= 5 * beh_compiled.cycles_per_second
+    assert beh_vec.cycles_per_second >= beh_batch.cycles_per_second
 
 
 def bench_cpp(benchmark, bench_params):

@@ -15,32 +15,37 @@ Usage::
 
 Options: ``--small`` forces the reduced configuration, ``--paper`` the
 paper-scale one.  Defaults: paper scale for synthesis/performance,
-reduced for anything gate-level.  ``--backend interpreted|compiled``
-selects the simulation engine for ``fig8`` and ``fig9`` at every
-clocked level -- behavioural FSM, RTL and gate (compiled = specialised
-codegen with parallel-pattern packing; at the behavioural level each
-scheduled FSM is flattened into straight-line Python).
+reduced for anything gate-level.  ``--backend
+interpreted|compiled|vectorized`` selects the simulation engine for
+``fig8`` and ``fig9`` at every clocked level -- behavioural FSM, RTL
+and gate (compiled = specialised codegen with parallel-pattern packing
+into one machine word; vectorized = the same codegen over numpy uint64
+bitplane/lane arrays with no pattern-width cap; at the behavioural
+level each scheduled FSM is flattened into straight-line Python).
 
 ``verify`` runs the differential verification harness: seeded stimulus
 fuzzing of all levels against the golden model with counterexample
 shrinking and coverage.  Options: ``--levels alg,tlm,beh,rtl,gate``
 (also: tlm-mono, beh-unopt, rtl-unopt, vhdl, gate-beh), ``--seed N``,
 ``--budget smoke|small|medium|large``, ``--backend
-interpreted|compiled|both``, ``--jobs N`` (fan the cases out over a
-worker pool), ``--out DIR`` (write coverage and counterexample
-artefacts), ``--self-check`` (inject a netlist mutation that must be
-caught and shrunk).
+interpreted|compiled|vectorized|both|all`` (``both`` = interpreted +
+compiled, ``all`` = every engine, cross-checked), ``--jobs N`` (fan
+the cases out over a worker pool), ``--out DIR`` (write coverage and
+counterexample artefacts), ``--self-check`` (inject a netlist mutation
+that must be caught and shrunk).
 
 ``fi`` runs a fault-injection campaign against the refined SRC and
 classifies every fault as masked, sdc, detected or hang.  Options:
 ``--level rtl|beh|gate`` (``beh`` = SEUs in the scheduled-FSM state,
-simulated parallel-fault on the compiled behavioural backend),
-``--model stuck0,stuck1,pulse,seu`` (default:
-all), ``--n-faults N``, ``--jobs N``, ``--seed N``, ``--budget
-smoke|small|medium|large`` (workload length), ``--out DIR`` (write the
-campaign report and ``BENCH_fi.json``), ``--self-check`` (additionally
-classify a known-SDC and a known-masked fault, and fail unless both
-land where they must).
+simulated parallel-fault on the batch behavioural backends),
+``--backend compiled|vectorized`` (classification engine: word-width
+pattern batches vs. one whole-faultload numpy sweep), ``--model
+stuck0,stuck1,pulse,seu`` (default: all), ``--n-faults N``, ``--jobs
+N``, ``--seed N``, ``--budget smoke|small|medium|large`` (workload
+length), ``--out DIR`` (write the campaign report and
+``BENCH_fi.json``), ``--self-check`` (additionally classify a
+known-SDC and a known-masked fault, and fail unless both land where
+they must).
 """
 
 from __future__ import annotations
@@ -217,6 +222,7 @@ def cmd_fi(args) -> None:
         budget=_option(args, "--budget", "small"),
         models=tuple(m.strip() for m in models.split(",") if m.strip()),
         exhaustive="--exhaustive" in args,
+        backend=_option(args, "--backend", "compiled"),
     )
     report = run_campaign(config)
     if "--self-check" in args:

@@ -7,6 +7,13 @@ Shared by the compiled gate-level backend
 users sit on opposite sides of the rtl <-> synth import cycle.  The
 flow layer re-exports it from :mod:`repro.flow.artifacts`.
 
+Keys are tagged with the *owning backend* ("compiled", "vectorized",
+...): two engines consuming the same structural digest would otherwise
+collide in one slot and hand each other the wrong program object.  The
+tag is part of the stored key, and hit/miss/eviction counters are kept
+both in total and per backend so flows can report which engine
+amortised its codegen.
+
 The store is bounded: entries are kept in least-recently-used order and
 the oldest one is evicted once ``max_entries`` is exceeded.  Long
 fault-injection campaigns compile one overlay per structural fault set,
@@ -19,9 +26,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, TypeVar
+from typing import Callable, Dict, Mapping, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
+
+#: separator between the backend tag and the structural key; the tag is
+#: recovered from stored keys to attribute evictions to their engine
+_TAG_SEP = "\x1f"
 
 
 @dataclass
@@ -54,7 +65,7 @@ class CacheStats:
 
 class CompileCache:
     """LRU cache of compiled simulation programs, keyed by structural
-    hash.
+    hash plus the owning backend.
 
     Counts hits, misses and evictions so flows and benchmarks can
     report how often codegen was amortised and whether the bound is
@@ -72,38 +83,74 @@ class CompileCache:
         self.misses = 0
         self.evictions = 0
         self._source_bytes = 0
+        #: per-backend mutable counters: [hits, misses, evictions,
+        #: entries, source_bytes]
+        self._backends: Dict[str, list] = {}
 
     @staticmethod
     def _size_of(program: object) -> int:
         return len(getattr(program, "source", "") or "")
 
-    def get_or_compile(self, key: str, factory: Callable[[], T]) -> T:
-        program = self._store.get(key)
+    def _counters(self, backend: str) -> list:
+        counters = self._backends.get(backend)
+        if counters is None:
+            counters = self._backends[backend] = [0, 0, 0, 0, 0]
+        return counters
+
+    def get_or_compile(self, key: str, factory: Callable[[], T],
+                       backend: str = "compiled") -> T:
+        tagged = backend + _TAG_SEP + key
+        counters = self._counters(backend)
+        program = self._store.get(tagged)
         if program is not None:
             self.hits += 1
-            self._store.move_to_end(key)
+            counters[0] += 1
+            self._store.move_to_end(tagged)
             return program  # type: ignore[return-value]
         self.misses += 1
+        counters[1] += 1
         program = factory()
-        self._store[key] = program
-        self._source_bytes += self._size_of(program)
+        self._store[tagged] = program
+        size = self._size_of(program)
+        self._source_bytes += size
+        counters[3] += 1
+        counters[4] += size
         while len(self._store) > self.max_entries:
-            _, evicted = self._store.popitem(last=False)
-            self._source_bytes -= self._size_of(evicted)
+            evicted_key, evicted = self._store.popitem(last=False)
+            evicted_size = self._size_of(evicted)
+            self._source_bytes -= evicted_size
             self.evictions += 1
+            victim = self._counters(evicted_key.split(_TAG_SEP, 1)[0])
+            victim[2] += 1
+            victim[3] -= 1
+            victim[4] -= evicted_size
         return program
 
-    def absorb(self, hits: int, misses: int, evictions: int = 0) -> None:
+    def absorb(self, hits: int, misses: int, evictions: int = 0,
+               by_backend: Optional[Mapping[str, Tuple[int, int, int]]]
+               = None) -> None:
         """Fold counters observed elsewhere into this cache.
 
         Worker processes of a fault-injection campaign or a parallel
         verification run each hold their own process-local cache; their
         per-task counter deltas are shipped back and absorbed here so
-        the parent's reported stats cover the whole run.
+        the parent's reported stats cover the whole run.  *by_backend*
+        optionally carries per-backend ``(hits, misses, evictions)``
+        deltas; without it the totals are attributed to ``"compiled"``.
         """
         self.hits += hits
         self.misses += misses
         self.evictions += evictions
+        if by_backend is None:
+            if hits or misses or evictions:
+                by_backend = {"compiled": (hits, misses, evictions)}
+            else:
+                by_backend = {}
+        for backend, (h, m, e) in by_backend.items():
+            counters = self._counters(backend)
+            counters[0] += h
+            counters[1] += m
+            counters[2] += e
 
     def clear(self) -> None:
         self._store.clear()
@@ -111,6 +158,7 @@ class CompileCache:
         self.misses = 0
         self.evictions = 0
         self._source_bytes = 0
+        self._backends = {}
 
     def __len__(self) -> int:
         return len(self._store)
@@ -119,3 +167,12 @@ class CompileCache:
     def stats(self) -> CacheStats:
         return CacheStats(self.hits, self.misses, len(self._store),
                           self.evictions, self._source_bytes)
+
+    @property
+    def stats_by_backend(self) -> Dict[str, CacheStats]:
+        """Per-backend counter snapshots (insertion order)."""
+        return {
+            backend: CacheStats(hits=c[0], misses=c[1], entries=c[3],
+                                evictions=c[2], source_bytes=c[4])
+            for backend, c in self._backends.items()
+        }

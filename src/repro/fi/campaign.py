@@ -12,16 +12,24 @@ Execution strategies:
   batched into one saboteur overlay and run through the compiled
   backend's pattern planes, pattern 0 carrying the fault-free run as an
   in-flight golden cross-check.  One codegen pass and one simulation
-  sweep classify a whole batch.
+  sweep classify a whole batch (up to the 64-pattern machine-word cap).
+* **gate level, vectorized** -- the same parallel-fault scheme on the
+  numpy bitplane backend, whose pattern width is unbounded: the whole
+  seeded faultload becomes a single sweep instead of a queue of
+  word-sized batches, keeping the pattern-0 golden cross-check.
 * **gate level, interpreted** -- one saboteur overlay and one
   selective-trace simulation per fault (the throughput baseline).
-* **rtl** -- per-fault register-bit flips poked straight into the
-  simulator environment, on either RTL engine.
+* **rtl** -- register-bit flips poked straight into the simulator
+  environment.  The interpreted and compiled engines run one fault per
+  simulation; the vectorized engine sweeps the whole faultload at once,
+  one lane per fault plus the fault-free lane 0.
 * **beh** -- FSM variable-bit flips.  On the compiled behavioural
   backend faults are batched into the pattern planes of one
   :class:`~repro.hls.compiled.CompiledFsmBatch` (pattern 0 fault-free
   as the in-flight golden cross-check, exactly like the gate batches);
-  the interpreted engine runs one fault per simulation.
+  the vectorized backend runs the same scheme whole-faultload-wide on
+  uint64 lane arrays; the interpreted engine runs one fault per
+  simulation.
 
 Campaigns scale across a ``multiprocessing`` worker pool
 (:func:`parallel_map`); classification is a pure function of
@@ -81,7 +89,11 @@ class CampaignConfig:
     budget: str = "small"            # workload size, see BUDGET_FRAMES
     models: Tuple[str, ...] = FAULT_MODELS
     exhaustive: bool = False
-    #: faults per compiled-overlay batch (plus pattern 0 = fault-free)
+    #: classification engine: 'compiled' (word-width pattern batches)
+    #: or 'vectorized' (whole-faultload numpy sweeps)
+    backend: str = "compiled"
+    #: faults per compiled-overlay batch (plus pattern 0 = fault-free);
+    #: the vectorized engine ignores this -- its batch is the faultload
     batch_size: int = 31
     #: faults re-run on the interpreted engine for the throughput probe
     probe_faults: int = 16
@@ -90,6 +102,10 @@ class CampaignConfig:
         if self.level not in LEVELS:
             raise CampaignError(
                 f"unknown level {self.level!r} (expected one of {LEVELS})")
+        if self.backend not in ("compiled", "vectorized"):
+            raise CampaignError(
+                f"unknown campaign backend {self.backend!r} "
+                "(expected 'compiled' or 'vectorized')")
         if self.budget not in BUDGET_FRAMES:
             raise CampaignError(
                 f"unknown budget {self.budget!r} "
@@ -210,8 +226,9 @@ def _classify(fault: Fault, outputs, detected, golden) -> FaultRecord:
 # ----------------------------------------------------------------------
 
 def run_gate_batch(netlist, workload: Workload, faults: Sequence[Fault],
-                   params: SrcParams) -> List[FaultRecord]:
-    """Classify a batch of gate-level faults in one compiled sweep.
+                   params: SrcParams,
+                   backend: str = "compiled") -> List[FaultRecord]:
+    """Classify a batch of gate-level faults in one batched sweep.
 
     Builds a single overlay carrying every structural fault, simulates
     ``len(faults) + 1`` patterns at once -- pattern 0 fault-free, pattern
@@ -219,10 +236,14 @@ def run_gate_batch(netlist, workload: Workload, faults: Sequence[Fault],
     and diffs each pattern's output stream against the golden model.
     The fault-free pattern doubles as an in-run sanity check: if it
     diverges from the golden model the harness itself is broken.
+
+    *backend* selects the pattern engine: ``"compiled"`` caps batches
+    at the 64-pattern machine word, ``"vectorized"`` takes a whole
+    faultload in one numpy sweep.
     """
     overlay = build_overlay(netlist, faults)
     n = len(faults)
-    sim = GateSimulator(overlay.netlist, backend="compiled",
+    sim = GateSimulator(overlay.netlist, backend=backend,
                         n_patterns=n + 1)
     pattern_of = {f.index: b + 1 for b, f in enumerate(faults)}
 
@@ -411,6 +432,60 @@ def run_rtl_fault(module, workload: Workload, fault: Fault,
     return _classify(fault, outputs, detected, golden)
 
 
+def run_rtl_batch(module, workload: Workload, faults: Sequence[Fault],
+                  params: SrcParams) -> List[FaultRecord]:
+    """Classify a batch of RTL faults in one vectorized sweep.
+
+    One :class:`~repro.rtl.vectorized.VectorizedRtlSimulator` carries
+    ``len(faults) + 1`` lanes under the common workload: lane 0 runs
+    fault-free as the in-flight golden cross-check, lane ``b + 1``
+    takes fault ``b``'s register-bit flip at its injection cycle --
+    the RTL mirror of the gate level's parallel-fault batches.
+    Register state is held per lane, so a single settle/step pass per
+    cycle classifies the whole faultload.
+    """
+    import numpy as np
+
+    n = len(faults)
+    sim = RtlSimulator(module, backend="vectorized", n_patterns=n + 1)
+    pokes: Dict[int, List[Tuple[int, Fault]]] = {}
+    for b, fault in enumerate(faults):
+        pokes.setdefault(fault.cycle, []).append((b + 1, fault))
+
+    by_tick = _resolve_frames(workload)
+    golden = workload.golden
+    expected = workload.expected
+    dw = params.data_width
+    outputs: List[List[Tuple[int, int]]] = [[] for _ in range(n + 1)]
+    remaining = n + 1
+    tick = 0
+    while tick <= workload.cycle_budget and remaining:
+        if tick in pokes:
+            for p, fault in pokes[tick]:
+                sim.env[fault.target][p] ^= np.uint64(1 << fault.bit)
+            sim.settle()
+        _drive_workload_inputs(sim, by_tick.get(tick, ()))
+        sim.step()
+        valid = sim.get_patterns("out_valid")
+        if any(valid):
+            out_l = sim.get_patterns("out_l")
+            out_r = sim.get_patterns("out_r")
+            for p in range(n + 1):
+                if valid[p] and len(outputs[p]) < expected:
+                    outputs[p].append((wrap_signed(out_l[p], dw),
+                                       wrap_signed(out_r[p], dw)))
+                    if len(outputs[p]) >= expected:
+                        remaining -= 1
+        tick += 1
+
+    if outputs[0] != golden:
+        raise CampaignError(
+            f"fault-free pattern diverged from the golden model on "
+            f"module {module.name!r} -- campaign harness bug")
+    return [_classify(fault, outputs[b + 1], None, golden)
+            for b, fault in enumerate(faults)]
+
+
 # ----------------------------------------------------------------------
 # behavioural level: FSM variable-bit flips
 # ----------------------------------------------------------------------
@@ -431,17 +506,21 @@ def _workload_stimulus(events):
 
 
 def run_beh_batch(fsm, workload: Workload, faults: Sequence[Fault],
-                  params: SrcParams) -> List[FaultRecord]:
-    """Classify a batch of behavioural faults in one compiled sweep.
+                  params: SrcParams,
+                  backend: str = "compiled") -> List[FaultRecord]:
+    """Classify a batch of behavioural faults in one batched sweep.
 
     One :class:`BehavioralBatchSimulation` carries ``len(faults) + 1``
     private FSM instances under the common workload: pattern 0 runs
     fault-free as the in-flight golden cross-check, pattern ``b + 1``
     takes fault ``b``'s variable-bit flip at its injection cycle --
     the behavioural mirror of the gate level's parallel-fault batches.
+    *backend* picks the batch engine (``"compiled"`` per-pattern
+    environments, ``"vectorized"`` uint64 lane arrays).
     """
     n = len(faults)
-    sim = BehavioralBatchSimulation(params, n + 1, fsm=fsm)
+    sim = BehavioralBatchSimulation(params, n + 1, fsm=fsm,
+                                    backend=backend)
     pokes: Dict[int, List[Tuple[int, Fault]]] = {}
     for b, fault in enumerate(faults):
         pokes.setdefault(fault.cycle, []).append((b + 1, fault))
@@ -455,8 +534,11 @@ def run_beh_batch(fsm, workload: Workload, faults: Sequence[Fault],
     tick = 0
     while tick <= workload.cycle_budget and remaining:
         for p, fault in pokes.get(tick, ()):
-            env = sim.batch.envs[p]
-            env[fault.target] = env[fault.target] ^ (1 << fault.bit)
+            if backend == "vectorized":
+                sim.batch.flip_bit(p, fault.target, fault.bit)
+            else:
+                env = sim.batch.envs[p]
+                env[fault.target] = env[fault.target] ^ (1 << fault.bit)
         frame, cfg, req = _workload_stimulus(by_tick.get(tick, ()))
         if frame is not None:
             sim.drive_input(frame[0], frame[1])
@@ -522,19 +604,20 @@ _WORKER: Dict[str, object] = {}
 
 
 def _init_worker(params: SrcParams, level: str, seed: int,
-                 budget: str) -> None:
+                 budget: str, backend: str = "compiled") -> None:
     """(Re)build per-process campaign state.
 
     Pure function of its arguments, so forked workers (which inherit
     the parent's state -- detected via the key check) skip the rebuild,
     while spawned workers reconstruct identical state from scratch.
     """
-    key = (params, level, seed, budget)
+    key = (params, level, seed, budget, backend)
     if _WORKER.get("key") == key:
         return
     _WORKER.clear()
     _WORKER["key"] = key
     _WORKER["params"] = params
+    _WORKER["backend"] = backend
     _WORKER["workload"] = make_workload(params, seed, budget)
     if level == "gate":
         _WORKER["netlist"] = build_campaign_netlist(params)
@@ -544,16 +627,37 @@ def _init_worker(params: SrcParams, level: str, seed: int,
         _WORKER["module"] = build_module(params, Level.RTL_OPT)
 
 
-def cache_counters() -> Tuple[int, int, int, int, int, int]:
-    """Snapshot of this process's compile-cache hit/miss counters.
+#: the caches a campaign touches, report label -> cache instance
+_CACHES = (("gate", COMPILE_CACHE), ("rtl", RTL_COMPILE_CACHE),
+           ("hls", HLS_COMPILE_CACHE))
 
-    Pool tasks snapshot before/after their work and ship the deltas
-    back; :func:`absorb_cache_deltas` folds them into the parent's
+
+def cache_counters():
+    """Snapshot of this process's compile-cache counters.
+
+    One ``{backend: (hits, misses, evictions)}`` mapping per cache
+    (gate, rtl, hls).  Pool tasks snapshot before/after their work and
+    ship the :func:`cache_delta` of the pair back;
+    :func:`absorb_cache_deltas` folds the deltas into the parent's
     caches so reported stats cover every worker process.
     """
-    g, r, h = (COMPILE_CACHE.stats, RTL_COMPILE_CACHE.stats,
-               HLS_COMPILE_CACHE.stats)
-    return (g.hits, g.misses, r.hits, r.misses, h.hits, h.misses)
+    return tuple(
+        {b: (s.hits, s.misses, s.evictions)
+         for b, s in cache.stats_by_backend.items()}
+        for _, cache in _CACHES)
+
+
+def cache_delta(before, after):
+    """Per-backend counter growth between two snapshots."""
+    deltas = []
+    for b_map, a_map in zip(before, after):
+        d = {}
+        for backend, (h, m, e) in a_map.items():
+            h0, m0, e0 = b_map.get(backend, (0, 0, 0))
+            if h != h0 or m != m0 or e != e0:
+                d[backend] = (h - h0, m - m0, e - e0)
+        deltas.append(d)
+    return tuple(deltas)
 
 
 def _gate_batch_task(faults: Sequence[Fault]):
@@ -561,7 +665,9 @@ def _gate_batch_task(faults: Sequence[Fault]):
     before = cache_counters()
     try:
         records = run_gate_batch(_WORKER["netlist"], _WORKER["workload"],
-                                 faults, _WORKER["params"])
+                                 faults, _WORKER["params"],
+                                 backend=_WORKER.get("backend",
+                                                     "compiled"))
     except CampaignError:
         raise
     except Exception:
@@ -574,7 +680,7 @@ def _gate_batch_task(faults: Sequence[Fault]):
             for fault in faults
         ]
     after = cache_counters()
-    return records, tuple(a - b for a, b in zip(after, before))
+    return records, cache_delta(before, after)
 
 
 def _rtl_fault_task(fault: Fault):
@@ -583,7 +689,27 @@ def _rtl_fault_task(fault: Fault):
     record = run_rtl_fault(_WORKER["module"], _WORKER["workload"], fault,
                            _WORKER["params"], backend="compiled")
     after = cache_counters()
-    return record, tuple(a - b for a, b in zip(after, before))
+    return record, cache_delta(before, after)
+
+
+def _rtl_batch_task(faults: Sequence[Fault]):
+    """Pool task: classify one vectorized RTL sweep; records + deltas."""
+    before = cache_counters()
+    try:
+        records = run_rtl_batch(_WORKER["module"], _WORKER["workload"],
+                                faults, _WORKER["params"])
+    except CampaignError:
+        raise
+    except Exception:
+        # a whole-sweep failure cannot be attributed to one fault:
+        # isolate by re-running each fault in its own scalar run
+        records = [
+            run_rtl_fault(_WORKER["module"], _WORKER["workload"], fault,
+                          _WORKER["params"], backend="compiled")
+            for fault in faults
+        ]
+    after = cache_counters()
+    return records, cache_delta(before, after)
 
 
 def _beh_batch_task(faults: Sequence[Fault]):
@@ -591,7 +717,9 @@ def _beh_batch_task(faults: Sequence[Fault]):
     before = cache_counters()
     try:
         records = run_beh_batch(_WORKER["fsm"], _WORKER["workload"],
-                                faults, _WORKER["params"])
+                                faults, _WORKER["params"],
+                                backend=_WORKER.get("backend",
+                                                    "compiled"))
     except CampaignError:
         raise
     except Exception:
@@ -604,7 +732,7 @@ def _beh_batch_task(faults: Sequence[Fault]):
             for fault in faults
         ]
     after = cache_counters()
-    return records, tuple(a - b for a, b in zip(after, before))
+    return records, cache_delta(before, after)
 
 
 def parallel_map(fn, tasks: Sequence, jobs: int,
@@ -629,34 +757,51 @@ def parallel_map(fn, tasks: Sequence, jobs: int,
 
 def absorb_cache_deltas(deltas) -> None:
     """Fold worker cache deltas into the parent's caches."""
-    gh = gm = rh = rm = hh = hm = 0
-    for d in deltas:
-        gh += d[0]
-        gm += d[1]
-        rh += d[2]
-        rm += d[3]
-        hh += d[4]
-        hm += d[5]
-    COMPILE_CACHE.absorb(gh, gm)
-    RTL_COMPILE_CACHE.absorb(rh, rm)
-    HLS_COMPILE_CACHE.absorb(hh, hm)
+    for i, (_, cache) in enumerate(_CACHES):
+        merged: Dict[str, List[int]] = {}
+        for delta in deltas:
+            for backend, (h, m, e) in delta[i].items():
+                c = merged.setdefault(backend, [0, 0, 0])
+                c[0] += h
+                c[1] += m
+                c[2] += e
+        if merged:
+            cache.absorb(sum(c[0] for c in merged.values()),
+                         sum(c[1] for c in merged.values()),
+                         sum(c[2] for c in merged.values()),
+                         by_backend={b: tuple(c)
+                                     for b, c in merged.items()})
 
 
 # ----------------------------------------------------------------------
 # campaign entry points
 # ----------------------------------------------------------------------
 
+def _vector_chunk(n_faults: int, jobs: int) -> int:
+    """Vectorized task width: the whole faultload per worker.
+
+    The vectorized engine has no machine-word pattern cap, so its
+    batches are never truncated to the compiled backend's 64-pattern
+    width -- the faultload is split only as far as needed to feed every
+    pool worker one sweep.
+    """
+    return max(1, -(-n_faults // max(jobs, 1)))
+
+
 def run_campaign(config: CampaignConfig) -> CampaignReport:
     """Run a full fault-injection campaign per *config*.
 
-    Classifies every fault on the compiled engine (batched at gate
-    level), then re-runs a probe slice on the interpreted engine to
-    measure both engines' injection throughput -- cross-checking that
-    the probe's classifications agree exactly.
+    Classifies every fault on the configured batch engine (compiled
+    word-width batches or whole-faultload vectorized sweeps), then
+    re-runs a probe slice on the remaining engines to measure every
+    engine's injection throughput -- cross-checking that the probe's
+    classifications agree exactly.
     """
     config = config.validated()
-    _init_worker(config.params, config.level, config.seed, config.budget)
+    _init_worker(config.params, config.level, config.seed, config.budget,
+                 config.backend)
     workload: Workload = _WORKER["workload"]  # type: ignore[assignment]
+    backend = config.backend
 
     if config.level == "gate":
         netlist = _WORKER["netlist"]
@@ -664,8 +809,10 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             netlist, config.n_faults, config.seed, workload.cycle_budget,
             models=config.models, exhaustive=config.exhaustive)
         design = netlist.name
-        tasks = [faults[i:i + config.batch_size]
-                 for i in range(0, len(faults), config.batch_size)]
+        chunk = (_vector_chunk(len(faults), config.jobs)
+                 if backend == "vectorized" else config.batch_size)
+        tasks = [faults[i:i + chunk]
+                 for i in range(0, len(faults), chunk)]
         task_fn = _gate_batch_task
     elif config.level == "beh":
         fsm = _WORKER["fsm"]
@@ -673,8 +820,10 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             fsm, config.n_faults, config.seed, workload.cycle_budget,
             exhaustive=config.exhaustive)
         design = fsm.name
-        tasks = [faults[i:i + config.batch_size]
-                 for i in range(0, len(faults), config.batch_size)]
+        chunk = (_vector_chunk(len(faults), config.jobs)
+                 if backend == "vectorized" else config.batch_size)
+        tasks = [faults[i:i + chunk]
+                 for i in range(0, len(faults), chunk)]
         task_fn = _beh_batch_task
     else:
         module = _WORKER["module"]
@@ -682,27 +831,69 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             module, config.n_faults, config.seed, workload.cycle_budget,
             exhaustive=config.exhaustive)
         design = module.name
-        tasks = list(faults)
-        task_fn = _rtl_fault_task
+        if backend == "vectorized":
+            chunk = _vector_chunk(len(faults), config.jobs)
+            tasks = [faults[i:i + chunk]
+                     for i in range(0, len(faults), chunk)]
+            task_fn = _rtl_batch_task
+        else:
+            tasks = list(faults)
+            task_fn = _rtl_fault_task
 
     t0 = time.perf_counter()
     results = parallel_map(
         task_fn, tasks, config.jobs, initializer=_init_worker,
-        initargs=(config.params, config.level, config.seed, config.budget))
-    compiled_wall = time.perf_counter() - t0
+        initargs=(config.params, config.level, config.seed, config.budget,
+                  config.backend))
+    main_wall = time.perf_counter() - t0
     if config.jobs > 1 and len(tasks) > 1:
         # pool runs hit worker-local caches; in-process runs already
         # counted against the parent's, so absorbing would double-count
         absorb_cache_deltas([r[1] for r in results])
-    if config.level in ("gate", "beh"):
-        records = [rec for batch, _ in results for rec in batch]
-    else:
+    if task_fn is _rtl_fault_task:
         records = [rec for rec, _ in results]
+    else:
+        records = [rec for batch, _ in results for rec in batch]
+
+    throughput = [Throughput(backend, len(faults), main_wall)]
+    probe = faults[:min(config.probe_faults, len(faults))]
+
+    if backend == "vectorized" and probe:
+        # compiled-engine probe: the word-width batch baseline the
+        # vectorized sweep replaces, on the same leading faults
+        t0 = time.perf_counter()
+        compiled_records: List[FaultRecord] = []
+        if config.level == "gate":
+            for i in range(0, len(probe), config.batch_size):
+                compiled_records += run_gate_batch(
+                    _WORKER["netlist"], workload,
+                    probe[i:i + config.batch_size], config.params,
+                    backend="compiled")
+        elif config.level == "beh":
+            for i in range(0, len(probe), config.batch_size):
+                compiled_records += run_beh_batch(
+                    _WORKER["fsm"], workload,
+                    probe[i:i + config.batch_size], config.params,
+                    backend="compiled")
+        else:
+            compiled_records = [
+                run_rtl_fault(_WORKER["module"], workload, fault,
+                              config.params, backend="compiled")
+                for fault in probe]
+        compiled_wall = time.perf_counter() - t0
+        for fault, main_record, comp in zip(probe, records,
+                                            compiled_records):
+            if comp.outcome != main_record.outcome:
+                raise CampaignError(
+                    f"engines disagree on {fault.format()}: compiled "
+                    f"says {comp.outcome}, vectorized says "
+                    f"{main_record.outcome}")
+        throughput.append(
+            Throughput("compiled", len(probe), compiled_wall))
 
     # interpreted-engine probe: same faults, same classifications
-    probe = faults[:min(config.probe_faults, len(faults))]
     t0 = time.perf_counter()
-    for fault, compiled_record in zip(probe, records):
+    for fault, main_record in zip(probe, records):
         if config.level == "gate":
             interp = run_gate_fault_scalar(
                 _WORKER["netlist"], workload, fault, config.params,
@@ -715,27 +906,27 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             interp = run_rtl_fault(
                 _WORKER["module"], workload, fault, config.params,
                 backend="interpreted")
-        if interp.outcome != compiled_record.outcome:
+        if interp.outcome != main_record.outcome:
             raise CampaignError(
                 f"engines disagree on {fault.format()}: interpreted says "
-                f"{interp.outcome}, compiled says "
-                f"{compiled_record.outcome}")
+                f"{interp.outcome}, {backend} says "
+                f"{main_record.outcome}")
     interp_wall = time.perf_counter() - t0
+    throughput.append(Throughput("interpreted", len(probe), interp_wall))
+
+    cache_stats = {label: cache.stats for label, cache in _CACHES}
+    for label, cache in _CACHES:
+        for b, s in cache.stats_by_backend.items():
+            cache_stats[f"{label}[{b}]"] = s
 
     report = CampaignReport(
         level=config.level, design=design, seed=config.seed,
         budget=config.budget, jobs=config.jobs,
+        backend=config.backend,
         n_workload_frames=workload.case.n_inputs,
         cycle_budget=workload.cycle_budget, records=records,
-        throughput=[
-            Throughput("compiled", len(faults), compiled_wall),
-            Throughput("interpreted", len(probe), interp_wall),
-        ],
-        cache_stats={
-            "gate": COMPILE_CACHE.stats,
-            "rtl": RTL_COMPILE_CACHE.stats,
-            "hls": HLS_COMPILE_CACHE.stats,
-        },
+        throughput=throughput,
+        cache_stats=cache_stats,
     )
     return report
 

@@ -127,6 +127,8 @@ class CampaignReport:
     jobs: int
     n_workload_frames: int
     cycle_budget: int
+    #: the classification engine the campaign ran on
+    backend: str = "compiled"
     records: List[FaultRecord] = field(default_factory=list)
     throughput: List[Throughput] = field(default_factory=list)
     #: aggregated across parent + worker processes
@@ -156,6 +158,7 @@ class CampaignReport:
             "campaign": {
                 "level": self.level,
                 "design": self.design,
+                "backend": self.backend,
                 "seed": self.seed,
                 "budget": self.budget,
                 "jobs": self.jobs,
@@ -181,8 +184,8 @@ class CampaignReport:
         counts = self.classification
         lines = [
             f"Fault-injection campaign: {n} faults, level={self.level}, "
-            f"design={self.design}, seed={self.seed}, "
-            f"budget={self.budget}, jobs={self.jobs}",
+            f"design={self.design}, backend={self.backend}, "
+            f"seed={self.seed}, budget={self.budget}, jobs={self.jobs}",
             f"workload: {self.n_workload_frames} frames, "
             f"cycle budget {self.cycle_budget}",
         ]

@@ -48,8 +48,9 @@ def write_artifacts(params: SrcParams, directory: str,
     """Generate all flow artefacts for *params* into *directory*.
 
     *backend* selects the gate-level simulation engine for the waveform
-    run; ``"compiled"`` additionally leaves a ``compile_cache.txt``
-    report of the in-process compile-cache counters.
+    run; ``"compiled"`` and ``"vectorized"`` additionally leave a
+    ``compile_cache.txt`` report of the in-process compile-cache
+    counters, broken down per owning backend.
     """
     os.makedirs(directory, exist_ok=True)
     index = ArtifactIndex(directory)
@@ -121,16 +122,17 @@ def write_artifacts(params: SrcParams, directory: str,
     tracer.write(wave_path)
     index.add(wave_path)
 
-    if backend == "compiled":
+    if backend in ("compiled", "vectorized"):
         from ..hls import HLS_COMPILE_CACHE
 
         cache_path = os.path.join(directory, "compile_cache.txt")
         with open(cache_path, "w", encoding="utf-8") as fh:
-            fh.write("gate-level  " + COMPILE_CACHE.stats.format() + "\n")
-            fh.write("rtl         " + RTL_COMPILE_CACHE.stats.format()
-                     + "\n")
-            fh.write("behavioural " + HLS_COMPILE_CACHE.stats.format()
-                     + "\n")
+            for label, cache in (("gate-level", COMPILE_CACHE),
+                                 ("rtl", RTL_COMPILE_CACHE),
+                                 ("behavioural", HLS_COMPILE_CACHE)):
+                fh.write(f"{label:11s} " + cache.stats.format() + "\n")
+                for b, s in cache.stats_by_backend.items():
+                    fh.write(f"  [{b}] " + s.format() + "\n")
         index.add(cache_path)
 
     index_path = os.path.join(directory, "INDEX.txt")
@@ -213,8 +215,9 @@ def write_fi_bench_json(report, path: str = "BENCH_fi.json") -> str:
     directory can be redirected with ``REPRO_BENCH_DIR``; returns the
     path written.  The payload pins the campaign identity (level, seed,
     budget), the outcome classification (total and per fault model /
-    target kind), injection throughput of both simulation engines and
-    the aggregated compile-cache counters -- enough to track
+    target kind), injection throughput of every simulation engine the
+    campaign exercised and the aggregated compile-cache counters
+    (total and per owning backend) -- enough to track
     dependability and injection-speed trajectories across changes.
     """
     bench_dir = os.environ.get("REPRO_BENCH_DIR")

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..gatesim import GateSimulator
 from ..hls.compiled import CompiledFsmBatch
 from ..hls.interpreter import FsmInterpreter
+from ..hls.vectorized import VectorizedFsmBatch
 from ..kernel import Clock, Module, Simulation
 from ..rtl import RtlSimulator
 from ..src_design.behavioral import BehavioralSimulation, build_main_fsm
@@ -209,10 +210,12 @@ def measure_beh_throughput(params: SrcParams, cycles: int,
     vectors each cycle -- the access pattern of batch regression and
     fault simulation, mirroring
     :func:`repro.cosim.measure.measure_gate_throughput`.  With the
-    compiled backend and ``n_patterns=N`` each simulated cycle
-    evaluates N independent stimulus vectors in one generated-code
-    call, and :attr:`SimPerfResult.cycles_per_second` reports
-    pattern-cycles per second.
+    compiled or vectorized backend and ``n_patterns=N`` each simulated
+    cycle evaluates N independent stimulus vectors in one
+    generated-code call, and :attr:`SimPerfResult.cycles_per_second`
+    reports pattern-cycles per second.  The compiled batch holds one
+    Python environment per pattern; the vectorized batch holds uint64
+    lane arrays, so wide widths (>= 1024 patterns) are its territory.
     """
     fsm = build_main_fsm(params, optimized)
     in_ports = [(p.name, 1 << p.width)
@@ -221,9 +224,11 @@ def measure_beh_throughput(params: SrcParams, cycles: int,
                     if p.direction == "out")
     if backend == "compiled":
         sim = CompiledFsmBatch(fsm, n_patterns)
+    elif backend == "vectorized":
+        sim = VectorizedFsmBatch(fsm, n_patterns)
     elif backend == "interpreted":
         if n_patterns != 1:
-            raise ValueError("parallel patterns need the compiled backend")
+            raise ValueError("parallel patterns need a batch backend")
         sim = FsmInterpreter(fsm)
     else:
         raise ValueError(f"unknown behavioural backend {backend!r}")
@@ -231,7 +236,7 @@ def measure_beh_throughput(params: SrcParams, cycles: int,
     # Stimulus is pre-generated so the timed region measures the FSM
     # engine, not the random-number generator (whose cost would grow
     # with n_patterns and flatten the batch advantage).
-    if backend == "compiled":
+    if backend in ("compiled", "vectorized"):
         stim = [[(name, [rng.randrange(span) for _ in range(n_patterns)])
                  for name, span in in_ports] for _ in range(cycles)]
         start = time.perf_counter()

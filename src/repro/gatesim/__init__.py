@@ -14,11 +14,12 @@ from .levelize import LevelUnit, levelize
 from .memory import AccessViolation, CheckingMemoryModel, MemoryModel
 from .simulator import BACKENDS, GateSimError, GateSimulator
 from .trace import GateVcdTracer
+from .vectorized import VectorizedGateSimulator
 
 __all__ = [
     "AccessViolation", "BACKENDS", "COMPILE_CACHE", "CacheStats",
     "CheckingMemoryModel", "CompileCache", "CompiledGateSimulator",
     "CompiledProgram", "GateSimError", "GateSimulator", "GateVcdTracer",
-    "LevelUnit", "MemoryModel", "compile_netlist", "levelize",
-    "structural_hash",
+    "LevelUnit", "MemoryModel", "VectorizedGateSimulator",
+    "compile_netlist", "levelize", "structural_hash",
 ]

@@ -24,7 +24,7 @@ class GateSimError(RuntimeError):
 
 
 #: valid values for the ``backend=`` argument of :class:`GateSimulator`
-BACKENDS = ("interpreted", "compiled")
+BACKENDS = ("interpreted", "compiled", "vectorized")
 
 
 class _Unit:
@@ -43,9 +43,13 @@ class GateSimulator:
     """Cycle-oriented 4-valued simulator for a :class:`Netlist`.
 
     ``backend`` selects the engine: ``"interpreted"`` (this class,
-    selective trace, the default) or ``"compiled"``, which returns a
-    :class:`~repro.gatesim.compiled.CompiledGateSimulator` -- same
-    public API, whole-cone codegen plus parallel-pattern evaluation.
+    selective trace, the default), ``"compiled"`` -- a
+    :class:`~repro.gatesim.compiled.CompiledGateSimulator`, same public
+    API, whole-cone codegen plus parallel-pattern evaluation -- or
+    ``"vectorized"``, a
+    :class:`~repro.gatesim.vectorized.VectorizedGateSimulator` running
+    the same generated code over numpy uint64 bitplanes for wide-word
+    pattern counts.
     """
 
     backend = "interpreted"
@@ -56,6 +60,12 @@ class GateSimulator:
             if backend == "compiled":
                 from .compiled import CompiledGateSimulator
                 return CompiledGateSimulator(
+                    netlist, checking_memories=checking_memories,
+                    reporter=reporter, **kwargs,
+                )
+            if backend == "vectorized":
+                from .vectorized import VectorizedGateSimulator
+                return VectorizedGateSimulator(
                     netlist, checking_memories=checking_memories,
                     reporter=reporter, **kwargs,
                 )

@@ -12,14 +12,18 @@ from .ir import (Assign, For, HlsError, HlsMemory, HlsPort, HlsProgram, If,
 from .schedule import (Fsm, FsmState, MemReadOp, MemWriteOp, PortWriteOp,
                        RegWriteOp, Scheduler, SchedulingConstraints,
                        Transition, prune_dead_reg_writes)
+from .vectorized import (HlsVectorizedProgram, VectorizedFsm,
+                         VectorizedFsmBatch, compile_fsm_vectorized)
 
 __all__ = [
     "Assign", "CompiledFsm", "CompiledFsmBatch", "For", "Fsm",
     "FsmInterpreter", "FsmState", "GeneratedFsm", "HLS_COMPILE_CACHE",
     "HlsCompiledProgram", "HlsError", "HlsMemory", "HlsPort", "HlsProgram",
-    "If", "MemReadOp", "MemReadStmt", "MemWriteOp", "MemWriteStmt",
-    "PortWrite", "PortWriteOp", "RegWriteOp", "RegisterBinding", "Scheduler",
-    "SchedulingConstraints", "Stmt", "Transition", "WaitCycle", "WaitUntil",
-    "bind_registers", "compile_fsm", "compute_liveness", "estimate_delay",
-    "fsm_digest", "generate_rtl", "node_delay", "prune_dead_reg_writes",
+    "HlsVectorizedProgram", "If", "MemReadOp", "MemReadStmt", "MemWriteOp",
+    "MemWriteStmt", "PortWrite", "PortWriteOp", "RegWriteOp",
+    "RegisterBinding", "Scheduler", "SchedulingConstraints", "Stmt",
+    "Transition", "VectorizedFsm", "VectorizedFsmBatch", "WaitCycle",
+    "WaitUntil", "bind_registers", "compile_fsm", "compile_fsm_vectorized",
+    "compute_liveness", "estimate_delay", "fsm_digest", "generate_rtl",
+    "node_delay", "prune_dead_reg_writes",
 ]

@@ -8,6 +8,8 @@ from .lint import LintWarning, format_lint, lint
 from .ir import (CombAssign, MemReadPort, MemWritePort, RtlError, RtlMemory,
                  RtlModule, RtlPort, RtlRegister)
 from .simulate import RtlSimulator
+from .vectorized import (RtlVectorizedProgram, VectorizedRtlSimulator,
+                         compile_rtl_vectorized)
 from .verilog import emit_verilog
 
 __all__ = [
@@ -15,8 +17,9 @@ __all__ = [
     "CombAssign", "Const", "Expr", "Ext", "MemRead", "MemReadPort",
     "MemWritePort", "Mul", "Mux", "RTL_COMPILE_CACHE", "Reduce", "Ref",
     "RtlCompiledProgram", "RtlError", "RtlMemory", "RtlModule", "RtlPort",
-    "RtlRegister", "RtlSimulator", "Shl", "Shr",
-    "LintWarning", "Slice", "SMul", "Sra", "Sub", "as_expr", "compile_rtl",
+    "RtlRegister", "RtlSimulator", "RtlVectorizedProgram", "Shl", "Shr",
+    "LintWarning", "Slice", "SMul", "Sra", "Sub", "VectorizedRtlSimulator",
+    "as_expr", "compile_rtl", "compile_rtl_vectorized",
     "emit_verilog", "evaluate", "format_lint", "lint",
     "traverse",
 ]

@@ -27,19 +27,39 @@ class RtlSimulator:
     ``backend="interpreted"`` (default) evaluates per-expression Python
     closures; ``backend="compiled"`` emits the whole module -- settle,
     register updates, memory writes and the cycle loop -- as one
-    generated function (see :mod:`repro.rtl.compiled`).  A memory
+    generated function (see :mod:`repro.rtl.compiled`);
+    ``backend="vectorized"`` runs the same generated statements over
+    numpy uint64 lanes, one stimulus pattern per lane (see
+    :class:`~repro.rtl.vectorized.VectorizedRtlSimulator`).  A memory
     monitor needs per-access callbacks, so it forces the interpreted
     engine.
     """
 
+    def __new__(cls, module: RtlModule = None,
+                mem_monitor: Optional[MemMonitor] = None,
+                backend: str = "interpreted", **kwargs):
+        if (cls is RtlSimulator and backend == "vectorized"
+                and mem_monitor is None):
+            from .vectorized import VectorizedRtlSimulator
+            return VectorizedRtlSimulator(module, **kwargs)
+        return object.__new__(cls)
+
     def __init__(self, module: RtlModule,
                  mem_monitor: Optional[MemMonitor] = None,
-                 backend: str = "interpreted"):
-        if backend not in ("interpreted", "compiled"):
+                 backend: str = "interpreted", **kwargs):
+        if backend not in ("interpreted", "compiled", "vectorized"):
             raise RtlError(
                 f"unknown backend {backend!r} "
-                "(expected 'interpreted' or 'compiled')"
+                "(expected 'interpreted', 'compiled' or 'vectorized')"
             )
+        if kwargs:
+            raise RtlError(
+                f"unsupported options for the {backend!r} backend: "
+                f"{sorted(kwargs)}"
+            )
+        if backend == "vectorized":
+            # only reachable with a memory monitor (see __new__)
+            backend = "interpreted"
         module.validate()
         self.module = module
         self.mem_monitor = mem_monitor

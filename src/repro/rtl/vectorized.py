@@ -1,0 +1,530 @@
+"""Vectorized wide-word RTL simulation (numpy uint64 lanes).
+
+Mirrors :mod:`repro.rtl.compiled` -- the whole module becomes one
+generated Python function -- but every net value is a ``uint64``
+ndarray of shape ``(n_patterns,)``: one lane per stimulus pattern, so a
+single ``step`` evaluates thousands of independent vectors.
+
+The emitter keeps the compiled backend's statement structure
+(id-memoised temp hoisting, per-write-port fresh memos for
+read-after-write ordering) but replaces the data-dependent Python
+ternaries with lane-parallel numpy forms:
+
+* signed interpretation via full-width two's complement:
+  ``(a ^ s) - s`` wraps mod 2**64, then an ``int64`` view gives signed
+  compares/shifts without ever mixing ``int64`` with ``uint64`` in an
+  arithmetic op (which numpy would promote to ``float64``);
+* ``Mux``/``Case`` become ``np.where`` chains;
+* memory reads become bounds-guarded gathers from pattern-major
+  ``(n_patterns, depth)`` storage; write ports become boolean scatters.
+
+All expression widths must fit one 64-bit lane; wider nodes raise
+:class:`~repro.rtl.ir.RtlError` at compile time.  Programs are cached
+in :data:`~repro.rtl.compiled.RTL_COMPILE_CACHE` under the
+``"vectorized"`` backend tag.
+
+The same emitter serves the behavioural (HLS) vectorized backend --
+FSM micro-operations hold :mod:`repro.rtl.expr` trees too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..compile_cache import CompileCache
+from ..datatypes.bits import mask
+from .compiled import RTL_COMPILE_CACHE
+from .expr import (
+    Add,
+    BitAnd,
+    BitNot,
+    BitOr,
+    BitXor,
+    Case,
+    Cat,
+    Cmp,
+    Const,
+    Expr,
+    Ext,
+    MemRead,
+    Mul,
+    Mux,
+    Reduce,
+    Ref,
+    Shl,
+    Shr,
+    Slice,
+    SMul,
+    Sra,
+    Sub,
+    traverse,
+)
+from .ir import RtlError, RtlModule
+
+__all__ = [
+    "RtlVectorizedProgram", "VectorEmitter", "VectorizedRtlSimulator",
+    "check_lane_widths", "compile_rtl_vectorized", "make_runtime",
+]
+
+
+def check_lane_widths(exprs: Iterable[Expr], context: str) -> None:
+    """Every node of every tree must fit one uint64 lane."""
+    for expr in exprs:
+        for node in traverse(expr):
+            if node.width > 64:
+                raise RtlError(
+                    f"{context}: expression width {node.width} exceeds "
+                    "the 64-bit lane of the vectorized backend "
+                    "(use 'interpreted' or 'compiled')"
+                )
+
+
+def make_runtime(n_patterns: int) -> Dict[str, object]:
+    """The helper namespace the generated vectorized code runs in.
+
+    Everything is closed over ``n_patterns``; values flowing through
+    the generated code are either ``(n,)`` uint64 ndarrays or plain
+    Python ints (constants) -- the helpers accept both.
+    """
+    n = n_patterns
+    rows = np.arange(n)
+    u0 = np.uint64(0)
+
+    def _bc(x):
+        """Broadcast to a fresh writable (n,) uint64 array.
+
+        Views (e.g. a memory-column gather) are copied so env entries
+        never alias backing storage -- in-place pokes must stay local.
+        """
+        if isinstance(x, np.ndarray) and x.shape == (n,) \
+                and x.dtype == np.uint64:
+            return x if x.base is None else x.copy()
+        out = np.empty(n, dtype=np.uint64)
+        out[...] = np.asarray(x, dtype=np.uint64)
+        return out
+
+    def _u(x):
+        """Coerce to uint64 (no-op for uint64 arrays)."""
+        return np.asarray(x, dtype=np.uint64)
+
+    def _sgn(a, w):
+        """w-bit value -> full-width signed int64 (lane-parallel)."""
+        s = np.uint64(1 << (w - 1))
+        # modular wrap below zero is the point; 0-dim operands warn
+        with np.errstate(over="ignore"):
+            return ((np.asarray(a, dtype=np.uint64) ^ s) - s).view(np.int64)
+
+    def _b2u(b):
+        """Comparison result -> uint64 0/1."""
+        return np.asarray(b).astype(np.uint64)
+
+    def _wc(cond, t, f):
+        """Guarded select; result coerced back to uint64."""
+        return np.asarray(np.where(cond, t, f), dtype=np.uint64)
+
+    def _nz(x):
+        """Lane-parallel truth test (guards, transition conditions)."""
+        return np.asarray(x) != 0
+
+    def _pop(a):
+        """Population-count parity (Reduce-xor)."""
+        return (np.bitwise_count(np.asarray(a, dtype=np.uint64))
+                & 1).astype(np.uint64)
+
+    def _mrd(storage, addr, depth):
+        """Bounds-guarded gather: out-of-range lanes read 0."""
+        a = np.asarray(addr)
+        if a.ndim == 0:
+            ai = int(a)
+            return storage[:, ai] if 0 <= ai < depth else u0
+        ok = a < depth
+        safe = np.where(ok, a, u0).astype(np.int64)
+        return np.where(ok, storage[rows, safe], u0)
+
+    def _mwr(storage, en, addr, data, depth, width_mask):
+        """Per-lane write commit: out-of-range lanes are dropped."""
+        e = np.asarray(en)
+        if e.ndim == 0 and not int(e):
+            return
+        a = _bc(addr)
+        d = _bc(data) & np.uint64(width_mask)
+        sel = a < depth
+        if e.ndim != 0:
+            sel = sel & (e != 0)
+        if sel.any():
+            storage[rows[sel], a[sel].astype(np.int64)] = d[sel]
+
+    return {
+        "np": np, "_bc": _bc, "_u": _u, "_sgn": _sgn, "_b2u": _b2u,
+        "_wc": _wc, "_nz": _nz, "_pop": _pop, "_mrd": _mrd, "_mwr": _mwr,
+    }
+
+
+class VectorEmitter:
+    """Emit an expression DAG as lane-parallel numpy statements.
+
+    Same memoisation discipline as
+    :class:`repro.rtl.compiled._Emitter`; only the operator surface
+    differs.
+    """
+
+    def __init__(self, name_of: Dict[str, str], mem_of: Dict[str, str],
+                 prefix: str):
+        self._name_of = name_of
+        self._mem_of = mem_of
+        self._prefix = prefix
+        self.lines: List[str] = []
+        self._memo: Dict[object, str] = {}
+        self._n = 0
+
+    def _tmp(self, expr: str) -> str:
+        self._n += 1
+        name = f"{self._prefix}{self._n}"
+        self.lines.append(f"{name} = {expr}")
+        return name
+
+    def _signed(self, operand: str, width: int, node: Expr) -> str:
+        key = (id(node), "signed")
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        name = self._tmp(f"_sgn({operand}, {width})")
+        self._memo[key] = name
+        return name
+
+    def emit(self, node: Expr) -> str:
+        """Return an operand string (temp/local name or literal)."""
+        if isinstance(node, Const):
+            return str(node.value)
+        if isinstance(node, Ref):
+            local = self._name_of.get(node.name)
+            if local is None:
+                raise RtlError(f"reference to unknown net {node.name!r}")
+            return local
+        key = id(node)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        name = self._tmp(self._expr_of(node))
+        self._memo[key] = name
+        return name
+
+    def _expr_of(self, node: Expr) -> str:
+        m = mask(node.width)
+        if isinstance(node, Add):
+            return f"({self.emit(node.a)} + {self.emit(node.b)}) & {m}"
+        if isinstance(node, Sub):
+            # uint64 wrap-around subtraction: 2**64 is a multiple of
+            # 2**width, so the masked residue matches Python exactly
+            return f"({self.emit(node.a)} - {self.emit(node.b)}) & {m}"
+        if isinstance(node, Mul):
+            return f"({self.emit(node.a)} * {self.emit(node.b)}) & {m}"
+        if isinstance(node, SMul):
+            sa = self._signed(self.emit(node.a), node.a.width, node.a)
+            sb = self._signed(self.emit(node.b), node.b.width, node.b)
+            # |product| < 2**62 (lane-width check), so int64 is exact
+            return f"_u(({sa} * {sb}) & {m})"
+        if isinstance(node, BitAnd):
+            return f"{self.emit(node.a)} & {self.emit(node.b)}"
+        if isinstance(node, BitOr):
+            return f"{self.emit(node.a)} | {self.emit(node.b)}"
+        if isinstance(node, BitXor):
+            return f"{self.emit(node.a)} ^ {self.emit(node.b)}"
+        if isinstance(node, BitNot):
+            return f"~{self.emit(node.a)} & {m}"
+        if isinstance(node, Shl):
+            return f"{self.emit(node.a)} << {node.amount}"
+        if isinstance(node, Shr):
+            return f"{self.emit(node.a)} >> {node.amount}"
+        if isinstance(node, Sra):
+            sa = self._signed(self.emit(node.a), node.a.width, node.a)
+            return f"_u(({sa} >> {node.amount}) & {m})"
+        if isinstance(node, Cmp):
+            a, b = self.emit(node.a), self.emit(node.b)
+            if node.op in ("slt", "sle"):
+                a = self._signed(a, node.a.width, node.a)
+                b = self._signed(b, node.b.width, node.b)
+            rel = {"eq": "==", "ne": "!=", "ult": "<", "ule": "<=",
+                   "slt": "<", "sle": "<="}[node.op]
+            return f"_b2u({a} {rel} {b})"
+        if isinstance(node, Mux):
+            s = self.emit(node.sel)
+            t = self.emit(node.if_true)
+            f = self.emit(node.if_false)
+            return f"_wc({s} != 0, {t}, {f})"
+        if isinstance(node, Case):
+            s = self.emit(node.sel)
+            out = self.emit(node.default)
+            for value, branch in reversed(list(node.branches.items())):
+                out = f"_wc({s} == {value}, {self.emit(branch)}, {out})"
+            return out
+        if isinstance(node, Cat):
+            out = self.emit(node.parts[0])
+            for part in node.parts[1:]:
+                out = f"(({out}) << {part.width} | {self.emit(part)})"
+            return out
+        if isinstance(node, Slice):
+            return f"({self.emit(node.a)} >> {node.lsb}) & {m}"
+        if isinstance(node, Ext):
+            a = self.emit(node.a)
+            if not node.signed or node.width == node.a.width:
+                return f"{a}"
+            sa = self._signed(a, node.a.width, node.a)
+            return f"_u({sa} & {m})"
+        if isinstance(node, Reduce):
+            a = self.emit(node.a)
+            if node.op == "and":
+                return f"_b2u({a} == {mask(node.a.width)})"
+            if node.op == "or":
+                return f"_b2u({a} != 0)"
+            return f"_pop({a})"
+        if isinstance(node, MemRead):
+            local = self._mem_of.get(node.mem_name)
+            if local is None:
+                raise RtlError(
+                    f"read of unknown memory {node.mem_name!r}"
+                )
+            a = self.emit(node.addr)
+            return f"_mrd({local}, {a}, {node.depth})"
+        raise RtlError(f"cannot emit {type(node).__name__}")
+
+
+@dataclass
+class RtlVectorizedProgram:
+    """A compiled lane-parallel whole-module step/settle function."""
+
+    source: str
+    #: ``fn(env, mems, cycles)``: run *cycles* clock edges then settle;
+    #: *env* maps nets to (n,) uint64 arrays, *mems* maps memories to
+    #: (n, depth) uint64 arrays
+    fn: Callable
+    structural_key: str
+
+
+def _generate_source(module: RtlModule) -> str:
+    assigns = module.topo_assign_order()
+    check_lane_widths(
+        [a.expr for a in assigns] + [r.next for r in module.registers]
+        + [e for mem in module.memories for p in mem.write_ports
+           for e in (p.enable, p.addr, p.data)],
+        module.name)
+    name_of: Dict[str, str] = {}
+    for port in module.ports:
+        if port.direction == "in":
+            name_of[port.name] = f"v{len(name_of)}"
+    for reg in module.registers:
+        name_of[reg.name] = f"v{len(name_of)}"
+    for assign in assigns:
+        name_of[assign.name] = f"v{len(name_of)}"
+    mem_of = {mem.name: f"mem{i}" for i, mem in enumerate(module.memories)}
+
+    head: List[str] = ["def _run(env, mems, cycles):"]
+    for port in module.ports:
+        if port.direction == "in":
+            head.append(f"    {name_of[port.name]} = env[{port.name!r}]")
+    for reg in module.registers:
+        head.append(f"    {name_of[reg.name]} = env[{reg.name!r}]")
+    for name, local in mem_of.items():
+        head.append(f"    {local} = mems[{name!r}]")
+
+    # one settle: combinational assigns in topological order
+    settle = VectorEmitter(name_of, mem_of, "t")
+    for assign in assigns:
+        value = settle.emit(assign.expr)
+        settle.lines.append(f"{name_of[assign.name]} = {value}")
+    settle_lines = list(settle.lines)
+
+    # per-cycle tail: register nexts, then memory writes (per-port
+    # emission order preserves read-after-write), then register commit
+    body = settle
+    commits: List[str] = []
+    for i, reg in enumerate(module.registers):
+        value = body.emit(reg.next)
+        body.lines.append(f"n{i} = _bc(({value}) & {mask(reg.width)})")
+        commits.append(f"{name_of[reg.name]} = n{i}")
+    wp_index = 0
+    for mem in module.memories:
+        for port in mem.write_ports:
+            wemit = VectorEmitter(name_of, mem_of, f"w{wp_index}_")
+            en = wemit.emit(port.enable)
+            addr = wemit.emit(port.addr)
+            data = wemit.emit(port.data)
+            body.lines.extend(wemit.lines)
+            body.lines.append(
+                f"_mwr({mem_of[mem.name]}, {en}, {addr}, {data}, "
+                f"{mem.depth}, {mask(mem.width)})"
+            )
+            wp_index += 1
+    body.lines.extend(commits)
+
+    lines = list(head)
+    lines.append("    for _ in range(cycles):")
+    for line in body.lines:
+        lines.append("        " + line)
+    if not body.lines:
+        lines.append("        pass")
+    for line in settle_lines:
+        lines.append("    " + line)
+    for reg in module.registers:
+        lines.append(f"    env[{reg.name!r}] = _bc({name_of[reg.name]})")
+    for assign in assigns:
+        lines.append(
+            f"    env[{assign.name!r}] = _bc({name_of[assign.name]})")
+    return "\n".join(lines) + "\n"
+
+
+def compile_rtl_vectorized(module: RtlModule, n_patterns: int,
+                           cache: Optional[CompileCache] = None
+                           ) -> RtlVectorizedProgram:
+    """Compile *module* into a lane-parallel run function (cached).
+
+    The generated source is pattern-count independent; the runtime
+    namespace binds ``n_patterns``, so the cache key carries both the
+    source digest and the lane count.
+    """
+    if cache is None:
+        cache = RTL_COMPILE_CACHE
+    source = _generate_source(module)
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    key = f"{digest}:n{n_patterns}"
+
+    def factory() -> RtlVectorizedProgram:
+        code = compile(source, f"<rtl-vectorized:{module.name}>", "exec")
+        namespace: Dict[str, object] = make_runtime(n_patterns)
+        exec(code, namespace)
+        return RtlVectorizedProgram(
+            source=source,
+            fn=namespace["_run"],  # type: ignore[arg-type]
+            structural_key=key,
+        )
+
+    return cache.get_or_compile(key, factory, backend="vectorized")
+
+
+class VectorizedRtlSimulator:
+    """Lane-parallel cycle simulator for one :class:`RtlModule`.
+
+    Public surface mirrors :class:`~repro.rtl.simulate.RtlSimulator`
+    (scalar calls broadcast writes / read lane 0) and adds
+    ``set_input_patterns`` / ``get_patterns``.  ``env`` holds ``(n,)``
+    uint64 arrays, so per-lane pokes (fault injection) work with plain
+    ``env[name] ^= 1 << bit`` element-wise.
+    """
+
+    backend = "vectorized"
+
+    def __init__(self, module: RtlModule, n_patterns: int = 1,
+                 cache: Optional[CompileCache] = None):
+        if n_patterns < 1:
+            raise RtlError(f"n_patterns must be >= 1, got {n_patterns}")
+        module.validate()
+        self.module = module
+        self.mem_monitor = None
+        self.n_patterns = n_patterns
+        self.cycles = 0
+        self.program = compile_rtl_vectorized(module, n_patterns,
+                                              cache=cache)
+        self._run = self.program.fn
+
+        self._memories: Dict[str, np.ndarray] = {}
+        for mem in module.memories:
+            if mem.contents is not None:
+                row = np.array([v & mask(mem.width) for v in mem.contents],
+                               dtype=np.uint64)
+                data = np.tile(row, (n_patterns, 1))
+            else:
+                data = np.zeros((n_patterns, mem.depth), dtype=np.uint64)
+            self._memories[mem.name] = data
+
+        self.env: Dict[str, np.ndarray] = {}
+        for port in module.ports:
+            if port.direction == "in":
+                self.env[port.name] = np.zeros(n_patterns, dtype=np.uint64)
+        for reg in module.registers:
+            self.env[reg.name] = np.full(
+                n_patterns, np.uint64(reg.init & mask(reg.width)),
+                dtype=np.uint64)
+        self._in_names = set(module.input_names())
+        self.settle()
+
+    # ------------------------------------------------------------------
+    def set_input(self, name: str, value: int) -> None:
+        """Drive *value* on input *name*, broadcast to all lanes."""
+        if name not in self._in_names:
+            raise RtlError(
+                f"{name!r} is not an input of {self.module.name!r}")
+        value &= mask(self.module.net_width(name))
+        self.env[name] = np.full(self.n_patterns, np.uint64(value),
+                                 dtype=np.uint64)
+
+    def set_input_patterns(self, name: str, values) -> None:
+        """Drive one stimulus value per lane on input *name*."""
+        if name not in self._in_names:
+            raise RtlError(
+                f"{name!r} is not an input of {self.module.name!r}")
+        if len(values) != self.n_patterns:
+            raise RtlError(
+                f"expected {self.n_patterns} pattern values, "
+                f"got {len(values)}"
+            )
+        vals = np.asarray(values, dtype=np.uint64)
+        self.env[name] = vals & np.uint64(mask(
+            self.module.net_width(name)))
+
+    def get(self, name: str) -> int:
+        """Read any net of lane 0 as an integer."""
+        target = self.module.outputs.get(name, name)
+        return int(self.env[target][0])
+
+    def get_patterns(self, name: str):
+        """Read any net as one integer per lane."""
+        target = self.module.outputs.get(name, name)
+        return [int(v) for v in self.env[target]]
+
+    def port_widths(self) -> Dict[str, int]:
+        """Widths of all ports, inputs first (coverage sampling helper)."""
+        module = self.module
+        return {name: module.net_width(name)
+                for name in module.input_names() + module.output_names()}
+
+    def peek_memory(self, name: str, pattern: int = 0):
+        return [int(v) for v in self._memories[name][pattern]]
+
+    def load_memory(self, name: str, contents) -> None:
+        data = self._memories[name]
+        if len(contents) != data.shape[1]:
+            raise RtlError(
+                f"memory {name!r}: {len(contents)} values for depth "
+                f"{data.shape[1]}"
+            )
+        width = next(m.width for m in self.module.memories
+                     if m.name == name)
+        row = np.array([v & mask(width) for v in contents],
+                       dtype=np.uint64)
+        data[:] = row
+
+    # ------------------------------------------------------------------
+    def settle(self) -> None:
+        """Re-evaluate combinational logic for the current inputs/state."""
+        self._run(self.env, self._memories, 0)
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance by *cycles* clock edges (inputs held constant)."""
+        self._run(self.env, self._memories, cycles)
+        self.cycles += cycles
+
+    def reset(self) -> None:
+        """Restore registers (and RAM contents) to their initial state."""
+        for reg in self.module.registers:
+            self.env[reg.name] = np.full(
+                self.n_patterns, np.uint64(reg.init & mask(reg.width)),
+                dtype=np.uint64)
+        for mem in self.module.memories:
+            if mem.contents is None:
+                self._memories[mem.name][:] = np.uint64(0)
+        self.cycles = 0
+        self.settle()

@@ -30,6 +30,7 @@ from ..hls.binding import RegisterBinding, bind_registers
 from ..hls.codegen import GeneratedFsm, generate_rtl
 from ..hls.compiled import CompiledFsm, CompiledFsmBatch
 from ..hls.interpreter import FsmInterpreter, MemMonitor
+from ..hls.vectorized import VectorizedFsm, VectorizedFsmBatch
 from ..hls.ir import (Assign, For, HlsProgram, If, MemReadStmt, PortWrite,
                       WaitCycle, WaitUntil)
 from ..hls.schedule import (Fsm, Scheduler, SchedulingConstraints,
@@ -392,10 +393,12 @@ class BehavioralSimulation:
             self.interp = FsmInterpreter(fsm, mem_monitor=mem_monitor)
         elif backend == "compiled":
             self.interp = CompiledFsm(fsm, mem_monitor=mem_monitor)
+        elif backend == "vectorized":
+            self.interp = VectorizedFsm(fsm, mem_monitor=mem_monitor)
         else:
             raise ValueError(
                 f"unknown behavioural backend {backend!r} "
-                "(expected 'interpreted' or 'compiled')")
+                "(expected 'interpreted', 'compiled' or 'vectorized')")
         # front-end state
         self.mode = 0
         self.wr_ptr = params.buffer_depth - 1
@@ -478,22 +481,48 @@ class BehavioralBatchSimulation:
     """
 
     def __init__(self, params: SrcParams, n_patterns: int, optimized=True,
-                 fsm: Optional[Fsm] = None):
+                 fsm: Optional[Fsm] = None, backend: str = "compiled"):
         self.params = params
         self.options = _coerce_options(optimized)
         self.optimized = self.options == BehavioralOptions.optimized()
         self._handshake = self.options.handshake
+        self.backend = backend
         if fsm is None:
             fsm = build_main_fsm(params, self.options)
-        self.batch = CompiledFsmBatch(fsm, n_patterns)
+        if backend == "compiled":
+            self.batch = CompiledFsmBatch(fsm, n_patterns)
+        elif backend == "vectorized":
+            self.batch = VectorizedFsmBatch(fsm, n_patterns)
+        else:
+            raise ValueError(
+                f"unknown behavioural batch backend {backend!r} "
+                "(expected 'compiled' or 'vectorized')")
         self.n_patterns = n_patterns
         n = n_patterns
-        # per-pattern front-end mirror (faults make patterns diverge)
-        self.mode = [0] * n
-        self.wr_ptr = [params.buffer_depth - 1] * n
-        self.fill = [0] * n
-        self.pos = [0] * n
-        self._gnt = [0] * n
+        if backend == "vectorized":
+            import numpy as np
+
+            # lane-parallel front-end mirror.  mode / wr_ptr / fill stay
+            # scalars: every update that touches them is broadcast
+            # (drive_cfg / drive_input), so they can never diverge
+            # across lanes; only pos (via the FSM's take pulse) and the
+            # handshake grant are fed back from per-lane FSM outputs.
+            self.mode = 0
+            self.wr_ptr = params.buffer_depth - 1
+            self.fill = 0
+            self.pos = np.zeros(n, dtype=np.int64)
+            self._gnt = np.zeros(n, dtype=np.uint64)
+            self._inc = [params.position_increment(m)
+                         for m in range(len(params.modes))]
+            self._pos_mask = (1 << params.pos_width) - 1
+            self._pos_half = 1 << (params.pos_width - 1)
+        else:
+            # per-pattern front-end mirror (faults make patterns diverge)
+            self.mode = [0] * n
+            self.wr_ptr = [params.buffer_depth - 1] * n
+            self.fill = [0] * n
+            self.pos = [0] * n
+            self._gnt = [0] * n
         # pending broadcast stimulus
         self._in_frame: Optional[Tuple[int, int]] = None
         self._cfg: Optional[int] = None
@@ -512,6 +541,8 @@ class BehavioralBatchSimulation:
     # -- one clock cycle ----------------------------------------------
     def step(self) -> List[Optional[Tuple[int, int]]]:
         """Advance all patterns one cycle; per-pattern output frames."""
+        if self.backend == "vectorized":
+            return self._step_vectorized()
         p = self.params
         batch = self.batch
         n = self.n_patterns
@@ -555,4 +586,55 @@ class BehavioralBatchSimulation:
         out_l = batch.get_output_patterns("out_l")
         out_r = batch.get_output_patterns("out_r")
         return [(out_l[i], out_r[i]) if out_valid[i] else None
+                for i in range(n)]
+
+    def _step_vectorized(self) -> List[Optional[Tuple[int, int]]]:
+        """Lane-parallel mirror of :meth:`step` (same semantics)."""
+        import numpy as np
+
+        p = self.params
+        batch = self.batch
+        n = self.n_patterns
+        half, m = self._pos_half, self._pos_mask
+        # combinational phase preview (wrapping two's-complement add)
+        pos_after = ((self.pos + self._inc[self.mode] + half) & m) - half
+        clamped = np.clip(pos_after, 0, p.one_sample_units - 1)
+        batch.set_input("req", self._req)
+        batch.set_input_patterns(
+            "phase", (clamped >> p.phase_frac_bits).astype(np.uint64))
+        batch.set_input("wr_ptr", self.wr_ptr)
+        batch.set_input("fill", self.fill)
+        if self._handshake:
+            batch.set_input_patterns("gnt", self._gnt)
+        take = batch.output_array("take").copy()
+        buf_req_now = (batch.output_array("buf_req").copy()
+                       if self._handshake else None)
+        batch.step()
+        # front-end sequential update (mirrors BehavioralSimulation.step)
+        if self._cfg is not None:
+            self.mode = self._cfg
+            self.wr_ptr = p.buffer_depth - 1
+            self.fill = 0
+            self.pos = np.zeros(n, dtype=np.int64)
+        else:
+            self.pos = np.where(take != 0, pos_after, self.pos)
+            if self._in_frame is not None:
+                self.wr_ptr = (self.wr_ptr + 1) % p.buffer_depth
+                left, right = self._in_frame
+                batch.write_memory_all("buf_l", self.wr_ptr, left)
+                batch.write_memory_all("buf_r", self.wr_ptr, right)
+                self.fill = min(self.fill + 1, p.taps_per_phase)
+                self.pos = ((self.pos - p.one_sample_units + half) & m) \
+                    - half
+        if self._handshake:
+            self._gnt = buf_req_now
+        self._in_frame = None
+        self._cfg = None
+        self._req = 0
+        valid = batch.output_array("out_valid")
+        if not valid.any():
+            return [None] * n
+        out_l = batch.output_array("out_l")
+        out_r = batch.output_array("out_r")
+        return [(int(out_l[i]), int(out_r[i])) if valid[i] else None
                 for i in range(n)]

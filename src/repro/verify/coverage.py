@@ -156,7 +156,9 @@ class ToggleCoverage:
         self.counts: Dict[str, Dict[str, List[Tuple[int, int]]]] = {}
 
     def begin(self, spec, sim):
-        if isinstance(sim, RtlSimulator):
+        if isinstance(sim, RtlSimulator) or hasattr(sim, "port_widths"):
+            # the vectorized RTL simulator is not an RtlSimulator
+            # subclass but shares the integer port-read surface
             return _RtlHandle(spec.key, sim)
         if hasattr(sim, "netlist") and hasattr(sim, "get_logic"):
             return _GateHandle(spec.key, sim)

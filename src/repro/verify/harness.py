@@ -179,7 +179,7 @@ def _verify_case_task(case: StimulusCase):
     compile-cache deltas -- everything the parent needs to keep
     coverage and cache statistics identical to a sequential run.
     """
-    from ..fi.campaign import cache_counters
+    from ..fi.campaign import cache_counters, cache_delta
 
     before = cache_counters()
     coverage = ToggleCoverage()
@@ -187,8 +187,7 @@ def _verify_case_task(case: StimulusCase):
         _WORKER["params"], _WORKER["specs"], case, _WORKER["builds"],
         coverage=coverage)
     after = cache_counters()
-    return (case_report, coverage.counts,
-            tuple(a - b for a, b in zip(after, before)))
+    return (case_report, coverage.counts, cache_delta(before, after))
 
 
 def run_verify(config: VerifyConfig) -> VerifyReport:

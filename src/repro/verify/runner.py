@@ -84,14 +84,24 @@ def parse_level_specs(text: str, backend: str = "interpreted"
                       ) -> List[LevelSpec]:
     """Parse a ``--levels`` string into level specs.
 
-    *backend* is ``interpreted``, ``compiled`` or ``both``; it applies
-    to every level with an engine choice (``both`` yields two specs per
-    such level, so both engines are cross-checked).
+    *backend* is ``interpreted``, ``compiled``, ``vectorized``,
+    ``both`` (interpreted + compiled) or ``all`` (every engine); it
+    applies to every level with an engine choice, and multi-engine
+    selections yield one spec per engine so the engines are
+    cross-checked against each other.
     """
-    if backend not in ("interpreted", "compiled", "both"):
+    groups = {
+        "interpreted": ("interpreted",),
+        "compiled": ("compiled",),
+        "vectorized": ("vectorized",),
+        "both": ("interpreted", "compiled"),
+        "all": ("interpreted", "compiled", "vectorized"),
+    }
+    if backend not in groups:
         raise ValueError(
             f"unknown backend {backend!r} "
-            "(expected 'interpreted', 'compiled' or 'both')"
+            "(expected 'interpreted', 'compiled', 'vectorized', "
+            "'both' or 'all')"
         )
     specs: List[LevelSpec] = []
     for token in text.split(","):
@@ -105,9 +115,7 @@ def parse_level_specs(text: str, backend: str = "interpreted"
                 f"(known: {', '.join(sorted(LEVEL_ALIASES))})"
             )
         if level in BACKEND_LEVELS:
-            backends = ("interpreted", "compiled") if backend == "both" \
-                else (backend,)
-            for b in backends:
+            for b in groups[backend]:
                 spec = LevelSpec(level, b)
                 if spec not in specs:
                     specs.append(spec)

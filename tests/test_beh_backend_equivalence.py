@@ -1,11 +1,11 @@
 """Cross-backend behavioural equivalence over the verify stimulus set.
 
 Every stimulus class of the differential-verification harness runs
-through the behavioural model on both FSM engines -- the cycle
-interpreter and the compiled backend -- and the output frame streams
-must match exactly.  A failure message carries the case's replay hint
-(master seed + case name), so any divergence is reproducible from the
-log alone.
+through the behavioural model on all three FSM engines -- the cycle
+interpreter, the compiled backend and the vectorized numpy-lane
+backend -- and the output frame streams must match exactly.  A
+failure message carries the case's replay hint (master seed + case
+name), so any divergence is reproducible from the log alone.
 """
 
 import pytest
@@ -30,22 +30,23 @@ def cases(small_params):
 
 
 @pytest.mark.parametrize("kind", STIMULUS_KINDS)
+@pytest.mark.parametrize("backend", ["compiled", "vectorized"])
 @pytest.mark.parametrize("level", [Level.BEH_OPT, Level.BEH_UNOPT])
-def test_backends_frame_exact(cases, small_params, kind, level):
+def test_backends_frame_exact(cases, small_params, kind, backend, level):
     case = cases[kind]
     schedule = make_schedule(small_params, case.mode, case.n_inputs,
                              quantized=True,
                              mode_changes=case.mode_changes)
     interpreted = run_level(small_params, level, schedule, case.inputs,
                             backend="interpreted")
-    compiled = run_level(small_params, level, schedule, case.inputs,
-                         backend="compiled")
-    assert len(interpreted) == len(compiled), (
+    other = run_level(small_params, level, schedule, case.inputs,
+                      backend=backend)
+    assert len(interpreted) == len(other), (
         f"{level.value}: frame count diverged "
-        f"({len(interpreted)} interpreted vs {len(compiled)} compiled) "
+        f"({len(interpreted)} interpreted vs {len(other)} {backend}) "
         f"-- replay: {case.replay_hint()}")
-    for frame_no, (want, got) in enumerate(zip(interpreted, compiled)):
+    for frame_no, (want, got) in enumerate(zip(interpreted, other)):
         assert want == got, (
             f"{level.value}: first divergence at output frame "
-            f"{frame_no}: interpreted {want} vs compiled {got} "
+            f"{frame_no}: interpreted {want} vs {backend} {got} "
             f"-- replay: {case.replay_hint()}")

@@ -15,7 +15,9 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 RESULT_KEYS = {"level", "backend", "n_patterns", "cycles_per_second",
                "simulated_cycles", "wall_seconds", "output_frames"}
-BACKENDS = {"interpreted", "compiled"}
+BACKENDS = {"interpreted", "compiled", "vectorized"}
+#: backends that pack parallel patterns (n_patterns > 1 rows)
+BATCH_BACKENDS = {"compiled", "vectorized"}
 
 
 def _load(name):
@@ -33,7 +35,9 @@ def _check_result_rows(results):
         assert isinstance(row["level"], str) and row["level"]
         assert row["backend"] in BACKENDS
         assert row["n_patterns"] >= 1
-        assert row["n_patterns"] == 1 or row["backend"] == "compiled"
+        assert row["n_patterns"] == 1 or row["backend"] in BATCH_BACKENDS
+        # the vectorized tier exists for wide sweeps only
+        assert row["backend"] != "vectorized" or row["n_patterns"] >= 1024
         assert row["cycles_per_second"] > 0
         assert row["simulated_cycles"] > 0
         assert row["wall_seconds"] > 0
@@ -46,11 +50,15 @@ def test_fig08_schema():
     _check_result_rows(doc["results"])
     levels = {r["level"] for r in doc["results"]}
     assert levels == {"C++", "SystemC", "BEH", "RTL"}
-    # the clocked levels are measured on both engines
+    # the clocked levels are measured on interpreted + compiled;
+    # the behavioural level adds the vectorized sweep row
     for level in ("BEH", "RTL"):
         backends = {r["backend"] for r in doc["results"]
                     if r["level"] == level}
-        assert backends == BACKENDS, level
+        assert {"interpreted", "compiled"} <= backends, level
+    beh_backends = {r["backend"] for r in doc["results"]
+                    if r["level"] == "BEH"}
+    assert "vectorized" in beh_backends
 
 
 def test_fig08_preserves_paper_ordering():
@@ -66,34 +74,45 @@ def test_fig08_preserves_paper_ordering():
 
 def test_fig08_compiled_beats_interpreted_in_recorded_data():
     """Per clocked level, the generated-code engine never loses to the
-    interpreter, and the batch-parallel compiled behavioural row clears
-    the tentpole's headline: >= 10x the interpreted BEH row at its
-    recorded pattern width (64)."""
+    interpreter; the batch-parallel compiled behavioural row clears
+    the compiled tentpole's headline (>= 10x the interpreted BEH row
+    at 64 patterns); and the vectorized behavioural sweep row clears
+    the vectorized tier's: >= 5x the compiled scalar BEH row at
+    >= 1024 patterns, never losing to the compiled batch row."""
     doc = _load("BENCH_fig08.json")
     speed = {(r["level"], r["backend"], r["n_patterns"]):
              r["cycles_per_second"] for r in doc["results"]}
     for level in ("BEH", "RTL"):
         assert speed[(level, "compiled", 1)] \
             >= speed[(level, "interpreted", 1)], level
-    batch = [r for r in doc["results"]
-             if r["level"] == "BEH" and r["n_patterns"] > 1]
-    assert len(batch) == 1
-    assert batch[0]["backend"] == "compiled"
-    assert batch[0]["n_patterns"] >= 64
-    assert batch[0]["cycles_per_second"] \
+    batch = {r["backend"]: r for r in doc["results"]
+             if r["level"] == "BEH" and r["n_patterns"] > 1}
+    assert set(batch) == BATCH_BACKENDS
+    assert batch["compiled"]["n_patterns"] >= 64
+    assert batch["compiled"]["cycles_per_second"] \
         >= 10 * speed[("BEH", "interpreted", 1)]
+    assert batch["vectorized"]["n_patterns"] >= 1024
+    assert batch["vectorized"]["cycles_per_second"] \
+        >= 5 * speed[("BEH", "compiled", 1)]
+    assert batch["vectorized"]["cycles_per_second"] \
+        >= batch["compiled"]["cycles_per_second"]
 
 
 def test_fig09_schema():
     doc = _load("BENCH_fig09.json")
-    assert set(doc) == {"beh_speedup", "gate_speedup", "n_patterns",
-                        "results"}
+    assert set(doc) == {"beh_speedup", "gate_speedup",
+                        "gate_speedup_vectorized", "n_patterns",
+                        "n_patterns_vectorized", "results"}
     _check_result_rows(doc["results"])
     assert set(doc["gate_speedup"]) == {"Gate-BEH", "Gate-RTL"}
     for value in doc["gate_speedup"].values():
         assert value > 1.0  # compiled beat interpreted when recorded
+    assert set(doc["gate_speedup_vectorized"]) == {"Gate-BEH", "Gate-RTL"}
+    for value in doc["gate_speedup_vectorized"].values():
+        assert value >= 5.0  # the vectorized tier's recorded headline
     assert doc["beh_speedup"] > 1.0
     assert doc["n_patterns"] >= 1
+    assert doc["n_patterns_vectorized"] >= 1024
     throughput = [r for r in doc["results"]
                   if r["level"].endswith("/throughput")]
     levels = {r["level"] for r in throughput}
@@ -106,6 +125,9 @@ def test_fig09_schema():
     for row in throughput:
         if row["backend"] == "compiled":
             assert row["n_patterns"] == doc["n_patterns"]
+        elif row["backend"] == "vectorized" \
+                and row["level"].startswith("Gate-"):
+            assert row["n_patterns"] == doc["n_patterns_vectorized"]
 
 
 def test_fig09_compiled_beats_interpreted_in_recorded_data():
@@ -115,6 +137,21 @@ def test_fig09_compiled_beats_interpreted_in_recorded_data():
     for dut in ("BEH", "Gate-BEH", "Gate-RTL"):
         level = f"{dut}/throughput"
         assert by_key[(level, "compiled")] > by_key[(level, "interpreted")]
+
+
+def test_fig09_vectorized_beats_compiled_in_recorded_data():
+    """The vectorized tier's recorded headline: >= 5x the compiled
+    64-pattern batch on both gate DUTs, and never losing to it at the
+    behavioural level (where per-state lane masking caps the win)."""
+    doc = _load("BENCH_fig09.json")
+    by_key = {(r["level"], r["backend"]): r["cycles_per_second"]
+              for r in doc["results"]}
+    for dut in ("Gate-BEH", "Gate-RTL"):
+        level = f"{dut}/throughput"
+        assert by_key[(level, "vectorized")] \
+            >= 5 * by_key[(level, "compiled")], dut
+    assert by_key[("BEH/throughput", "vectorized")] \
+        >= by_key[("BEH/throughput", "compiled")]
 
 
 FI_OUTCOMES = {"masked", "sdc", "detected", "hang"}
@@ -130,10 +167,11 @@ def test_fi_schema():
                         "by_target_kind", "throughput", "cache",
                         "results"}
     campaign = doc["campaign"]
-    assert set(campaign) == {"level", "design", "seed", "budget", "jobs",
-                             "n_faults", "workload_frames",
-                             "cycle_budget"}
+    assert set(campaign) == {"level", "design", "backend", "seed",
+                             "budget", "jobs", "n_faults",
+                             "workload_frames", "cycle_budget"}
     assert campaign["level"] in {"rtl", "beh", "gate"}
+    assert campaign["backend"] in {"compiled", "vectorized"}
     assert campaign["n_faults"] >= 1
     assert campaign["cycle_budget"] > 0
 
@@ -149,7 +187,10 @@ def test_fi_schema():
         assert sum(sum(r.values()) for r in table.values()) \
             == campaign["n_faults"]
 
-    assert set(doc["throughput"]) == BACKENDS
+    # the campaign's own engine plus the compiled and interpreted
+    # cross-check probes
+    assert {campaign["backend"], "interpreted"} \
+        <= set(doc["throughput"]) <= BACKENDS
     for backend, row in doc["throughput"].items():
         assert set(row) == {"backend", "faults", "wall_seconds",
                             "faults_per_second"}
@@ -157,6 +198,8 @@ def test_fi_schema():
         assert row["faults"] >= 1
         assert row["wall_seconds"] > 0
         assert row["faults_per_second"] > 0
+    # per-cache totals plus per-owning-backend breakdowns
+    assert {"gate", "rtl", "hls"} <= set(doc["cache"])
     for stats in doc["cache"].values():
         assert set(stats) == {"hits", "misses", "entries", "evictions",
                               "source_bytes"}
@@ -168,3 +211,15 @@ def test_fi_compiled_beats_interpreted_in_recorded_data():
     throughput = doc["throughput"]
     assert throughput["compiled"]["faults_per_second"] >= \
         throughput["interpreted"]["faults_per_second"]
+
+
+def test_fi_vectorized_beats_compiled_in_recorded_data():
+    """The vectorized whole-faultload sweep's recorded headline: more
+    faults per second than the compiled word-packed batches on the
+    same seeded faultload."""
+    doc = _load("BENCH_fi.json")
+    throughput = doc["throughput"]
+    if "vectorized" not in throughput:
+        pytest.skip("recorded campaign did not run the vectorized engine")
+    assert throughput["vectorized"]["faults_per_second"] >= \
+        throughput["compiled"]["faults_per_second"]

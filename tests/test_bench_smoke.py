@@ -1,8 +1,8 @@
 """Fast benchmark smoke checks (``pytest -m bench_smoke``).
 
-Exercises the benchmark plumbing -- throughput measurement on both
-backends and the ``BENCH_*.json`` writer -- at a scale small enough for
-tier-1: a handful of cycles on the reduced configuration.
+Exercises the benchmark plumbing -- throughput measurement on all
+three backends and the ``BENCH_*.json`` writer -- at a scale small
+enough for tier-1: a handful of cycles on the reduced configuration.
 """
 
 import json
@@ -47,6 +47,18 @@ def test_compiled_throughput_beats_interpreted(gate_points):
     interp, comp = gate_points
     assert comp.cycles_per_second >= interp.cycles_per_second, \
         (comp.cycles_per_second, interp.cycles_per_second)
+
+
+def test_vectorized_throughput_point_measures():
+    """The vectorized sweep measures at arbitrary pattern widths --
+    here one past the 64-pattern word cap -- with pattern-cycle
+    accounting identical to the compiled batch point."""
+    vec = measure_gate_throughput(SMALL_PARAMS, "Gate-RTL", CYCLES,
+                                  backend="vectorized", n_patterns=96)
+    assert vec.backend == "vectorized" and vec.n_patterns == 96
+    assert vec.simulated_cycles == CYCLES
+    assert vec.cycles_per_second == pytest.approx(
+        CYCLES * 96 / vec.wall_seconds)
 
 
 def test_interpreted_rejects_patterns():

@@ -1,10 +1,11 @@
-"""Compiled gate-level backend: codegen equivalence, cache, patterns.
+"""Compiled gate-level backends: codegen equivalence, cache, patterns.
 
-The compiled backend must be bit-exact with the interpreted simulator
-on everything the interpreter supports: 4-valued combinational logic,
-flop initial states, scan flops, memory macros (RAM and ROM) and
-X-propagation.  Equivalence is checked per-cell exhaustively, on the
-synthesised SRC netlists, and on a population of random netlists.
+The compiled and vectorized backends must be bit-exact with the
+interpreted simulator on everything the interpreter supports: 4-valued
+combinational logic, flop initial states, scan flops, memory macros
+(RAM and ROM) and X-propagation.  Equivalence is checked per-cell
+exhaustively, on the synthesised SRC netlists, and on a population of
+random netlists, for both generated-code engines.
 """
 
 import random
@@ -14,7 +15,8 @@ import pytest
 from repro.datatypes import L0, L1, LX, LZ
 from repro.gatesim import (BACKENDS, COMPILE_CACHE, CompileCache,
                            CompiledGateSimulator, GateSimError,
-                           GateSimulator, compile_netlist, structural_hash)
+                           GateSimulator, VectorizedGateSimulator,
+                           compile_netlist, structural_hash)
 from repro.rtl import (Add, BitAnd, BitNot, BitOr, BitXor, Cmp, Const, Ext,
                        Mux, Mul, Ref, RtlModule, Shl, Shr, Slice, Sub)
 from repro.synth import map_to_gates, optimize
@@ -24,9 +26,13 @@ from repro.synth.netlist import Netlist
 LOGIC = (L0, L1, LX, LZ)
 
 
-def both_backends(netlist, **kw):
+#: the generated-code engines checked against the interpreter
+CODEGEN_BACKENDS = ("compiled", "vectorized")
+
+
+def both_backends(netlist, backend="compiled", **kw):
     return (GateSimulator(netlist),
-            GateSimulator(netlist, backend="compiled", **kw))
+            GateSimulator(netlist, backend=backend, **kw))
 
 
 def assert_outputs_match(interp, comp, context=""):
@@ -43,11 +49,14 @@ def test_backend_dispatch():
     nl.set_output("y", [g.outputs["Y"]])
     interp = GateSimulator(nl)
     comp = GateSimulator(nl, backend="compiled")
+    vec = GateSimulator(nl, backend="vectorized")
     assert type(interp) is GateSimulator
     assert type(comp) is CompiledGateSimulator
+    assert type(vec) is VectorizedGateSimulator
     assert interp.backend == "interpreted"
     assert comp.backend == "compiled"
-    assert set(BACKENDS) == {"interpreted", "compiled"}
+    assert vec.backend == "vectorized"
+    assert set(BACKENDS) == {"interpreted", "compiled", "vectorized"}
 
 
 def test_unknown_backend_raises():
@@ -73,9 +82,10 @@ def test_codegen_covers_every_eval_cell():
     assert set(CODEGEN) == set(EVAL)
 
 
+@pytest.mark.parametrize("backend", CODEGEN_BACKENDS)
 @pytest.mark.parametrize("cell", sorted(
     c.name for c in DEFAULT_LIBRARY.cells.values() if not c.sequential))
-def test_cell_exhaustive_4valued(cell):
+def test_cell_exhaustive_4valued(cell, backend):
     """Every combinational cell, every 4-valued input combination."""
     spec = DEFAULT_LIBRARY.cells[cell]
     nl = Netlist("n")
@@ -83,7 +93,7 @@ def test_cell_exhaustive_4valued(cell):
     g = nl.add_cell(cell, pins)
     for out in spec.outputs:
         nl.set_output(out.lower(), [g.outputs[out]])
-    interp, comp = both_backends(nl)
+    interp, comp = both_backends(nl, backend=backend)
     n = len(spec.inputs)
     for combo in range(len(LOGIC) ** n):
         vals = []
@@ -104,10 +114,12 @@ def test_cell_exhaustive_4valued(cell):
 
 
 # -------------------------------------------------------- SRC netlists
+@pytest.mark.parametrize("backend", CODEGEN_BACKENDS)
 @pytest.mark.parametrize("which", ["rtl", "beh"])
-def test_src_netlist_equivalence(which, rtl_opt_netlist, beh_opt_netlist):
+def test_src_netlist_equivalence(which, backend, rtl_opt_netlist,
+                                 beh_opt_netlist):
     nl = rtl_opt_netlist if which == "rtl" else beh_opt_netlist
-    interp, comp = both_backends(nl)
+    interp, comp = both_backends(nl, backend=backend)
     rng = random.Random(7)
     spans = {name: 1 << len(nets) for name, nets in nl.inputs.items()}
     for cycle in range(40):
@@ -183,11 +195,12 @@ def _rand_module(seed):
     return m
 
 
+@pytest.mark.parametrize("backend", CODEGEN_BACKENDS)
 @pytest.mark.parametrize("seed", range(50))
-def test_random_netlist_equivalence(seed):
-    """Interpreted vs compiled on random netlists with X injection."""
+def test_random_netlist_equivalence(seed, backend):
+    """Interpreted vs codegen on random netlists with X injection."""
     nl = optimize(map_to_gates(_rand_module(seed)))
-    interp, comp = both_backends(nl)
+    interp, comp = both_backends(nl, backend=backend)
     rng = random.Random(seed + 1000)
     widths = {name: len(nets) for name, nets in nl.inputs.items()}
     for cycle in range(12):
@@ -227,12 +240,18 @@ def test_flop_init_states_compiled():
 
 
 # --------------------------------------------------- parallel patterns
-def test_parallel_patterns_match_interpreted_runs():
-    """One compiled run with N patterns == N interpreted runs."""
+@pytest.mark.parametrize("backend", CODEGEN_BACKENDS)
+def test_parallel_patterns_match_interpreted_runs(backend):
+    """One batch run with N patterns == N interpreted runs.
+
+    The vectorized engine additionally runs past the 64-pattern word
+    cap in its own test below; here both engines get the same width so
+    the per-pattern comparison is shared.
+    """
     m = _rand_module(123)
     nl = optimize(map_to_gates(m))
     n_patterns = 8
-    comp = GateSimulator(nl, backend="compiled", n_patterns=n_patterns)
+    comp = GateSimulator(nl, backend=backend, n_patterns=n_patterns)
     interps = [GateSimulator(nl) for _ in range(n_patterns)]
     rng = random.Random(9)
     widths = {name: len(nets) for name, nets in nl.inputs.items()}
@@ -251,7 +270,8 @@ def test_parallel_patterns_match_interpreted_runs():
             sim.step()
 
 
-def test_get_patterns_round_trip():
+@pytest.mark.parametrize("backend", CODEGEN_BACKENDS)
+def test_get_patterns_round_trip(backend):
     nl = Netlist("n")
     a = nl.add_input("a", 3)
     g0 = nl.add_cell("INV", {"A": a[0]})
@@ -259,9 +279,33 @@ def test_get_patterns_round_trip():
     g2 = nl.add_cell("INV", {"A": a[2]})
     nl.set_output("y", [g0.outputs["Y"], g1.outputs["Y"],
                         g2.outputs["Y"]])
-    comp = GateSimulator(nl, backend="compiled", n_patterns=4)
+    comp = GateSimulator(nl, backend=backend, n_patterns=4)
     comp.set_input_patterns("a", [0, 3, 5, 7])
     assert comp.get_patterns("y") == [7, 4, 2, 0]
+
+
+def test_vectorized_runs_past_the_word_cap():
+    """The vectorized engine's reason to exist: pattern counts far
+    beyond the 64 that fit one machine word, bit-exact per lane."""
+    m = _rand_module(123)
+    nl = optimize(map_to_gates(m))
+    n_patterns = 200  # > 64: four bitplane words per net
+    vec = GateSimulator(nl, backend="vectorized", n_patterns=n_patterns)
+    ref = GateSimulator(nl, backend="compiled", n_patterns=1)
+    rng = random.Random(11)
+    widths = {name: len(nets) for name, nets in nl.inputs.items()}
+    stimulus = [{name: [rng.randrange(1 << w) for _ in range(n_patterns)]
+                 for name, w in widths.items()} for _ in range(6)]
+    probe = 137  # deep in the third word
+    for cycle, frame in enumerate(stimulus):
+        for name, vals in frame.items():
+            vec.set_input_patterns(name, vals)
+            ref.set_input(name, frame[name][probe])
+        for port in nl.outputs:
+            assert vec.get_logic_pattern(port, probe) == \
+                ref.get_logic(port), (port, cycle)
+        vec.step()
+        ref.step()
 
 
 # ----------------------------------------------------------- the cache

@@ -1,11 +1,13 @@
-"""Compiled RTL backend: codegen equivalence with the interpreter.
+"""Compiled RTL backends: codegen equivalence with the interpreter.
 
 ``RtlSimulator(module, backend="compiled")`` generates one Python
-function for the whole multi-cycle loop.  It must match the
-interpreted closures on every construct the IR offers: arithmetic
-(signed and unsigned), shifts, comparisons, muxes, concatenation,
-reductions, registers and memories (including same-cycle write/read
-ordering across ports).
+function for the whole multi-cycle loop;
+``RtlSimulator(module, backend="vectorized")`` generates the same
+structure over numpy uint64 lane arrays, one stimulus lane per
+pattern.  Both must match the interpreted closures on every construct
+the IR offers: arithmetic (signed and unsigned), shifts, comparisons,
+muxes, concatenation, reductions, registers and memories (including
+same-cycle write/read ordering across ports).
 """
 
 import random
@@ -19,33 +21,44 @@ from repro.rtl import (Add, BitAnd, BitNot, BitOr, BitXor, Case, Cat, Cmp,
 from repro.rtl.compiled import CompileCache
 
 
-def both(module):
+#: the generated-code engines checked against the interpreter
+CODEGEN_BACKENDS = ("compiled", "vectorized")
+
+
+def both(module, backend="compiled"):
     return (RtlSimulator(module),
-            RtlSimulator(module, backend="compiled"))
+            RtlSimulator(module, backend=backend))
 
 
 def drive_and_compare(module, cycles=30, seed=0):
-    interp, comp = both(module)
+    interp = RtlSimulator(module)
+    others = [RtlSimulator(module, backend=b) for b in CODEGEN_BACKENDS]
     rng = random.Random(seed)
     widths = {n: module.net_width(n) for n in module.input_names()}
     for cycle in range(cycles):
         for name, w in widths.items():
             v = rng.randrange(1 << w)
             interp.set_input(name, v)
-            comp.set_input(name, v)
+            for comp in others:
+                comp.set_input(name, v)
         interp.step()
-        comp.step()
+        for comp in others:
+            comp.step()
+        for comp in others:
+            for out in module.output_names():
+                assert interp.get(out) == comp.get(out), \
+                    (comp.backend, out, cycle, f"seed {seed}")
+    for comp in others:
+        for mem in module.memories:
+            assert interp.peek_memory(mem.name) \
+                == comp.peek_memory(mem.name), \
+                (comp.backend, mem.name, f"seed {seed}")
+    interp.reset()
+    for comp in others:
+        comp.reset()
         for out in module.output_names():
             assert interp.get(out) == comp.get(out), \
-                (out, cycle, f"seed {seed}")
-    for mem in module.memories:
-        assert interp.peek_memory(mem.name) == comp.peek_memory(mem.name), \
-            (mem.name, f"seed {seed}")
-    interp.reset()
-    comp.reset()
-    for out in module.output_names():
-        assert interp.get(out) == comp.get(out), \
-            ("after reset", out, f"seed {seed}")
+                (comp.backend, "after reset", out, f"seed {seed}")
 
 
 # ------------------------------------------------------------- dispatch
@@ -74,6 +87,7 @@ def test_backend_attribute():
     m.output("y", m.input("x", 2))
     assert RtlSimulator(m).backend == "interpreted"
     assert RtlSimulator(m, backend="compiled").backend == "compiled"
+    assert RtlSimulator(m, backend="vectorized").backend == "vectorized"
 
 
 # ------------------------------------------------------------ operators
@@ -139,10 +153,11 @@ def test_rom_equivalence():
     drive_and_compare(m, cycles=20, seed=5)
 
 
-def test_src_rtl_design_equivalence(rtl_opt_design):
-    """The real SRC RTL module: interpreted and compiled lockstep."""
+@pytest.mark.parametrize("backend", CODEGEN_BACKENDS)
+def test_src_rtl_design_equivalence(rtl_opt_design, backend):
+    """The real SRC RTL module: interpreted and codegen in lockstep."""
     module = rtl_opt_design.module
-    interp, comp = both(module)
+    interp, comp = both(module, backend=backend)
     rng = random.Random(6)
     widths = {n: module.net_width(n) for n in module.input_names()}
     for _ in range(120):
@@ -156,6 +171,35 @@ def test_src_rtl_design_equivalence(rtl_opt_design):
         assert interp.get(out) == comp.get(out), out
     for mem in module.memories:
         assert interp.peek_memory(mem.name) == comp.peek_memory(mem.name)
+
+
+# ------------------------------------------------------- parallel lanes
+def test_vectorized_lanes_match_interpreted_runs():
+    """One vectorized run with N lanes == N interpreted runs."""
+    m = RtlModule("m")
+    a = m.input("a", 4)
+    b = m.input("b", 4)
+    acc = m.register("acc", 8, init=3)
+    m.set_next(acc, Slice(Add(acc, Mul(a, b)), 7, 0))
+    m.output("acc_q", acc)
+    m.output("mix", BitXor(Cat(a, b), Ext(acc, 8, signed=False)))
+    n = 7
+    vec = RtlSimulator(m, backend="vectorized", n_patterns=n)
+    interps = [RtlSimulator(m) for _ in range(n)]
+    rng = random.Random(8)
+    for cycle in range(25):
+        for name in ("a", "b"):
+            vals = [rng.randrange(16) for _ in range(n)]
+            vec.set_input_patterns(name, vals)
+            for sim, v in zip(interps, vals):
+                sim.set_input(name, v)
+        vec.step()
+        for sim in interps:
+            sim.step()
+        for out in m.output_names():
+            got = vec.get_patterns(out)
+            for p, sim in enumerate(interps):
+                assert got[p] == sim.get(out), (out, p, cycle)
 
 
 # ----------------------------------------------------------- the cache
