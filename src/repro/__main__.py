@@ -8,6 +8,7 @@ Usage::
     python -m repro refine          # bit-accuracy verification of the chain
     python -m repro verify          # differential fuzzing across levels
     python -m repro fi              # fault-injection dependability campaign
+    python -m repro corpus          # multi-design matrix + harden loop
     python -m repro bug             # the golden-model bug story
     python -m repro metrics         # model complexity across levels
     python -m repro profile         # simulation-time split (Section 5.1)
@@ -46,6 +47,18 @@ length), ``--out DIR`` (write the campaign report and
 ``BENCH_fi.json``), ``--self-check`` (additionally classify a
 known-SDC and a known-masked fault, and fail unless both land where
 they must).
+
+``corpus`` generates a seeded multi-design corpus (SRC variants plus
+counter/ALU/register-file members) and pushes every member through
+refine -> differential verify (all levels x all engines) -> synthesize
+-> fault injection -> selective hardening (TMR or parity on the
+highest-SDC registers) -> re-synthesis -> re-injection, writing
+``BENCH_corpus.json``.  Options: ``--n-designs N``, ``--seed N``,
+``--budget smoke|small|medium|large``, ``--backend
+compiled|vectorized`` (FI engine), ``--strategy tmr|parity``,
+``--model seu,...`` (corpus default: seu), ``--jobs N`` (one design
+per worker), ``--out DIR``.  Exits non-zero on any refine or
+cross-engine equivalence failure.
 """
 
 from __future__ import annotations
@@ -238,6 +251,35 @@ def cmd_fi(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_corpus(args) -> None:
+    from .corpus import CorpusConfig, run_corpus
+    from .flow.artifacts import write_corpus_bench_json
+
+    models = _option(args, "--model", "seu")
+    config = CorpusConfig(
+        seed=int(_option(args, "--seed", "0")),
+        n_designs=int(_option(args, "--n-designs", "6")),
+        budget=_option(args, "--budget", "small"),
+        backend=_option(args, "--backend", "compiled"),
+        strategy=_option(args, "--strategy", "tmr"),
+        models=tuple(m.strip() for m in models.split(",") if m.strip()),
+        jobs=int(_option(args, "--jobs", "1")),
+    )
+    report = run_corpus(config)
+    print(report.format())
+    out_dir = _option(args, "--out", None)
+    if out_dir:
+        import os
+        os.makedirs(out_dir, exist_ok=True)
+        path = write_corpus_bench_json(
+            report, os.path.join(out_dir, "BENCH_corpus.json"))
+    else:
+        path = write_corpus_bench_json(report)
+    print(f"wrote {path}")
+    if not report.passed:
+        raise SystemExit(1)
+
+
 def cmd_artifacts(args) -> None:
     from .flow import write_artifacts
 
@@ -257,6 +299,7 @@ COMMANDS = {
     "refine": cmd_refine,
     "verify": cmd_verify,
     "fi": cmd_fi,
+    "corpus": cmd_corpus,
     "bug": cmd_bug,
     "metrics": cmd_metrics,
     "profile": cmd_profile,
@@ -264,7 +307,7 @@ COMMANDS = {
 }
 
 #: commands ``all`` skips: they write to disk or run a long fuzz budget
-SKIP_IN_ALL = ("artifacts", "verify", "fi")
+SKIP_IN_ALL = ("artifacts", "verify", "fi", "corpus")
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,21 @@
+"""Multi-design corpus: generation, matrix campaign, selective hardening."""
+
+from .designs import (CORPUS_LEVELS, DESIGN_KINDS, CorpusError, DesignSpec,
+                      build_design, generate_corpus, module_digest,
+                      serialize_expr)
+from .harden import (HARDEN_STRATEGIES, PARITY_PORT, harden_module,
+                     majority, select_harden_targets)
+from .inject import (generate_design_faultload, run_design_campaign,
+                     sdc_counts_by_register)
+from .matrix import (CORPUS_BUDGETS, ENGINES, CorpusBudget, CorpusConfig,
+                     CorpusReport, run_corpus, run_design)
+
+__all__ = [
+    "CORPUS_BUDGETS", "CORPUS_LEVELS", "CorpusBudget", "CorpusConfig",
+    "CorpusError", "CorpusReport", "DESIGN_KINDS", "DesignSpec",
+    "ENGINES", "HARDEN_STRATEGIES", "PARITY_PORT", "build_design",
+    "generate_corpus", "generate_design_faultload", "harden_module",
+    "majority", "module_digest", "run_corpus", "run_design",
+    "run_design_campaign", "sdc_counts_by_register",
+    "select_harden_targets", "serialize_expr",
+]

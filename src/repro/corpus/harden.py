@@ -1,0 +1,157 @@
+"""Selective hardening: TMR / parity on the highest-SDC registers.
+
+DAVOS-style dependability loop closure: a fault campaign attributes SDC
+outcomes to RTL registers (via the ``<reg>_ff<i>`` flop naming of the
+technology mapper), the worst offenders get hardened, the design is
+re-synthesized and re-injected, and the report shows the robustness
+gain next to its area cost.
+
+* ``tmr`` -- the register is triplicated and every reader (including
+  the register's own hold path) sees the majority vote, so a flop SEU
+  in any copy is outvoted *and* corrected at the next clock edge.
+* ``parity`` -- each hardened register carries a parity flop computed
+  from the same next-value expression; a ``parity_err`` output flags
+  divergence, turning silent corruptions into detected ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..rtl.expr import BitAnd, BitOr, BitXor, Expr, Reduce, Ref, substitute
+from ..rtl.ir import RtlModule
+from .designs import CorpusError
+
+HARDEN_STRATEGIES = ("tmr", "parity")
+
+#: detect output added by the parity strategy
+PARITY_PORT = "parity_err"
+
+
+def majority(a: Expr, b: Expr, c: Expr) -> Expr:
+    """Bitwise 2-of-3 majority vote."""
+    return BitOr(BitOr(BitAnd(a, b), BitAnd(a, c)), BitAnd(b, c))
+
+
+def select_harden_targets(module: RtlModule, sdc_counts: Dict[str, int],
+                          top_k: int) -> List[str]:
+    """The *top_k* registers with the most attributed SDC outcomes."""
+    known = {reg.name for reg in module.registers}
+    ranked = sorted(((count, name) for name, count in sdc_counts.items()
+                     if count > 0 and name in known),
+                    key=lambda item: (-item[0], item[1]))
+    return [name for _, name in ranked[:top_k]]
+
+
+def harden_module(module: RtlModule, reg_names: Sequence[str],
+                  strategy: str = "tmr") -> RtlModule:
+    """Rebuild *module* with the named registers hardened."""
+    if strategy not in HARDEN_STRATEGIES:
+        raise CorpusError(f"unknown harden strategy {strategy!r}")
+    hardened = list(dict.fromkeys(reg_names))
+    known = {reg.name for reg in module.registers}
+    for name in hardened:
+        if name not in known:
+            raise CorpusError(f"{name!r} is not a register of "
+                              f"{module.name!r}")
+
+    out = RtlModule(f"{module.name}__{strategy}")
+    for port in module.ports:
+        if port.direction == "in":
+            out.input(port.name, port.width)
+
+    reg_refs: Dict[str, Ref] = {}
+    for reg in module.registers:
+        reg_refs[reg.name] = out.register(reg.name, reg.width,
+                                          init=reg.init)
+
+    # every reader of a TMR'd register sees the voted value -- including
+    # the register's own next expression, which is what lets a flipped
+    # copy self-correct at the next edge instead of holding the error
+    vote_map: Dict[str, Expr] = {}
+    copies: Dict[str, List[Ref]] = {}
+    if strategy == "tmr":
+        for name in hardened:
+            width = out.net_width(name)
+            copies[name] = [out.register(f"{name}__r{i}", width,
+                                         init=_reg_init(module, name))
+                            for i in (1, 2)]
+            vote_map[name] = Ref(f"{name}__vote", width)
+            out.keep_registers.add(name)
+            out.keep_registers.update(c.name for c in copies[name])
+
+    cache: Dict[int, Expr] = {}
+
+    def sub(expr: Expr) -> Expr:
+        return substitute(expr, vote_map, cache)
+
+    mems = {mem.name: out.memory(mem.name, mem.depth, mem.width,
+                                 contents=mem.contents)
+            for mem in module.memories}
+    read_data_names = {rp.data_name for mem in module.memories
+                       for rp in mem.read_ports}
+    for mem in module.memories:
+        for rp in mem.read_ports:
+            out.mem_read(mems[mem.name], sub(rp.addr),
+                         enable=sub(rp.enable)
+                         if rp.enable is not None else None,
+                         port_name=rp.data_name)
+        for wp in mem.write_ports:
+            out.mem_write(mems[mem.name], sub(wp.enable), sub(wp.addr),
+                          sub(wp.data))
+
+    for assign in module.assigns:
+        if assign.name in read_data_names:
+            continue  # recreated above with the memory
+        out.assign(assign.name, sub(assign.expr))
+
+    for reg in module.registers:
+        nxt = sub(reg.next)
+        out.set_next(reg_refs[reg.name], nxt)
+        for copy in copies.get(reg.name, ()):
+            out.set_next(copy, nxt)
+
+    if strategy == "tmr":
+        for name in hardened:
+            width = out.net_width(name)
+            out.assign(f"{name}__vote",
+                       majority(Ref(name, width),
+                                *(Ref(c.name, width)
+                                  for c in copies[name])))
+    else:
+        err_terms: List[Expr] = []
+        for name in hardened:
+            width = out.net_width(name)
+            reg = _find_reg(module, name)
+            par = out.register(f"{name}__par", 1,
+                               init=bin(reg.init).count("1") & 1)
+            out.keep_registers.add(par.name)
+            out.set_next(par, Reduce("xor", sub(reg.next)))
+            err_terms.append(BitXor(Reduce("xor", Ref(name, width)),
+                                    Ref(f"{name}__par", 1)))
+        err = err_terms[0]
+        for term in err_terms[1:]:
+            err = BitOr(err, term)
+        out.output(PARITY_PORT, err)
+
+    for port in module.ports:
+        if port.direction != "out":
+            continue
+        source = module.outputs[port.name]
+        if source in vote_map:
+            out.output(port.name, vote_map[source])
+        else:
+            out.output(port.name, Ref(source, module.net_width(source)))
+    out.validate()
+    return out
+
+
+def _reg_init(module: RtlModule, name: str) -> int:
+    return _find_reg(module, name).init
+
+
+def _find_reg(module: RtlModule, name: str):
+    for reg in module.registers:
+        if reg.name == name:
+            return reg
+    raise CorpusError(f"no register {name!r} in {module.name!r}")

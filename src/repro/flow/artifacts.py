@@ -230,6 +230,28 @@ def write_fi_bench_json(report, path: str = "BENCH_fi.json") -> str:
     return path
 
 
+def write_corpus_bench_json(report,
+                            path: str = "BENCH_corpus.json") -> str:
+    """Write a corpus matrix run as machine-readable JSON.
+
+    *report* is a :class:`repro.corpus.CorpusReport`.  One row per
+    generated design (digest, netlist hash, refine/verify verdicts,
+    coverage, area, FI outcome rates and the harden/re-inject deltas)
+    plus a corpus-wide summary -- schema-locked by
+    tests/test_bench_schema.py like the other BENCH_* artifacts.
+    ``REPRO_BENCH_DIR`` redirects the target directory; returns the
+    path written.
+    """
+    bench_dir = os.environ.get("REPRO_BENCH_DIR")
+    if bench_dir:
+        os.makedirs(bench_dir, exist_ok=True)
+        path = os.path.join(bench_dir, os.path.basename(path))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
 def write_fi_artifacts(report, directory: str) -> ArtifactIndex:
     """Write a fault-injection campaign's artefacts.
 

@@ -19,7 +19,7 @@ code of the paper's Section 4.5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .expr import Expr, MemRead, Ref, as_expr
 
@@ -95,6 +95,9 @@ class RtlModule:
         self.assigns: List[CombAssign] = []
         self.memories: List[RtlMemory] = []
         self.outputs: Dict[str, str] = {}  # port name -> driving net
+        #: registers whose flops synthesis must not merge (dont-touch);
+        #: selective hardening relies on TMR copies staying distinct
+        self.keep_registers: Set[str] = set()
         self._nets: Dict[str, int] = {}  # name -> width
         self._registers_by_name: Dict[str, RtlRegister] = {}
 

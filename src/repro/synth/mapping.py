@@ -493,6 +493,7 @@ class TechnologyMapper:
                 inst = CellInstance(
                     f"{reg.name}_ff{i}", "DFF", {"D": d}, {"Q": q},
                     init=(reg.init >> i) & 1,
+                    keep=reg.name in module.keep_registers,
                 )
                 q.kind = "cell"
                 q.driver = (inst, "Q")

@@ -38,16 +38,17 @@ class Net:
 class CellInstance:
     """An instance of a library cell."""
 
-    __slots__ = ("name", "cell_type", "pins", "outputs", "init")
+    __slots__ = ("name", "cell_type", "pins", "outputs", "init", "keep")
 
     def __init__(self, name: str, cell_type: str,
                  pins: Dict[str, Net], outputs: Dict[str, Net],
-                 init: int = 0):
+                 init: int = 0, keep: bool = False):
         self.name = name
         self.cell_type = cell_type
         self.pins = pins          # input pin -> net
         self.outputs = outputs    # output pin -> net
         self.init = init          # power-up value for flops
+        self.keep = keep          # dont-touch: exempt from merging
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{self.cell_type}:{self.name}"
@@ -213,7 +214,7 @@ class Netlist:
                 cell.name, cell.cell_type,
                 {pin: net_map[n] for pin, n in cell.pins.items()},
                 {pin: net_map[n] for pin, n in cell.outputs.items()},
-                cell.init,
+                cell.init, keep=cell.keep,
             )
             for pin, net in copy_cell.outputs.items():
                 net.driver = (copy_cell, pin)

@@ -254,6 +254,8 @@ def eliminate_common_subexpressions(nl: Netlist) -> bool:
     rw = _Rewriter(nl)
     seen: Dict[Tuple, CellInstance] = {}
     for cell in nl.cells:
+        if cell.keep:
+            continue  # dont-touch (e.g. TMR copies must stay distinct)
         t = cell.cell_type
         if t in _COMMUTATIVE:
             key = (t, frozenset(n.uid for n in cell.pins.values()))

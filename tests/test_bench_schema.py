@@ -213,6 +213,110 @@ def test_fi_compiled_beats_interpreted_in_recorded_data():
         throughput["interpreted"]["faults_per_second"]
 
 
+CORPUS_KEYS = {"corpus", "designs", "summary"}
+CORPUS_CONFIG_KEYS = {"backend", "budget", "models", "n_designs", "seed",
+                      "strategy"}
+CORPUS_SUMMARY_KEYS = {"hardened", "improved", "n_designs", "refine_pass",
+                       "total_area", "total_faults", "verify_checks",
+                       "verify_failures", "verify_pass"}
+CORPUS_ROW_KEYS = {"config", "coverage", "digest", "fi", "harden", "kind",
+                   "name", "netlist_hash", "refine", "seed", "synth",
+                   "verify"}
+CORPUS_KINDS = {"src", "counter", "alu", "regfile"}
+CORPUS_RATE_KEYS = {"n_faults"} | {k for o in FI_OUTCOMES
+                                   for k in (o, f"{o}_rate")}
+CORPUS_HARDEN_KEYS = CORPUS_RATE_KEYS | {
+    "area_delta_percent", "area_total", "improved", "n_flops",
+    "sdc_rate_before", "strategy", "targets"}
+
+
+def _check_fi_rates(rates, where):
+    assert CORPUS_RATE_KEYS <= set(rates), where
+    assert rates["n_faults"] >= 1, where
+    # every fault lands in exactly one class -- counts are monotone
+    # consistent with the total and the rates are true fractions
+    assert sum(rates[o] for o in FI_OUTCOMES) == rates["n_faults"], where
+    for outcome in FI_OUTCOMES:
+        assert 0 <= rates[outcome] <= rates["n_faults"], where
+        assert 0.0 <= rates[f"{outcome}_rate"] <= 1.0, where
+
+
+def test_corpus_schema():
+    doc = _load("BENCH_corpus.json")
+    assert set(doc) == CORPUS_KEYS
+    corpus = doc["corpus"]
+    assert set(corpus) == CORPUS_CONFIG_KEYS
+    assert corpus["backend"] in {"compiled", "vectorized"}
+    assert corpus["strategy"] in {"tmr", "parity"}
+    assert corpus["n_designs"] >= 1
+
+    summary = doc["summary"]
+    assert set(summary) == CORPUS_SUMMARY_KEYS
+    assert summary["n_designs"] == len(doc["designs"]) \
+        == corpus["n_designs"]
+    assert summary["refine_pass"] <= summary["n_designs"]
+    assert summary["verify_pass"] <= summary["n_designs"]
+    assert summary["improved"] <= summary["hardened"] \
+        <= summary["n_designs"]
+    assert summary["total_area"] > 0
+
+    total_faults = total_checks = total_failures = 0
+    for row in doc["designs"]:
+        assert set(row) == CORPUS_ROW_KEYS, row.get("name")
+        assert row["kind"] in CORPUS_KINDS
+        assert row["name"].startswith(row["kind"])
+        assert len(row["digest"]) == 64  # sha256 hex
+        assert isinstance(row["netlist_hash"], str) and row["netlist_hash"]
+        assert isinstance(row["config"], dict) and row["config"]
+
+        assert set(row["refine"]) == {"beh", "rtl", "gate", "pass"}
+        assert row["refine"]["pass"] == all(
+            row["refine"][lvl] for lvl in ("beh", "rtl", "gate"))
+        verify = row["verify"]
+        assert set(verify) == {"checks", "failures", "pass"}
+        assert verify["checks"] >= 1
+        assert verify["pass"] == (not verify["failures"])
+        total_checks += verify["checks"]
+        total_failures += len(verify["failures"])
+
+        coverage = row["coverage"]
+        assert set(coverage) == {"fraction", "reg_bits", "toggled"}
+        assert 0 <= coverage["toggled"] <= coverage["reg_bits"]
+        assert 0.0 <= coverage["fraction"] <= 1.0
+        synth = row["synth"]
+        assert set(synth) == {"area_combinational", "area_sequential",
+                              "area_total", "n_cells", "n_flops"}
+        assert synth["area_total"] > 0 and synth["n_flops"] >= 1
+
+        _check_fi_rates(row["fi"], row["name"])
+        total_faults += row["fi"]["n_faults"]  # base injection only
+        if row["harden"] is not None:
+            harden = row["harden"]
+            assert set(harden) == CORPUS_HARDEN_KEYS, row["name"]
+            _check_fi_rates(harden, row["name"] + "/harden")
+            assert harden["strategy"] == corpus["strategy"]
+            assert harden["targets"], row["name"]
+            assert harden["n_flops"] > synth["n_flops"], row["name"]
+            assert harden["area_total"] > synth["area_total"], row["name"]
+            assert harden["improved"] == \
+                (harden["sdc_rate"] < harden["sdc_rate_before"])
+
+    assert summary["total_faults"] == total_faults
+    assert summary["verify_checks"] == total_checks
+    assert summary["verify_failures"] == total_failures
+
+
+def test_corpus_recorded_run_is_healthy():
+    """The checked-in corpus run must record a clean matrix: every
+    design refined and verified, and hardening paid off somewhere."""
+    doc = _load("BENCH_corpus.json")
+    summary = doc["summary"]
+    assert summary["refine_pass"] == summary["n_designs"]
+    assert summary["verify_pass"] == summary["n_designs"]
+    assert summary["verify_failures"] == 0
+    assert summary["improved"] >= 1
+
+
 def test_fi_vectorized_beats_compiled_in_recorded_data():
     """The vectorized whole-faultload sweep's recorded headline: more
     faults per second than the compiled word-packed batches on the

@@ -1,0 +1,52 @@
+"""Three-engine equivalence over a sampled corpus slice.
+
+The interpreted/compiled/vectorized equivalence suites previously ran
+only on the SRC design; this extends them across generated corpus
+members at every refinement level.  Failure messages carry a replay
+expression (corpus seed + member index), so any divergence is
+reproducible from the log alone.
+"""
+
+import pytest
+
+from repro.corpus import CORPUS_LEVELS, ENGINES, build_design, \
+    generate_corpus
+
+CORPUS_SEED = 2026
+N_DESIGNS = 4  # one member of every kind
+N_FRAMES = 6
+N_TX = 6
+
+_SPECS = generate_corpus(CORPUS_SEED, N_DESIGNS, n_frames=N_FRAMES,
+                         n_tx=N_TX)
+
+
+@pytest.fixture(scope="module")
+def designs():
+    built = {}
+    for index, spec in enumerate(_SPECS):
+        design = build_design(spec)
+        built[index] = (design, design.golden_frames())
+    return built
+
+
+def _replay(index):
+    return (f"replay: generate_corpus({CORPUS_SEED}, {N_DESIGNS}, "
+            f"n_frames={N_FRAMES}, n_tx={N_TX})[{index}] "
+            f"-> {_SPECS[index].name}")
+
+
+@pytest.mark.parametrize("index", range(N_DESIGNS),
+                         ids=[s.name for s in _SPECS])
+@pytest.mark.parametrize("level", CORPUS_LEVELS)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_corpus_engine_frame_exact(designs, index, level, engine):
+    design, golden = designs[index]
+    frames = design.run_level(level, engine)
+    assert len(frames) == len(golden), (
+        f"{level}/{engine}: frame count diverged "
+        f"({len(frames)} vs golden {len(golden)}) -- {_replay(index)}")
+    for frame_no, (got, want) in enumerate(zip(frames, golden)):
+        assert got == want, (
+            f"{level}/{engine}: first divergence at frame {frame_no}: "
+            f"{got} vs golden {want} -- {_replay(index)}")

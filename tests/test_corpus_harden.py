@@ -1,0 +1,147 @@
+"""Selective hardening: TMR/parity rebuild, dont-touch synthesis.
+
+Covers the harden pass in isolation: the majority voter, target
+selection, functional equivalence of hardened modules, the keep
+(dont-touch) flag that stops the optimizer from deduplicating TMR
+copies, and the end-to-end SEU robustness gain on a corpus member.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.corpus import (PARITY_PORT, build_design,
+                          generate_design_faultload, harden_module,
+                          majority, run_design_campaign,
+                          sdc_counts_by_register, select_harden_targets)
+from repro.corpus.designs import CorpusError, make_spec, _run_transactions
+from repro.gatesim import GateSimulator
+from repro.rtl.expr import Add, Const, Slice
+from repro.rtl.ir import RtlModule
+from repro.rtl.simulate import RtlSimulator
+from repro.synth import report_area, synthesize
+
+
+def _counter_module(keep=()):
+    """A counter plus a shadow copy sharing its next value (CSE bait).
+
+    This is exactly the shape TMR produces: structurally identical
+    flops fed from the same D net, which the optimizer merges unless
+    they are marked keep.
+    """
+    m = RtlModule("pair")
+    en = m.input("en", 1)
+    a = m.register("a", 4)
+    b = m.register("b", 4)
+    nxt = Slice(Add(a, en, 5), 3, 0)
+    m.set_next(a, nxt)
+    m.set_next(b, nxt)
+    m.output("qa", a)
+    m.output("qb", b)
+    m.keep_registers.update(keep)
+    m.validate()
+    return m
+
+
+def test_majority_votes_bitwise():
+    m = RtlModule("vote")
+    x = m.input("x", 4)
+    y = m.input("y", 4)
+    z = m.input("z", 4)
+    m.output("v", majority(x, y, z))
+    dummy = m.register("d", 1)
+    m.set_next(dummy, Const(1, 0))
+    m.validate()
+    sim = RtlSimulator(m)
+    for vec in ((5, 5, 10), (3, 3, 3), (0, 15, 15), (9, 1, 8)):
+        for name, value in zip(("x", "y", "z"), vec):
+            sim.set_input(name, value)
+        sim.settle()
+        want = (vec[0] & vec[1]) | (vec[0] & vec[2]) | (vec[1] & vec[2])
+        assert sim.get("v") == want
+
+
+def test_keep_flag_blocks_flop_merging():
+    merged = synthesize(_counter_module(), scan=False)
+    kept = synthesize(_counter_module(keep=("a", "b")), scan=False)
+    assert report_area(kept).flop_count == 8
+    assert report_area(merged).flop_count < 8  # CSE merges the twins
+    names = {c.name for c in kept.cells if c.cell_type == "DFF"}
+    assert {"a_ff0", "b_ff0"} <= names
+
+
+def test_select_harden_targets_ranks_and_filters():
+    m = _counter_module()
+    counts = {"a": 3, "b": 5, "ghost": 9}
+    assert select_harden_targets(m, counts, 2) == ["b", "a"]
+    assert select_harden_targets(m, {"a": 0}, 2) == []
+    # ties break by name for determinism
+    assert select_harden_targets(m, {"a": 2, "b": 2}, 1) == ["a"]
+
+
+def test_harden_module_rejects_bad_input():
+    m = _counter_module()
+    with pytest.raises(CorpusError):
+        harden_module(m, ["nope"])
+    with pytest.raises(CorpusError):
+        harden_module(m, ["a"], strategy="wishful")
+
+
+def test_tmr_preserves_function_and_masks_flop_seu():
+    spec = make_spec("counter", 5, 1, n_tx=6)
+    design = build_design(spec)
+    golden = design.golden_frames()
+    wave = design.waveform()
+
+    hardened = harden_module(design.build_rtl(),
+                             [r.name for r in
+                              design.build_rtl().registers
+                              if r.name.startswith("s")], "tmr")
+    hnet = synthesize(hardened)
+    sim = GateSimulator(hnet)
+    frames, _ = _run_transactions(design, sim.set_input, sim.get,
+                                  sim.step)
+    assert frames == golden
+
+    # every SEU in a TMR'd flop must be outvoted
+    faults = [f for f in generate_design_faultload(hnet, 64, 9,
+                                                   len(wave))
+              if f.target_kind == "flop"
+              and f.target.rsplit("_ff", 1)[0].split("__r")[0]
+              in hardened.keep_registers]
+    assert faults, "faultload sampled no TMR'd flop"
+    records = run_design_campaign(hnet, wave, golden, design.valid_port,
+                                  design.frame_ports, faults,
+                                  design.cycle_budget())
+    outcomes = Counter(r.outcome for r in records)
+    assert outcomes == {"masked": len(faults)}, (
+        f"TMR'd flop SEUs not fully masked: {dict(outcomes)}")
+
+
+def test_parity_turns_sdc_into_detected():
+    spec = make_spec("regfile", 3, 3, n_tx=6)
+    design = build_design(spec)
+    golden = design.golden_frames()
+    wave = design.waveform()
+    faults = generate_design_faultload(design.netlist(), 48, 4,
+                                       len(wave))
+    records = run_design_campaign(design.netlist(), wave, golden,
+                                  design.valid_port, design.frame_ports,
+                                  faults, design.cycle_budget())
+    targets = select_harden_targets(design.build_rtl(),
+                                    sdc_counts_by_register(records), 3)
+    if not targets:
+        pytest.skip("faultload produced no register-attributed SDC")
+
+    hardened = harden_module(design.build_rtl(), targets, "parity")
+    assert PARITY_PORT in hardened.output_names()
+    hnet = synthesize(hardened)
+    hfaults = generate_design_faultload(hnet, 48, 5, len(wave))
+    hrecords = run_design_campaign(hnet, wave, golden,
+                                   design.valid_port,
+                                   design.frame_ports, hfaults,
+                                   design.cycle_budget(),
+                                   detect_ports=(PARITY_PORT,))
+    outcomes = Counter(r.outcome for r in hrecords)
+    assert outcomes.get("detected", 0) > 0
+    assert report_area(hnet).total > report_area(design.netlist()).total
