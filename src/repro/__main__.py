@@ -59,6 +59,24 @@ compiled|vectorized`` (FI engine), ``--strategy tmr|parity``,
 ``--model seu,...`` (corpus default: seu), ``--jobs N`` (one design
 per worker), ``--out DIR``.  Exits non-zero on any refine or
 cross-engine equivalence failure.
+
+``serve`` starts the persistent campaign service: an HTTP/JSON API
+accepting verify/fi/corpus jobs with a priority queue, sharded worker
+pool and content-addressed result cache.  Options: ``--host H``
+(default 127.0.0.1), ``--port N`` (default 8321), ``--shards N``
+(default 2), ``--cache-entries N`` (default 512).  Stop with Ctrl-C;
+the shards are torn down cleanly.
+
+``submit`` sends one job to a running service and streams progress:
+``python -m repro submit fi --n-faults 64 --level rtl``.  Options:
+``--url http://host:port`` (default http://127.0.0.1:8321), common
+job fields ``--priority N`` / ``--deadline S``, per-kind options as
+for the offline commands (``--levels``, ``--level``, ``--backend``,
+``--seed``, ``--budget``, ``--n-faults``, ``--model``,
+``--n-designs``, ``--strategy``), ``--no-wait`` (submit and return),
+``--result`` (print the full result JSON).  A resubmission of
+identical work is served from the service's result cache without
+re-simulation.
 """
 
 from __future__ import annotations
@@ -238,6 +256,11 @@ def cmd_fi(args) -> None:
         backend=_option(args, "--backend", "compiled"),
     )
     report = run_campaign(config)
+    if report.interrupted:
+        # partial campaign: show what was classified, but never write
+        # the BENCH json (its schema asserts a complete campaign)
+        print(report.format())
+        raise SystemExit(130)
     if "--self-check" in args:
         report.self_check = run_fi_self_check(config)
     print(report.format())
@@ -266,6 +289,9 @@ def cmd_corpus(args) -> None:
         jobs=int(_option(args, "--jobs", "1")),
     )
     report = run_corpus(config)
+    if report.interrupted:
+        print(report.format())
+        raise SystemExit(130)
     print(report.format())
     out_dir = _option(args, "--out", None)
     if out_dir:
@@ -277,6 +303,81 @@ def cmd_corpus(args) -> None:
         path = write_corpus_bench_json(report)
     print(f"wrote {path}")
     if not report.passed:
+        raise SystemExit(1)
+
+
+def cmd_serve(args) -> None:
+    from .service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        shards=int(_option(args, "--shards", "2")),
+        cache_entries=int(_option(args, "--cache-entries", "512")),
+    )
+    run_server(host=_option(args, "--host", "127.0.0.1"),
+               port=int(_option(args, "--port", "8321")),
+               config=config)
+
+
+def cmd_submit(args) -> None:
+    from .service import ServiceClient
+
+    names = [a for a in args if not a.startswith("-")]
+    if len(names) < 2 or names[1] not in ("verify", "fi", "corpus"):
+        print("usage: python -m repro submit verify|fi|corpus "
+              "[--url URL] [options]")
+        raise SystemExit(1)
+    kind = names[1]
+
+    options = {}
+    for flag, name, cast in (
+            ("--levels", "levels", str), ("--level", "level", str),
+            ("--backend", "backend", str), ("--seed", "seed", int),
+            ("--budget", "budget", str),
+            ("--n-faults", "n_faults", int),
+            ("--n-designs", "n_designs", int),
+            ("--strategy", "strategy", str)):
+        value = _option(args, flag, None)
+        if value is not None:
+            options[name] = cast(value)
+    models = _option(args, "--model", None)
+    if models is not None:
+        options["models"] = [m.strip() for m in models.split(",")
+                             if m.strip()]
+    spec = {"kind": kind,
+            "params": "paper" if "--paper" in args else "small",
+            "priority": int(_option(args, "--priority", "0")),
+            "options": options}
+    deadline = _option(args, "--deadline", None)
+    if deadline is not None:
+        spec["deadline_s"] = float(deadline)
+
+    client = ServiceClient(_option(args, "--url",
+                                   "http://127.0.0.1:8321"))
+    job = client.submit(spec)
+    cache = job["cache"]
+    print(f"{job['id']}  {kind}  state={job['state']}  "
+          f"cache_hit={cache['hit']}  key={cache['key'][:12]}...")
+    if "--no-wait" in args:
+        return
+    if job["state"] not in ("done", "failed", "cancelled", "expired"):
+        for event in client.events(job["id"]):
+            line = "  " + "  ".join(f"{k}={v}" for k, v in event.items()
+                                    if k != "job")
+            print(line)
+        job = client.job(job["id"], include_result=True)
+    elif "--result" in args:
+        job = client.job(job["id"], include_result=True)
+    progress = job["progress"]
+    print(f"{job['id']}  state={job['state']}  "
+          f"{progress['units_done']}/{progress['units_total']} "
+          f"{progress['unit']}  wall={job['wall_seconds']:.3f}s  "
+          f"retries={job['retries']}")
+    if job.get("error"):
+        print(f"error: {job['error']}")
+    if "--result" in args and job.get("result") is not None:
+        import json
+        print(json.dumps(job["result"], indent=2))
+    if job["state"] != "done":
         raise SystemExit(1)
 
 
@@ -304,10 +405,14 @@ COMMANDS = {
     "metrics": cmd_metrics,
     "profile": cmd_profile,
     "artifacts": cmd_artifacts,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
-#: commands ``all`` skips: they write to disk or run a long fuzz budget
-SKIP_IN_ALL = ("artifacts", "verify", "fi", "corpus")
+#: commands ``all`` skips: they write to disk, run a long fuzz budget,
+#: or block on a network service
+SKIP_IN_ALL = ("artifacts", "verify", "fi", "corpus", "serve",
+               "submit")
 
 
 def main(argv=None) -> int:

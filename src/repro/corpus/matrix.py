@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..fi.campaign import parallel_map
+from ..fi.campaign import PoolInterrupted, parallel_map
 from ..fi.report import tally
 from ..gatesim import GateSimulator
 from ..gatesim.compiled import structural_hash
@@ -65,11 +65,15 @@ class CorpusConfig:
 class CorpusReport:
     config: CorpusConfig
     rows: List[Dict[str, object]]
+    #: the matrix run was interrupted; ``rows`` holds the finished
+    #: prefix of the roster (no BENCH json is written for partial runs)
+    interrupted: bool = False
 
     @property
     def passed(self) -> bool:
-        return all(row["refine"]["pass"] and row["verify"]["pass"]
-                   for row in self.rows)
+        return (not self.interrupted
+                and all(row["refine"]["pass"] and row["verify"]["pass"]
+                        for row in self.rows))
 
     def summary(self) -> Dict[str, object]:
         hardened = [row for row in self.rows
@@ -132,6 +136,11 @@ class CorpusReport:
             f"{s['total_faults']} faults injected; "
             f"{s['improved']}/{s['hardened']} designs improved by "
             f"hardening")
+        if self.interrupted:
+            lines.append(
+                f"INTERRUPTED: partial matrix -- "
+                f"{len(self.rows)}/{self.config.n_designs} design(s) "
+                "finished before the stop (pool torn down cleanly)")
         return "\n".join(lines)
 
 
@@ -317,7 +326,13 @@ def _design_task(index: int) -> Dict[str, object]:
 def run_corpus(config: CorpusConfig) -> CorpusReport:
     if config.budget not in CORPUS_BUDGETS:
         raise CorpusError(f"unknown budget {config.budget!r}")
-    rows = parallel_map(_design_task, list(range(config.n_designs)),
-                        config.jobs, initializer=_init_worker,
-                        initargs=(config,))
+    try:
+        rows = parallel_map(_design_task, list(range(config.n_designs)),
+                            config.jobs, initializer=_init_worker,
+                            initargs=(config,))
+    except PoolInterrupted as stop:
+        # surface the finished designs instead of losing the run; the
+        # pool was terminated *and* joined, so no workers are orphaned
+        return CorpusReport(config=config, rows=stop.partial,
+                            interrupted=True)
     return CorpusReport(config=config, rows=rows)

@@ -735,6 +735,21 @@ def _beh_batch_task(faults: Sequence[Fault]):
     return records, cache_delta(before, after)
 
 
+class PoolInterrupted(KeyboardInterrupt):
+    """A cancelled parallel run, carrying the results finished so far.
+
+    Raised by :func:`parallel_map` when the run is interrupted
+    (Ctrl-C, cancellation): the pool has already been torn down --
+    terminated *and* joined, no orphaned workers -- and ``partial``
+    holds the completed leading results in task order, so callers can
+    surface a partial report instead of losing the whole run.
+    """
+
+    def __init__(self, partial: Sequence) -> None:
+        super().__init__()
+        self.partial = list(partial)
+
+
 def parallel_map(fn, tasks: Sequence, jobs: int,
                  initializer=None, initargs=()) -> List:
     """``map(fn, tasks)`` over a worker pool, order-preserving.
@@ -743,16 +758,41 @@ def parallel_map(fn, tasks: Sequence, jobs: int,
     Fork is preferred -- workers inherit built state for free -- with
     spawn as the fallback; *initializer* must rebuild any needed state
     deterministically, which keeps both start methods equivalent.
+
+    Teardown is explicit on every exit path: a task failure or an
+    interrupt terminates the pool and *joins* it before re-raising, so
+    no worker process outlives the call; an interrupt re-raises as
+    :class:`PoolInterrupted` with the results completed so far.
     """
     if jobs <= 1 or len(tasks) <= 1:
         if initializer is not None:
             initializer(*initargs)
-        return [fn(task) for task in tasks]
+        results = []
+        try:
+            for task in tasks:
+                results.append(fn(task))
+        except KeyboardInterrupt:
+            raise PoolInterrupted(results) from None
+        return results
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
-    with ctx.Pool(min(jobs, len(tasks)), initializer, initargs) as pool:
-        return pool.map(fn, tasks)
+    pool = ctx.Pool(min(jobs, len(tasks)), initializer, initargs)
+    results = []
+    try:
+        for result in pool.imap(fn, tasks):
+            results.append(result)
+        pool.close()
+        pool.join()
+        return results
+    except KeyboardInterrupt:
+        pool.terminate()
+        pool.join()
+        raise PoolInterrupted(results) from None
+    except BaseException:
+        pool.terminate()
+        pool.join()
+        raise
 
 
 def absorb_cache_deltas(deltas) -> None:
@@ -788,6 +828,35 @@ def _vector_chunk(n_faults: int, jobs: int) -> int:
     return max(1, -(-n_faults // max(jobs, 1)))
 
 
+def campaign_faultload(config: CampaignConfig) -> Tuple[List[Fault], str]:
+    """The campaign's deterministic faultload and its DUT name.
+
+    Requires the per-process campaign state (:func:`_init_worker` with
+    the config's parameters), so the DUT is already built.  The result
+    is a pure function of the config -- the property that lets the
+    campaign service content-address classification results by
+    faultload digest and serve identical requests from its cache.
+    """
+    workload: Workload = _WORKER["workload"]  # type: ignore[assignment]
+    if config.level == "gate":
+        netlist = _WORKER["netlist"]
+        faults = generate_gate_faultload(
+            netlist, config.n_faults, config.seed, workload.cycle_budget,
+            models=config.models, exhaustive=config.exhaustive)
+        return faults, netlist.name
+    if config.level == "beh":
+        fsm = _WORKER["fsm"]
+        faults = generate_beh_faultload(
+            fsm, config.n_faults, config.seed, workload.cycle_budget,
+            exhaustive=config.exhaustive)
+        return faults, fsm.name
+    module = _WORKER["module"]
+    faults = generate_rtl_faultload(
+        module, config.n_faults, config.seed, workload.cycle_budget,
+        exhaustive=config.exhaustive)
+    return faults, module.name
+
+
 def run_campaign(config: CampaignConfig) -> CampaignReport:
     """Run a full fault-injection campaign per *config*.
 
@@ -796,41 +865,31 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     re-runs a probe slice on the remaining engines to measure every
     engine's injection throughput -- cross-checking that the probe's
     classifications agree exactly.
+
+    An interrupt (Ctrl-C) does not lose the run: the pool is torn down
+    cleanly and the report carries every fault classified so far,
+    flagged ``interrupted`` (throughput probes are skipped).
     """
     config = config.validated()
     _init_worker(config.params, config.level, config.seed, config.budget,
                  config.backend)
     workload: Workload = _WORKER["workload"]  # type: ignore[assignment]
     backend = config.backend
+    faults, design = campaign_faultload(config)
 
     if config.level == "gate":
-        netlist = _WORKER["netlist"]
-        faults = generate_gate_faultload(
-            netlist, config.n_faults, config.seed, workload.cycle_budget,
-            models=config.models, exhaustive=config.exhaustive)
-        design = netlist.name
         chunk = (_vector_chunk(len(faults), config.jobs)
                  if backend == "vectorized" else config.batch_size)
         tasks = [faults[i:i + chunk]
                  for i in range(0, len(faults), chunk)]
         task_fn = _gate_batch_task
     elif config.level == "beh":
-        fsm = _WORKER["fsm"]
-        faults = generate_beh_faultload(
-            fsm, config.n_faults, config.seed, workload.cycle_budget,
-            exhaustive=config.exhaustive)
-        design = fsm.name
         chunk = (_vector_chunk(len(faults), config.jobs)
                  if backend == "vectorized" else config.batch_size)
         tasks = [faults[i:i + chunk]
                  for i in range(0, len(faults), chunk)]
         task_fn = _beh_batch_task
     else:
-        module = _WORKER["module"]
-        faults = generate_rtl_faultload(
-            module, config.n_faults, config.seed, workload.cycle_budget,
-            exhaustive=config.exhaustive)
-        design = module.name
         if backend == "vectorized":
             chunk = _vector_chunk(len(faults), config.jobs)
             tasks = [faults[i:i + chunk]
@@ -840,11 +899,16 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             tasks = list(faults)
             task_fn = _rtl_fault_task
 
+    interrupted = False
     t0 = time.perf_counter()
-    results = parallel_map(
-        task_fn, tasks, config.jobs, initializer=_init_worker,
-        initargs=(config.params, config.level, config.seed, config.budget,
-                  config.backend))
+    try:
+        results = parallel_map(
+            task_fn, tasks, config.jobs, initializer=_init_worker,
+            initargs=(config.params, config.level, config.seed,
+                      config.budget, config.backend))
+    except PoolInterrupted as stop:
+        results = stop.partial
+        interrupted = True
     main_wall = time.perf_counter() - t0
     if config.jobs > 1 and len(tasks) > 1:
         # pool runs hit worker-local caches; in-process runs already
@@ -855,7 +919,18 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     else:
         records = [rec for batch, _ in results for rec in batch]
 
-    throughput = [Throughput(backend, len(faults), main_wall)]
+    throughput = [Throughput(backend, len(records) if interrupted
+                             else len(faults), main_wall)]
+    if interrupted:
+        cache_stats = {label: cache.stats for label, cache in _CACHES}
+        return CampaignReport(
+            level=config.level, design=design, seed=config.seed,
+            budget=config.budget, jobs=config.jobs,
+            backend=config.backend,
+            n_workload_frames=workload.case.n_inputs,
+            cycle_budget=workload.cycle_budget, records=records,
+            throughput=throughput, cache_stats=cache_stats,
+            interrupted=True)
     probe = faults[:min(config.probe_faults, len(faults))]
 
     if backend == "vectorized" and probe:

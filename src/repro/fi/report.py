@@ -134,6 +134,8 @@ class CampaignReport:
     #: aggregated across parent + worker processes
     cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
     self_check: Optional["SelfCheckResult"] = None
+    #: the run was interrupted; ``records`` holds the partial prefix
+    interrupted: bool = False
 
     @property
     def classification(self) -> Dict[str, int]:
@@ -189,6 +191,10 @@ class CampaignReport:
             f"workload: {self.n_workload_frames} frames, "
             f"cycle budget {self.cycle_budget}",
         ]
+        if self.interrupted:
+            lines.append(
+                f"INTERRUPTED: partial results -- {n} fault(s) were "
+                "classified before the stop (pool torn down cleanly)")
         for name in OUTCOMES:
             share = counts[name] / n * 100 if n else 0.0
             lines.append(f"  {name:9s} {counts[name]:5d}  ({share:5.1f}%)")

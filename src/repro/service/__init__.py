@@ -1,0 +1,40 @@
+"""Campaign service: async job queue, sharded workers, result cache.
+
+The service turns the repo's one-shot CLI campaigns (verify / fi /
+corpus) into a persistent daemon with an HTTP/JSON API:
+
+* :mod:`repro.service.jobs` -- job model, validation, priority queue
+* :mod:`repro.service.tasks` -- planning jobs into worker tasks and
+  aggregating task results; content-addressed cache keys
+* :mod:`repro.service.cache` -- bounded LRU result cache
+* :mod:`repro.service.shards` -- sharded worker pool with crash/hang
+  health enforcement
+* :mod:`repro.service.core` -- the scheduler tying it all together
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- HTTP
+  transport (stdlib-only)
+"""
+
+from .cache import RESULT_SCHEMA_VERSION, ResultCache, ResultKey
+from .client import ServiceClient, ServiceError
+from .core import CampaignService, ServiceConfig
+from .jobs import JOB_KINDS, Job, JobError, JobSpec
+from .server import BackgroundServer, ServiceServer, run_server
+from .shards import ShardPool
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "ResultCache",
+    "ResultKey",
+    "ServiceClient",
+    "ServiceError",
+    "CampaignService",
+    "ServiceConfig",
+    "JOB_KINDS",
+    "Job",
+    "JobError",
+    "JobSpec",
+    "BackgroundServer",
+    "ServiceServer",
+    "run_server",
+    "ShardPool",
+]

@@ -1,0 +1,151 @@
+"""Content-addressed result cache of the campaign service.
+
+Identical requests from heavy traffic must not re-simulate: every
+finished job's result document is stored under a digest of everything
+that determines it -- the *design* digest (``module_digest`` over the
+RTL of the DUT, the same discipline the :class:`~repro.compile_cache.
+CompileCache` applies to compiled simulation programs), the *workload*
+digest (faultload content or stimulus spec), the workload seed, the
+classification backend, and the service schema version.  A request
+whose key digest is resident is served from the store without touching
+a worker shard.
+
+The key is computed *before* a job runs, from inputs that
+deterministically fix its outcome (the whole repository is built on
+seeded, replayable generation -- faultloads, stimulus and corpus
+members are all pure functions of their spec).  Bumping
+``RESULT_SCHEMA_VERSION`` therefore invalidates every stored entry at
+once: the version is part of the hashed content, so old entries simply
+stop being addressable.
+
+The store is LRU-bounded exactly like the compile cache: a hit
+refreshes recency, an insert over the bound retires the stalest entry,
+and hit/miss/eviction counters feed the ``/metrics`` endpoint.
+Results are stored as canonical JSON text, so a cached response is
+byte-identical to the cold one and structure shared with worker
+processes (tuples vs. lists) is normalised once, at insertion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: version of the service's job/result JSON shapes; part of every cache
+#: key, so bumping it invalidates all previously stored results
+RESULT_SCHEMA_VERSION = 1
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace drift)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def digest_of(obj: object) -> str:
+    """sha256 hex over the canonical JSON rendering of *obj*."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ResultKey:
+    """The full addressing tuple of one cacheable result.
+
+    ``design_digest`` fixes the DUT (``module_digest`` of its RTL or a
+    corpus spec digest), ``workload_digest`` fixes what was run against
+    it (faultload content, stimulus spec), ``workload_seed`` the PRNG
+    stream, ``backend`` the classification engine and
+    ``schema_version`` the result shape.  ``extra`` carries any
+    remaining determining knobs (budget, level, models, ...) already
+    digested by the caller.
+    """
+
+    kind: str
+    design_digest: str
+    workload_digest: str
+    workload_seed: int
+    backend: str
+    schema_version: int = RESULT_SCHEMA_VERSION
+    extra: str = ""
+
+    def digest(self) -> str:
+        return digest_of([self.kind, self.design_digest,
+                          self.workload_digest, self.workload_seed,
+                          self.backend, self.schema_version, self.extra])
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "design_digest": self.design_digest,
+            "workload_digest": self.workload_digest,
+            "workload_seed": self.workload_seed,
+            "backend": self.backend,
+            "schema_version": self.schema_version,
+            "extra": self.extra,
+        }
+
+
+class ResultCache:
+    """LRU-bounded, content-addressed store of finished job results."""
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, str]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: "ResultKey | str") -> Optional[object]:
+        """The stored result for *key*, or None (counted as a miss)."""
+        digest = key if isinstance(key, str) else key.digest()
+        text = self._store.get(digest)
+        if text is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._store.move_to_end(digest)
+        return json.loads(text)
+
+    def peek(self, key: "ResultKey | str") -> bool:
+        """Whether *key* is resident, without touching the counters."""
+        digest = key if isinstance(key, str) else key.digest()
+        return digest in self._store
+
+    def put(self, key: "ResultKey | str", result: object) -> str:
+        """Store *result* under *key*; returns the addressing digest."""
+        digest = key if isinstance(key, str) else key.digest()
+        self._store[digest] = canonical_json(result)
+        self._store.move_to_end(digest)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.evictions += 1
+        return digest
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "entries": len(self._store),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

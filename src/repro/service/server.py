@@ -1,0 +1,291 @@
+"""Async HTTP/JSON transport of the campaign service.
+
+A deliberately small hand-rolled HTTP/1.1 handler on
+``asyncio.start_server`` -- the stdlib has no async HTTP server and
+the repo takes no new dependencies.  Supported surface::
+
+    POST /jobs                submit a job (JSON body)
+    GET  /jobs                list jobs
+    GET  /jobs/<id>           job status (?result=1 embeds the result)
+    GET  /jobs/<id>/events    chunked ndjson event stream (live tail)
+    POST /jobs/<id>/cancel    cancel a job
+    GET  /metrics             service metrics document
+    GET  /healthz             liveness probe
+    POST /shards/<n>/kill     hard-kill one worker shard (chaos/ops)
+
+The scheduler runs as a single asyncio ticker task calling
+:meth:`CampaignService.tick`; the shard pool does the actual work in
+separate processes, so the event loop only ever blocks on queue
+drains measured in microseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from .core import CampaignService, ServiceConfig
+from .jobs import JobError
+
+#: scheduler cadence; also bounds event-stream latency
+TICK_S = 0.02
+_MAX_BODY = 1 << 20
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+def _response(status: int, doc: object) -> bytes:
+    body = (json.dumps(doc, indent=2) + "\n").encode()
+    head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n")
+    return head.encode() + body
+
+
+class ServiceServer:
+    """One listening campaign service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 config: Optional[ServiceConfig] = None) -> None:
+        self.host = host
+        self.port = port
+        self.service = CampaignService(config)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ticker: Optional[asyncio.Task] = None
+
+    # -- request routing -----------------------------------------------
+
+    async def _read_request(self, reader) -> Tuple[str, str, Dict, bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        try:
+            method, target, _version = \
+                request_line.decode("latin-1").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            method, target, _headers, body = \
+                await self._read_request(reader)
+            path, _, query = target.partition("?")
+            parts = [p for p in path.split("/") if p]
+            if parts[:1] == ["jobs"] and len(parts) == 3 \
+                    and parts[2] == "events" and method == "GET":
+                await self._stream_events(writer, parts[1])
+                return
+            status, doc = self._route(method, parts, query, body)
+            writer.write(_response(status, doc))
+        except _HttpError as exc:
+            writer.write(_response(exc.status, {"error": str(exc)}))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 -- report, keep serving
+            try:
+                writer.write(_response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}))
+            except Exception:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _route(self, method: str, parts, query: str,
+               body: bytes) -> Tuple[int, object]:
+        service = self.service
+        if parts == ["healthz"] and method == "GET":
+            return 200, {"status": "ok",
+                         "shards_live": service.pool.live_shards}
+        if parts == ["metrics"] and method == "GET":
+            return 200, service.metrics()
+        if parts == ["jobs"]:
+            if method == "GET":
+                return 200, {"jobs": service.list_jobs()}
+            if method == "POST":
+                try:
+                    doc = json.loads(body or b"{}")
+                except json.JSONDecodeError as exc:
+                    raise _HttpError(400, f"invalid JSON body: {exc}")
+                try:
+                    job = service.submit(doc)
+                except JobError as exc:
+                    raise _HttpError(400, str(exc))
+                return 202, job
+            raise _HttpError(405, f"{method} not allowed on /jobs")
+        if parts[:1] == ["jobs"] and len(parts) == 2 and method == "GET":
+            include = "result=1" in query or "result=true" in query
+            try:
+                return 200, service.job_dict(parts[1], include)
+            except KeyError:
+                raise _HttpError(404, f"no job {parts[1]}")
+        if parts[:1] == ["jobs"] and len(parts) == 3 \
+                and parts[2] == "cancel" and method == "POST":
+            try:
+                return 200, service.cancel(parts[1])
+            except KeyError:
+                raise _HttpError(404, f"no job {parts[1]}")
+        if parts[:1] == ["shards"] and len(parts) == 3 \
+                and parts[2] == "kill" and method == "POST":
+            try:
+                shard_id = int(parts[1])
+                killed = service.kill_shard(shard_id)
+            except (ValueError, JobError) as exc:
+                raise _HttpError(404, str(exc))
+            return 200, {"shard": shard_id, "killed": killed}
+        raise _HttpError(404, f"no route for {method} /"
+                              + "/".join(parts))
+
+    async def _stream_events(self, writer, job_id: str) -> None:
+        """Chunked ndjson: replay the job's event log, then tail it
+        live until the job reaches a terminal state."""
+        try:
+            self.service.job_dict(job_id)
+        except KeyError:
+            writer.write(_response(404, {"error": f"no job {job_id}"}))
+            return
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Transfer-Encoding: chunked\r\n"
+                     b"Connection: close\r\n\r\n")
+        cursor = 0
+        while True:
+            events = self.service.job_events(job_id, cursor)
+            cursor += len(events)
+            for event in events:
+                line = (json.dumps(event) + "\n").encode()
+                writer.write(f"{len(line):x}\r\n".encode()
+                             + line + b"\r\n")
+            await writer.drain()
+            if self.service.is_terminal(job_id) and not events:
+                break
+            await asyncio.sleep(TICK_S)
+        writer.write(b"0\r\n\r\n")
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def _tick_forever(self) -> None:
+        while True:
+            self.service.tick()
+            await asyncio.sleep(TICK_S)
+
+    async def start(self) -> None:
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._ticker = asyncio.get_running_loop().create_task(
+            self._tick_forever())
+
+    async def shutdown(self) -> None:
+        if self._ticker is not None:
+            self._ticker.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.service.stop()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        print(f"repro service on http://{self.host}:{self.port} "
+              f"({self.service.pool.live_shards} shard(s), "
+              f"cache {self.service.cache.max_entries} entries)")
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.shutdown()
+
+
+def run_server(host: str = "127.0.0.1", port: int = 8321,
+               config: Optional[ServiceConfig] = None) -> None:
+    """Blocking entry point for ``python -m repro serve``."""
+    server = ServiceServer(host, port, config)
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        server.service.stop()
+        print("service stopped (shards torn down)")
+
+
+class BackgroundServer:
+    """Run a :class:`ServiceServer` on a daemon thread -- for tests
+    and the CLI's transient mode.  ``with BackgroundServer() as url:``"""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self._server = ServiceServer(config=config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._server.host}:{self._server.port}"
+
+    @property
+    def service(self) -> CampaignService:
+        return self._server.service
+
+    def _main(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def boot():
+            await self._server.start()
+            self._started.set()
+
+        self._loop.run_until_complete(boot())
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self._server.shutdown())
+            self._loop.close()
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-service",
+                                        daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("service failed to start within 30s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,93 @@
+"""Shared schema-lock helpers for the checked-in JSON contracts.
+
+``BENCH_*.json`` files and the campaign service's job/result documents
+are consumed by external tooling and later sessions -- any field rename
+or restructure is a silent breaking change.  The helpers here pin
+exact key sets and the semantic invariants the individual schema tests
+share, so the locks live in one place instead of being copy-pasted
+per document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: simulation engines a benchmark row may name
+BACKENDS = {"interpreted", "compiled", "vectorized"}
+#: backends that pack parallel patterns (n_patterns > 1 rows)
+BATCH_BACKENDS = {"compiled", "vectorized"}
+
+#: per-row shape of every BENCH_* ``results`` list
+RESULT_KEYS = {"level", "backend", "n_patterns", "cycles_per_second",
+               "simulated_cycles", "wall_seconds", "output_frames"}
+
+FI_OUTCOMES = {"masked", "sdc", "detected", "hang"}
+FI_MODELS = {"stuck0", "stuck1", "pulse", "seu"}
+FI_RESULT_KEYS = {"index", "model", "level", "target_kind", "target",
+                  "bit", "address", "cycle", "duration", "outcome",
+                  "first_frame", "detected_cycle", "detail", "n_outputs"}
+
+
+def load_bench(name):
+    """A checked-in benchmark JSON document, or a pytest skip when the
+    checkout does not carry it."""
+    path = os.path.join(REPO_ROOT, name)
+    if not os.path.exists(path):
+        pytest.skip(f"{name} not present in this checkout")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def assert_exact_keys(doc, keys, where=""):
+    """Lock *doc* to exactly *keys* -- additions and removals both
+    fail, which is the point of a schema lock."""
+    assert isinstance(doc, dict), where or doc
+    assert set(doc) == set(keys), (
+        f"{where or 'document'}: keys changed; "
+        f"added={sorted(set(doc) - set(keys))} "
+        f"removed={sorted(set(keys) - set(doc))}")
+
+
+def check_result_rows(results):
+    """Invariants of a BENCH ``results`` row list."""
+    assert results, "empty results list"
+    for row in results:
+        assert_exact_keys(row, RESULT_KEYS, row.get("level"))
+        assert isinstance(row["level"], str) and row["level"]
+        assert row["backend"] in BACKENDS
+        assert row["n_patterns"] >= 1
+        assert row["n_patterns"] == 1 or row["backend"] in BATCH_BACKENDS
+        # the vectorized tier exists for wide sweeps only
+        assert row["backend"] != "vectorized" or row["n_patterns"] >= 1024
+        assert row["cycles_per_second"] > 0
+        assert row["simulated_cycles"] > 0
+        assert row["wall_seconds"] > 0
+        assert row["output_frames"] >= 0
+
+
+#: per-classification keys shared by corpus rows and harden blocks
+CORPUS_RATE_KEYS = {"n_faults"} | {k for o in FI_OUTCOMES
+                                   for k in (o, f"{o}_rate")}
+
+
+def check_fi_rates(rates, where):
+    """Invariants of a fault-classification rate table."""
+    assert CORPUS_RATE_KEYS <= set(rates), where
+    assert rates["n_faults"] >= 1, where
+    # every fault lands in exactly one class -- counts are monotone
+    # consistent with the total and the rates are true fractions
+    assert sum(rates[o] for o in FI_OUTCOMES) == rates["n_faults"], where
+    for outcome in FI_OUTCOMES:
+        assert 0 <= rates[outcome] <= rates["n_faults"], where
+        assert 0.0 <= rates[f"{outcome}_rate"] <= 1.0, where
+
+
+def check_classification(table, n_faults, where=""):
+    """A plain outcome->count table covering every fault exactly once."""
+    assert_exact_keys(table, FI_OUTCOMES, where)
+    assert sum(table.values()) == n_faults, where

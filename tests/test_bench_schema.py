@@ -6,48 +6,18 @@ or restructure is a silent breaking change.  These tests pin the shape
 (and a few semantic invariants) of the recorded data.
 """
 
-import json
-import os
-
 import pytest
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-
-RESULT_KEYS = {"level", "backend", "n_patterns", "cycles_per_second",
-               "simulated_cycles", "wall_seconds", "output_frames"}
-BACKENDS = {"interpreted", "compiled", "vectorized"}
-#: backends that pack parallel patterns (n_patterns > 1 rows)
-BATCH_BACKENDS = {"compiled", "vectorized"}
-
-
-def _load(name):
-    path = os.path.join(REPO_ROOT, name)
-    if not os.path.exists(path):
-        pytest.skip(f"{name} not present in this checkout")
-    with open(path, encoding="utf-8") as fh:
-        return json.load(fh)
-
-
-def _check_result_rows(results):
-    assert results, "empty results list"
-    for row in results:
-        assert set(row) == RESULT_KEYS, row.get("level")
-        assert isinstance(row["level"], str) and row["level"]
-        assert row["backend"] in BACKENDS
-        assert row["n_patterns"] >= 1
-        assert row["n_patterns"] == 1 or row["backend"] in BATCH_BACKENDS
-        # the vectorized tier exists for wide sweeps only
-        assert row["backend"] != "vectorized" or row["n_patterns"] >= 1024
-        assert row["cycles_per_second"] > 0
-        assert row["simulated_cycles"] > 0
-        assert row["wall_seconds"] > 0
-        assert row["output_frames"] >= 0
+from tests.schema_lock import (BACKENDS, BATCH_BACKENDS,
+                               CORPUS_RATE_KEYS, FI_MODELS, FI_OUTCOMES,
+                               FI_RESULT_KEYS, check_fi_rates,
+                               check_result_rows, load_bench)
 
 
 def test_fig08_schema():
-    doc = _load("BENCH_fig08.json")
+    doc = load_bench("BENCH_fig08.json")
     assert set(doc) == {"results"}
-    _check_result_rows(doc["results"])
+    check_result_rows(doc["results"])
     levels = {r["level"] for r in doc["results"]}
     assert levels == {"C++", "SystemC", "BEH", "RTL"}
     # the clocked levels are measured on interpreted + compiled;
@@ -64,7 +34,7 @@ def test_fig08_schema():
 def test_fig08_preserves_paper_ordering():
     """The paper's Figure 8 trend: each refinement costs simulation
     speed (C++ > SystemC > BEH > RTL, per backend)."""
-    doc = _load("BENCH_fig08.json")
+    doc = load_bench("BENCH_fig08.json")
     speed = {(r["level"], r["backend"]): r["cycles_per_second"]
              for r in doc["results"] if r["n_patterns"] == 1}
     assert speed[("C++", "interpreted")] > speed[("SystemC", "interpreted")]
@@ -79,7 +49,7 @@ def test_fig08_compiled_beats_interpreted_in_recorded_data():
     at 64 patterns); and the vectorized behavioural sweep row clears
     the vectorized tier's: >= 5x the compiled scalar BEH row at
     >= 1024 patterns, never losing to the compiled batch row."""
-    doc = _load("BENCH_fig08.json")
+    doc = load_bench("BENCH_fig08.json")
     speed = {(r["level"], r["backend"], r["n_patterns"]):
              r["cycles_per_second"] for r in doc["results"]}
     for level in ("BEH", "RTL"):
@@ -99,11 +69,11 @@ def test_fig08_compiled_beats_interpreted_in_recorded_data():
 
 
 def test_fig09_schema():
-    doc = _load("BENCH_fig09.json")
+    doc = load_bench("BENCH_fig09.json")
     assert set(doc) == {"beh_speedup", "gate_speedup",
                         "gate_speedup_vectorized", "n_patterns",
                         "n_patterns_vectorized", "results"}
-    _check_result_rows(doc["results"])
+    check_result_rows(doc["results"])
     assert set(doc["gate_speedup"]) == {"Gate-BEH", "Gate-RTL"}
     for value in doc["gate_speedup"].values():
         assert value > 1.0  # compiled beat interpreted when recorded
@@ -131,7 +101,7 @@ def test_fig09_schema():
 
 
 def test_fig09_compiled_beats_interpreted_in_recorded_data():
-    doc = _load("BENCH_fig09.json")
+    doc = load_bench("BENCH_fig09.json")
     by_key = {(r["level"], r["backend"]): r["cycles_per_second"]
               for r in doc["results"]}
     for dut in ("BEH", "Gate-BEH", "Gate-RTL"):
@@ -143,7 +113,7 @@ def test_fig09_vectorized_beats_compiled_in_recorded_data():
     """The vectorized tier's recorded headline: >= 5x the compiled
     64-pattern batch on both gate DUTs, and never losing to it at the
     behavioural level (where per-state lane masking caps the win)."""
-    doc = _load("BENCH_fig09.json")
+    doc = load_bench("BENCH_fig09.json")
     by_key = {(r["level"], r["backend"]): r["cycles_per_second"]
               for r in doc["results"]}
     for dut in ("Gate-BEH", "Gate-RTL"):
@@ -154,15 +124,8 @@ def test_fig09_vectorized_beats_compiled_in_recorded_data():
         >= by_key[("BEH/throughput", "compiled")]
 
 
-FI_OUTCOMES = {"masked", "sdc", "detected", "hang"}
-FI_MODELS = {"stuck0", "stuck1", "pulse", "seu"}
-FI_RESULT_KEYS = {"index", "model", "level", "target_kind", "target",
-                  "bit", "address", "cycle", "duration", "outcome",
-                  "first_frame", "detected_cycle", "detail", "n_outputs"}
-
-
 def test_fi_schema():
-    doc = _load("BENCH_fi.json")
+    doc = load_bench("BENCH_fi.json")
     assert set(doc) == {"campaign", "classification", "by_model",
                         "by_target_kind", "throughput", "cache",
                         "results"}
@@ -207,7 +170,7 @@ def test_fi_schema():
 
 
 def test_fi_compiled_beats_interpreted_in_recorded_data():
-    doc = _load("BENCH_fi.json")
+    doc = load_bench("BENCH_fi.json")
     throughput = doc["throughput"]
     assert throughput["compiled"]["faults_per_second"] >= \
         throughput["interpreted"]["faults_per_second"]
@@ -223,26 +186,13 @@ CORPUS_ROW_KEYS = {"config", "coverage", "digest", "fi", "harden", "kind",
                    "name", "netlist_hash", "refine", "seed", "synth",
                    "verify"}
 CORPUS_KINDS = {"src", "counter", "alu", "regfile"}
-CORPUS_RATE_KEYS = {"n_faults"} | {k for o in FI_OUTCOMES
-                                   for k in (o, f"{o}_rate")}
 CORPUS_HARDEN_KEYS = CORPUS_RATE_KEYS | {
     "area_delta_percent", "area_total", "improved", "n_flops",
     "sdc_rate_before", "strategy", "targets"}
 
 
-def _check_fi_rates(rates, where):
-    assert CORPUS_RATE_KEYS <= set(rates), where
-    assert rates["n_faults"] >= 1, where
-    # every fault lands in exactly one class -- counts are monotone
-    # consistent with the total and the rates are true fractions
-    assert sum(rates[o] for o in FI_OUTCOMES) == rates["n_faults"], where
-    for outcome in FI_OUTCOMES:
-        assert 0 <= rates[outcome] <= rates["n_faults"], where
-        assert 0.0 <= rates[f"{outcome}_rate"] <= 1.0, where
-
-
 def test_corpus_schema():
-    doc = _load("BENCH_corpus.json")
+    doc = load_bench("BENCH_corpus.json")
     assert set(doc) == CORPUS_KEYS
     corpus = doc["corpus"]
     assert set(corpus) == CORPUS_CONFIG_KEYS
@@ -288,12 +238,12 @@ def test_corpus_schema():
                               "area_total", "n_cells", "n_flops"}
         assert synth["area_total"] > 0 and synth["n_flops"] >= 1
 
-        _check_fi_rates(row["fi"], row["name"])
+        check_fi_rates(row["fi"], row["name"])
         total_faults += row["fi"]["n_faults"]  # base injection only
         if row["harden"] is not None:
             harden = row["harden"]
             assert set(harden) == CORPUS_HARDEN_KEYS, row["name"]
-            _check_fi_rates(harden, row["name"] + "/harden")
+            check_fi_rates(harden, row["name"] + "/harden")
             assert harden["strategy"] == corpus["strategy"]
             assert harden["targets"], row["name"]
             assert harden["n_flops"] > synth["n_flops"], row["name"]
@@ -309,7 +259,7 @@ def test_corpus_schema():
 def test_corpus_recorded_run_is_healthy():
     """The checked-in corpus run must record a clean matrix: every
     design refined and verified, and hardening paid off somewhere."""
-    doc = _load("BENCH_corpus.json")
+    doc = load_bench("BENCH_corpus.json")
     summary = doc["summary"]
     assert summary["refine_pass"] == summary["n_designs"]
     assert summary["verify_pass"] == summary["n_designs"]
@@ -321,7 +271,7 @@ def test_fi_vectorized_beats_compiled_in_recorded_data():
     """The vectorized whole-faultload sweep's recorded headline: more
     faults per second than the compiled word-packed batches on the
     same seeded faultload."""
-    doc = _load("BENCH_fi.json")
+    doc = load_bench("BENCH_fi.json")
     throughput = doc["throughput"]
     if "vectorized" not in throughput:
         pytest.skip("recorded campaign did not run the vectorized engine")

@@ -1,0 +1,144 @@
+"""The campaign service over real HTTP: a server on an ephemeral port.
+
+Exercises the full wire path -- submission, polling, the chunked event
+stream, cache-hit resubmission, metrics and the error surface -- the
+same path the CI ``service-smoke`` job drives with the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceError
+from repro.service.client import ServiceClient
+from repro.service.server import BackgroundServer
+
+TERMINAL = ("done", "failed", "cancelled", "expired")
+
+
+@pytest.fixture(scope="module")
+def client():
+    with BackgroundServer(ServiceConfig(shards=2)) as server:
+        yield ServiceClient(server.url)
+
+
+def test_healthz(client):
+    doc = client.healthz()
+    assert doc == {"status": "ok", "shards_live": 2}
+
+
+def test_verify_job_over_http(client):
+    job = client.submit({"kind": "verify",
+                         "options": {"budget": "smoke",
+                                     "backend": "compiled",
+                                     "levels": "beh,rtl"}})
+    assert job["state"] in ("queued", "done")
+    done = client.wait(job["id"], timeout=180)
+    assert done["state"] == "done"
+    assert done["result"]["kind"] == "verify"
+    assert done["result"]["passed"]
+
+
+def test_fi_job_events_and_cached_resubmission(client):
+    spec = {"kind": "fi", "options": {"budget": "smoke", "level": "rtl",
+                                      "n_faults": 8, "seed": 3}}
+    job = client.submit(spec)
+    # the chunked stream replays the log and tails to the terminal event
+    events = list(client.events(job["id"]))
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "submitted"
+    assert kinds[-1] == "done"
+    assert "progress" in kinds
+    assert all({"event", "job", "t"} <= set(e) for e in events)
+
+    done = client.job(job["id"], include_result=True)
+    assert done["state"] == "done"
+    assert sum(done["result"]["classification"].values()) == 8
+
+    # identical resubmission: terminal at submit time, from the cache
+    t0 = time.time()
+    again = client.submit(spec)
+    elapsed = time.time() - t0
+    assert again["state"] == "done"
+    assert again["cache"]["hit"]
+    assert elapsed < 0.1, f"cached resubmission took {elapsed:.3f}s"
+    result = client.job(again["id"], include_result=True)["result"]
+    assert result == done["result"]
+
+
+def test_job_listing_and_metrics(client):
+    jobs = client.jobs()
+    assert jobs, "jobs from earlier tests must be listed"
+    assert all(j["state"] in TERMINAL + ("queued", "running")
+               for j in jobs)
+    metrics = client.metrics()
+    assert {"service", "queue", "workers", "cache", "jobs",
+            "latency"} <= set(metrics)
+    assert metrics["cache"]["hits"] >= 1
+    assert 0.0 <= metrics["cache"]["hit_rate"] <= 1.0
+    assert metrics["workers"]["shards"] == 2
+    assert 0.0 <= metrics["workers"]["utilization"] <= 1.0
+
+
+def test_cancel_over_http(client):
+    job = client.submit({"kind": "fi", "priority": -1,
+                         "options": {"budget": "small", "level": "rtl",
+                                     "n_faults": 64, "seed": 9,
+                                     "chunk": 4}})
+    doc = client.cancel(job["id"])
+    assert doc["state"] in ("cancelled", "done")  # done if it raced
+    final = client.wait(job["id"], timeout=60)
+    assert final["state"] in ("cancelled", "done")
+
+
+def test_kill_shard_endpoint(client):
+    doc = client.kill_shard(0)
+    assert doc["shard"] == 0
+    assert doc["killed"] in (True, False)
+    # the pool respawns (or retires) it; service stays healthy
+    deadline = time.time() + 10
+    while client.healthz()["shards_live"] < 1:
+        assert time.time() < deadline
+        time.sleep(0.05)
+
+
+def test_error_surface(client):
+    with pytest.raises(ServiceError) as info:
+        client.submit({"kind": "warp-drive"})
+    assert info.value.status == 400
+    with pytest.raises(ServiceError) as info:
+        client.submit({"kind": "fi", "options": {"n_faults": "many"}})
+    assert info.value.status == 400
+    with pytest.raises(ServiceError) as info:
+        client.job("j999999")
+    assert info.value.status == 404
+    with pytest.raises(ServiceError) as info:
+        client.cancel("j999999")
+    assert info.value.status == 404
+    with pytest.raises(ServiceError) as info:
+        client._request("PUT", "/jobs")
+    assert info.value.status == 405
+    with pytest.raises(ServiceError) as info:
+        client._request("GET", "/no/such/route")
+    assert info.value.status == 404
+
+
+def test_malformed_body_is_a_400_not_a_crash(client):
+    import http.client
+
+    conn = http.client.HTTPConnection(client.host, client.port,
+                                      timeout=30)
+    try:
+        conn.request("POST", "/jobs", body=b"{not json",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        doc = json.loads(response.read())
+        assert response.status == 400
+        assert "JSON" in doc["error"]
+    finally:
+        conn.close()
+    # and the server still answers
+    assert client.healthz()["status"] == "ok"

@@ -1,0 +1,177 @@
+"""Regression lock on the campaign service's JSON shapes.
+
+Job documents, per-kind result documents and the ``/metrics`` payload
+are the service's external contract (CLI, CI smoke, any dashboard
+polling it) -- pinned here with the same exact-key discipline as the
+BENCH_* files.  Bump ``RESULT_SCHEMA_VERSION`` when a shape must
+change; that also invalidates every cached result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (RESULT_SCHEMA_VERSION, CampaignService,
+                           ServiceConfig)
+from tests.schema_lock import (FI_MODELS, FI_OUTCOMES, FI_RESULT_KEYS,
+                               assert_exact_keys, check_classification)
+
+JOB_KEYS = {"id", "kind", "params", "state", "priority",
+            "schema_version", "options", "submitted_at", "started_at",
+            "finished_at", "deadline_s", "wall_seconds", "progress",
+            "retries", "error", "cache"}
+JOB_PROGRESS_KEYS = {"tasks_total", "tasks_done", "unit", "units_total",
+                     "units_done"}
+JOB_CACHE_KEYS = {"key", "hit", "stored", "row_hits"}
+
+METRICS_KEYS = {"service", "queue", "workers", "cache", "jobs",
+                "latency"}
+METRICS_QUEUE_KEYS = {"jobs_queued", "jobs_running", "tasks_ready",
+                      "tasks_deferred", "tasks_inflight"}
+METRICS_WORKERS_KEYS = {"shards", "live", "busy", "utilization",
+                        "busy_seconds", "cumulative_utilization",
+                        "tasks_done", "crashes", "hangs", "detail"}
+METRICS_SHARD_KEYS = {"id", "alive", "busy", "task", "job",
+                      "busy_for_s", "crashes", "hangs", "tasks_done"}
+METRICS_CACHE_KEYS = {"entries", "max_entries", "hits", "misses",
+                      "evictions", "hit_rate"}
+METRICS_JOBS_KEYS = {"total", "by_state", "by_kind", "retries",
+                     "row_cache_hits"}
+LATENCY_KEYS = {"count", "sum_seconds", "buckets"}
+
+FI_CAMPAIGN_KEYS = {"level", "design", "backend", "seed", "budget",
+                    "params", "n_faults", "workload_frames",
+                    "cycle_budget"}
+VERIFY_META_KEYS = {"levels", "backend", "seed", "budget", "params",
+                    "n_cases", "n_inputs"}
+VERIFY_CASE_KEYS = {"index", "passed", "checks", "failures"}
+CORPUS_META_KEYS = {"seed", "n_designs", "budget", "backend",
+                    "strategy", "models"}
+
+
+@pytest.fixture(scope="module")
+def finished():
+    """One service having completed an fi, a verify and a corpus job."""
+    service = CampaignService(ServiceConfig(shards=2))
+    service.start()
+    try:
+        jobs = {}
+        jobs["fi"] = service.submit(
+            {"kind": "fi", "options": {"budget": "smoke",
+                                       "level": "rtl",
+                                       "n_faults": 8}})["id"]
+        jobs["verify"] = service.submit(
+            {"kind": "verify", "options": {"budget": "smoke",
+                                           "backend": "compiled",
+                                           "levels": "beh,rtl"}})["id"]
+        jobs["corpus"] = service.submit(
+            {"kind": "corpus", "options": {"budget": "smoke",
+                                           "n_designs": 1}})["id"]
+        docs = {kind: service.wait(job_id, timeout=300)
+                for kind, job_id in jobs.items()}
+        events = {kind: service.job_events(job_id)
+                  for kind, job_id in jobs.items()}
+        yield {"jobs": docs, "metrics": service.metrics(),
+               "events": events}
+    finally:
+        service.stop()
+
+
+def test_job_document_schema(finished):
+    for kind, doc in finished["jobs"].items():
+        assert_exact_keys(doc, JOB_KEYS | {"result"}, kind)
+        assert doc["kind"] == kind
+        assert doc["state"] == "done"
+        assert doc["schema_version"] == RESULT_SCHEMA_VERSION
+        assert_exact_keys(doc["progress"], JOB_PROGRESS_KEYS, kind)
+        assert doc["progress"]["units_done"] \
+            == doc["progress"]["units_total"] > 0
+        assert_exact_keys(doc["cache"], JOB_CACHE_KEYS, kind)
+        assert len(doc["cache"]["key"]) == 64
+        assert doc["cache"]["stored"] or doc["cache"]["hit"]
+        assert doc["wall_seconds"] > 0
+
+
+def test_fi_result_schema(finished):
+    doc = finished["jobs"]["fi"]["result"]
+    assert_exact_keys(doc, {"kind", "campaign", "classification",
+                            "by_model", "by_target_kind", "results"})
+    assert doc["kind"] == "fi"
+    assert_exact_keys(doc["campaign"], FI_CAMPAIGN_KEYS)
+    n_faults = doc["campaign"]["n_faults"]
+    check_classification(doc["classification"], n_faults)
+    assert len(doc["results"]) == n_faults
+    for row in doc["results"]:
+        assert_exact_keys(row, FI_RESULT_KEYS)
+        assert row["model"] in FI_MODELS
+        assert row["outcome"] in FI_OUTCOMES
+    # chunk-order independence: results are sorted by fault index
+    assert [r["index"] for r in doc["results"]] \
+        == sorted(r["index"] for r in doc["results"])
+    for table in (doc["by_model"], doc["by_target_kind"]):
+        assert sum(sum(r.values()) for r in table.values()) == n_faults
+
+
+def test_verify_result_schema(finished):
+    doc = finished["jobs"]["verify"]["result"]
+    assert_exact_keys(doc, {"kind", "verify", "passed", "checks",
+                            "cases"})
+    assert doc["kind"] == "verify"
+    assert_exact_keys(doc["verify"], VERIFY_META_KEYS)
+    assert len(doc["cases"]) == doc["verify"]["n_cases"]
+    for case in doc["cases"]:
+        assert_exact_keys(case, VERIFY_CASE_KEYS)
+        assert case["passed"] == (not case["failures"])
+    assert doc["passed"] == all(c["passed"] for c in doc["cases"])
+    assert doc["checks"] == sum(c["checks"] for c in doc["cases"])
+
+
+def test_corpus_result_schema(finished):
+    from tests.schema_lock import check_fi_rates
+
+    doc = finished["jobs"]["corpus"]["result"]
+    assert_exact_keys(doc, {"kind", "corpus", "rows", "summary",
+                            "passed"})
+    assert doc["kind"] == "corpus"
+    assert_exact_keys(doc["corpus"], CORPUS_META_KEYS)
+    assert len(doc["rows"]) == doc["corpus"]["n_designs"]
+    for row in doc["rows"]:
+        # row shape is locked in depth by the BENCH_corpus lock; here
+        # pin the service-visible envelope
+        assert {"name", "kind", "digest", "refine", "verify", "fi",
+                "synth"} <= set(row)
+        check_fi_rates(row["fi"], row["name"])
+    assert doc["summary"]["n_designs"] == doc["corpus"]["n_designs"]
+
+
+def test_metrics_schema(finished):
+    doc = finished["metrics"]
+    assert_exact_keys(doc, METRICS_KEYS)
+    assert_exact_keys(doc["service"],
+                      {"uptime_seconds", "schema_version"})
+    assert doc["service"]["schema_version"] == RESULT_SCHEMA_VERSION
+    assert_exact_keys(doc["queue"], METRICS_QUEUE_KEYS)
+    assert_exact_keys(doc["workers"], METRICS_WORKERS_KEYS)
+    for shard in doc["workers"]["detail"]:
+        assert_exact_keys(shard, METRICS_SHARD_KEYS)
+    assert_exact_keys(doc["cache"], METRICS_CACHE_KEYS)
+    assert_exact_keys(doc["jobs"], METRICS_JOBS_KEYS)
+    assert doc["jobs"]["total"] == 3
+    assert doc["jobs"]["by_state"] == {"done": 3}
+    assert set(doc["jobs"]["by_kind"]) == {"fi", "verify", "corpus"}
+    for kind, hist in doc["latency"].items():
+        assert kind in {"fi", "verify", "corpus"}
+        assert_exact_keys(hist, LATENCY_KEYS)
+        assert hist["count"] >= 1
+    assert doc["workers"]["tasks_done"] >= 3
+
+
+def test_event_log_schema(finished):
+    for kind, events in finished["events"].items():
+        assert [e["event"] for e in events][:2] \
+            == ["submitted", "started"], kind
+        assert events[-1]["event"] == "done", kind
+        for event in events:
+            # every event carries the envelope triple
+            assert {"event", "job", "t"} <= set(event), kind
+            assert event["t"] >= 0
