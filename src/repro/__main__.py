@@ -15,7 +15,10 @@ Usage::
     python -m repro all             # everything (small config for speed)
 
 Options: ``--small`` forces the reduced configuration, ``--paper`` the
-paper-scale one.  Defaults: paper scale for synthesis/performance,
+paper-scale one.  ``--trace PATH`` (any command) records pipeline
+spans -- including spans from worker processes -- and writes one
+Chrome trace-event JSON loadable in chrome://tracing or Perfetto,
+plus a per-stage wall-time table on stdout.  Defaults: paper scale for synthesis/performance,
 reduced for anything gate-level.  ``--backend
 interpreted|compiled|vectorized`` selects the simulation engine for
 ``fig8`` and ``fig9`` at every clocked level -- behavioural FSM, RTL
@@ -421,16 +424,29 @@ def main(argv=None) -> int:
     if not names or names[0] not in set(COMMANDS) | {"all"}:
         print(__doc__)
         return 1
-    if names[0] == "all":
-        small = args + ["--small"]
-        for name, fn in COMMANDS.items():
-            if name in SKIP_IN_ALL:
-                continue  # writes to disk / long-running; run explicitly
-            print(f"\n===== {name} =====")
-            fn(small)
+    trace_path = _option(args, "--trace", None)
+    if trace_path:
+        from .obs.trace import enable_tracing
+        enable_tracing()
+    try:
+        if names[0] == "all":
+            small = args + ["--small"]
+            for name, fn in COMMANDS.items():
+                if name in SKIP_IN_ALL:
+                    continue  # writes to disk/long-running; run explicitly
+                print(f"\n===== {name} =====")
+                fn(small)
+            return 0
+        COMMANDS[names[0]](args)
         return 0
-    COMMANDS[names[0]](args)
-    return 0
+    finally:
+        # written even when a command exits non-zero (e.g. an
+        # interrupted campaign) -- a partial trace is still a trace
+        if trace_path:
+            from .obs.trace import format_stage_table, write_chrome_trace
+            write_chrome_trace(trace_path)
+            print(format_stage_table())
+            print(f"wrote {trace_path} (chrome://tracing / Perfetto)")
 
 
 if __name__ == "__main__":

@@ -176,3 +176,92 @@ class CompileCache:
                                 evictions=c[2], source_bytes=c[4])
             for backend, c in self._backends.items()
         }
+
+
+# ---------------------------------------------------------------------------
+# Cross-process aggregation over the process's cache roster.
+#
+# The parallel verification harness and the FI campaign runner used to
+# carry their own copies of this snapshot/delta/absorb logic; it lives
+# here now so every consumer (CLI pools, the campaign service, the
+# artifact writers, the metrics registry) shares one implementation.
+# The three cache instances live in modules on opposite sides of the
+# rtl <-> synth import cycle, so they are imported lazily inside
+# :func:`iter_caches` rather than at module level.
+# ---------------------------------------------------------------------------
+
+def iter_caches():
+    """``(label, cache)`` pairs for every compile cache in the process."""
+    from .gatesim import COMPILE_CACHE
+    from .hls.compiled import HLS_COMPILE_CACHE
+    from .rtl import RTL_COMPILE_CACHE
+    return (("gate", COMPILE_CACHE), ("rtl", RTL_COMPILE_CACHE),
+            ("hls", HLS_COMPILE_CACHE))
+
+
+def counters_snapshot():
+    """Point-in-time per-backend ``(hits, misses, evictions)`` counters
+    of every cache, in :func:`iter_caches` order.
+
+    Worker protocol: snapshot before and after a task, ship
+    ``counters_delta(before, after)`` back with the result, and let the
+    parent fold the deltas in with :func:`absorb_deltas` so its
+    reported statistics cover the whole run.
+    """
+    return tuple(
+        {backend: (s.hits, s.misses, s.evictions)
+         for backend, s in cache.stats_by_backend.items()}
+        for _, cache in iter_caches())
+
+
+def counters_delta(before, after):
+    """Per-cache, per-backend counter movement between two snapshots."""
+    delta = []
+    for cache_before, cache_after in zip(before, after):
+        moved = {}
+        for backend, (hits, misses, evictions) in cache_after.items():
+            h0, m0, e0 = cache_before.get(backend, (0, 0, 0))
+            if (hits, misses, evictions) != (h0, m0, e0):
+                moved[backend] = (hits - h0, misses - m0, evictions - e0)
+        delta.append(moved)
+    return tuple(delta)
+
+
+def absorb_deltas(deltas) -> None:
+    """Fold worker counter deltas into this process's caches."""
+    for i, (_, cache) in enumerate(iter_caches()):
+        merged: Dict[str, list] = {}
+        for delta in deltas:
+            for backend, (hits, misses, evictions) in delta[i].items():
+                counters = merged.setdefault(backend, [0, 0, 0])
+                counters[0] += hits
+                counters[1] += misses
+                counters[2] += evictions
+        if merged:
+            totals = [sum(c[j] for c in merged.values()) for j in range(3)]
+            cache.absorb(totals[0], totals[1], totals[2],
+                         by_backend={b: tuple(c)
+                                     for b, c in merged.items()})
+
+
+def aggregate_stats() -> Dict[str, CacheStats]:
+    """Labelled stats for every cache, with per-backend breakdown rows
+    keyed ``"<label>[<backend>]"`` -- the shape FI campaign reports
+    carry in ``cache_stats``."""
+    stats: Dict[str, CacheStats] = {}
+    for label, cache in iter_caches():
+        stats[label] = cache.stats
+        for backend, per_backend in cache.stats_by_backend.items():
+            stats[f"{label}[{backend}]"] = per_backend
+    return stats
+
+
+def format_cache_report() -> str:
+    """A human-readable report over the whole cache roster, shared by
+    the flow/verify/FI artifact writers."""
+    lines = []
+    for label, cache in iter_caches():
+        lines.append(f"[{label}] {cache.stats.format()}")
+        for backend, stats in cache.stats_by_backend.items():
+            lines.append(f"[{label}:{backend}] {stats.format()}")
+    return "\n".join(lines) + "\n"

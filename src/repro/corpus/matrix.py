@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..fi.campaign import PoolInterrupted, parallel_map
 from ..fi.report import tally
+from ..obs.trace import span
 from ..gatesim import GateSimulator
 from ..gatesim.compiled import structural_hash
 from ..rtl.simulate import RtlSimulator
@@ -214,6 +215,11 @@ def _check_hardened_function(design, netlist, golden) -> None:
 
 def run_design(spec, config: CorpusConfig) -> Dict[str, object]:
     """One corpus member through the whole pipeline; returns its row."""
+    with span("corpus.design", design=spec.name, kind=spec.kind):
+        return _run_design(spec, config)
+
+
+def _run_design(spec, config: CorpusConfig) -> Dict[str, object]:
     budget = CORPUS_BUDGETS[config.budget]
     design = build_design(spec)
     golden = design.golden_frames()
@@ -222,19 +228,20 @@ def run_design(spec, config: CorpusConfig) -> Dict[str, object]:
     refine: Dict[str, bool] = {}
     failures: List[Dict[str, object]] = []
     checks = 0
-    for level in CORPUS_LEVELS:
-        for engine in ENGINES:
-            frames = design.run_level(level, engine)
-            checks += 1
-            ok = frames == golden
-            if engine == "interpreted":
-                refine[level] = ok
-            if not ok:
-                failures.append({
-                    "level": level, "engine": engine,
-                    "replay": (f"generate_corpus({config.seed}, "
-                               f"{config.n_designs}) -> {spec.name}"),
-                })
+    with span("corpus.refine", design=spec.name):
+        for level in CORPUS_LEVELS:
+            for engine in ENGINES:
+                frames = design.run_level(level, engine)
+                checks += 1
+                ok = frames == golden
+                if engine == "interpreted":
+                    refine[level] = ok
+                if not ok:
+                    failures.append({
+                        "level": level, "engine": engine,
+                        "replay": (f"generate_corpus({config.seed}, "
+                                   f"{config.n_designs}) -> {spec.name}"),
+                    })
     refine_row = dict(refine)
     refine_row["pass"] = all(refine.values())
 
@@ -243,13 +250,16 @@ def run_design(spec, config: CorpusConfig) -> Dict[str, object]:
     netlist = design.netlist()
     synth_row = _area_dict(netlist, spec.name)
 
-    faults = generate_design_faultload(netlist, budget.n_faults,
-                                       spec.seed + 1, len(waveform),
-                                       models=config.models)
-    records = run_design_campaign(netlist, waveform, golden,
-                                  design.valid_port, design.frame_ports,
-                                  faults, design.cycle_budget(),
-                                  backend=config.backend)
+    with span("corpus.inject", design=spec.name) as inject_span:
+        faults = generate_design_faultload(netlist, budget.n_faults,
+                                           spec.seed + 1, len(waveform),
+                                           models=config.models)
+        inject_span.note(n_faults=len(faults))
+        records = run_design_campaign(netlist, waveform, golden,
+                                      design.valid_port,
+                                      design.frame_ports,
+                                      faults, design.cycle_budget(),
+                                      backend=config.backend)
     fi_row = _rates(records)
 
     harden_row: Optional[Dict[str, object]] = None
@@ -257,20 +267,24 @@ def run_design(spec, config: CorpusConfig) -> Dict[str, object]:
                                     sdc_counts_by_register(records),
                                     budget.harden_top)
     if targets:
-        hardened = harden_module(design.build_rtl(), targets,
-                                 config.strategy)
-        hnet = synthesize(hardened)
-        _check_hardened_function(design, hnet, golden)
-        hfaults = generate_design_faultload(hnet, budget.n_faults,
-                                            spec.seed + 2, len(waveform),
-                                            models=config.models)
-        detect = (PARITY_PORT,) if config.strategy == "parity" else ()
-        hrecords = run_design_campaign(hnet, waveform, golden,
-                                       design.valid_port,
-                                       design.frame_ports, hfaults,
-                                       design.cycle_budget(),
-                                       backend=config.backend,
-                                       detect_ports=detect)
+        with span("corpus.harden", design=spec.name,
+                  strategy=config.strategy):
+            hardened = harden_module(design.build_rtl(), targets,
+                                     config.strategy)
+            hnet = synthesize(hardened)
+            _check_hardened_function(design, hnet, golden)
+            hfaults = generate_design_faultload(hnet, budget.n_faults,
+                                                spec.seed + 2,
+                                                len(waveform),
+                                                models=config.models)
+            detect = ((PARITY_PORT,) if config.strategy == "parity"
+                      else ())
+            hrecords = run_design_campaign(hnet, waveform, golden,
+                                           design.valid_port,
+                                           design.frame_ports, hfaults,
+                                           design.cycle_budget(),
+                                           backend=config.backend,
+                                           detect_ports=detect)
         harden_row = _rates(hrecords)
         harden_row["strategy"] = config.strategy
         harden_row["targets"] = targets
@@ -327,9 +341,12 @@ def run_corpus(config: CorpusConfig) -> CorpusReport:
     if config.budget not in CORPUS_BUDGETS:
         raise CorpusError(f"unknown budget {config.budget!r}")
     try:
-        rows = parallel_map(_design_task, list(range(config.n_designs)),
-                            config.jobs, initializer=_init_worker,
-                            initargs=(config,))
+        with span("corpus.matrix", n_designs=config.n_designs,
+                  jobs=config.jobs):
+            rows = parallel_map(_design_task,
+                                list(range(config.n_designs)),
+                                config.jobs, initializer=_init_worker,
+                                initargs=(config,))
     except PoolInterrupted as stop:
         # surface the finished designs instead of losing the run; the
         # pool was terminated *and* joined, so no workers are orphaned

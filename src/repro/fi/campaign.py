@@ -45,12 +45,16 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..compile_cache import (absorb_deltas, aggregate_stats,
+                             counters_delta, counters_snapshot)
 from ..datatypes import logic as L
 from ..datatypes.integers import wrap_signed
 from ..flow.refinement import Level, build_module
-from ..gatesim import COMPILE_CACHE, GateSimulator
-from ..hls.compiled import HLS_COMPILE_CACHE
-from ..rtl import RTL_COMPILE_CACHE, RtlSimulator
+from ..gatesim import GateSimulator
+from ..obs.metrics import REGISTRY
+from ..obs.trace import (TracedTask, absorb_events, current_context,
+                         record_span, span)
+from ..rtl import RtlSimulator
 from ..src_design.behavioral import (BehavioralBatchSimulation,
                                      BehavioralSimulation, build_main_fsm)
 from ..src_design.params import SrcParams
@@ -63,7 +67,7 @@ from .faultload import (generate_beh_faultload, generate_gate_faultload,
                         generate_rtl_faultload)
 from .faults import FAULT_MODELS, Fault, build_overlay, control_name
 from .report import (CampaignReport, FaultRecord, SelfCheckResult,
-                     Throughput)
+                     Throughput, tally)
 
 #: campaign levels (the clocked implementation levels of the flow)
 LEVELS = ("rtl", "beh", "gate")
@@ -618,121 +622,109 @@ def _init_worker(params: SrcParams, level: str, seed: int,
     _WORKER["key"] = key
     _WORKER["params"] = params
     _WORKER["backend"] = backend
-    _WORKER["workload"] = make_workload(params, seed, budget)
-    if level == "gate":
-        _WORKER["netlist"] = build_campaign_netlist(params)
-    elif level == "beh":
-        _WORKER["fsm"] = build_main_fsm(params, True)
-    else:
-        _WORKER["module"] = build_module(params, Level.RTL_OPT)
+    with span("fi.workload", seed=seed, budget=budget):
+        _WORKER["workload"] = make_workload(params, seed, budget)
+    with span("fi.build_dut", level=level):
+        if level == "gate":
+            _WORKER["netlist"] = build_campaign_netlist(params)
+        elif level == "beh":
+            _WORKER["fsm"] = build_main_fsm(params, True)
+        else:
+            _WORKER["module"] = build_module(params, Level.RTL_OPT)
 
 
-#: the caches a campaign touches, report label -> cache instance
-_CACHES = (("gate", COMPILE_CACHE), ("rtl", RTL_COMPILE_CACHE),
-           ("hls", HLS_COMPILE_CACHE))
-
-
-def cache_counters():
-    """Snapshot of this process's compile-cache counters.
-
-    One ``{backend: (hits, misses, evictions)}`` mapping per cache
-    (gate, rtl, hls).  Pool tasks snapshot before/after their work and
-    ship the :func:`cache_delta` of the pair back;
-    :func:`absorb_cache_deltas` folds the deltas into the parent's
-    caches so reported stats cover every worker process.
-    """
-    return tuple(
-        {b: (s.hits, s.misses, s.evictions)
-         for b, s in cache.stats_by_backend.items()}
-        for _, cache in _CACHES)
-
-
-def cache_delta(before, after):
-    """Per-backend counter growth between two snapshots."""
-    deltas = []
-    for b_map, a_map in zip(before, after):
-        d = {}
-        for backend, (h, m, e) in a_map.items():
-            h0, m0, e0 = b_map.get(backend, (0, 0, 0))
-            if h != h0 or m != m0 or e != e0:
-                d[backend] = (h - h0, m - m0, e - e0)
-        deltas.append(d)
-    return tuple(deltas)
+# The cross-process compile-cache aggregation (snapshot / delta /
+# absorb) now lives in :mod:`repro.compile_cache`, shared with the
+# parallel verification harness, the campaign service and the artifact
+# writers; the historical names are kept as aliases for existing
+# callers.
+cache_counters = counters_snapshot
+cache_delta = counters_delta
+absorb_cache_deltas = absorb_deltas
 
 
 def _gate_batch_task(faults: Sequence[Fault]):
     """Pool task: classify one batch; returns records + cache deltas."""
-    before = cache_counters()
-    try:
-        records = run_gate_batch(_WORKER["netlist"], _WORKER["workload"],
-                                 faults, _WORKER["params"],
-                                 backend=_WORKER.get("backend",
-                                                     "compiled"))
-    except CampaignError:
-        raise
-    except Exception:
-        # a whole-batch failure cannot be attributed to one fault:
-        # isolate by re-running each fault in its own single-pattern run
-        records = [
-            run_gate_fault_scalar(_WORKER["netlist"], _WORKER["workload"],
-                                  fault, _WORKER["params"],
-                                  backend="compiled")
-            for fault in faults
-        ]
-    after = cache_counters()
-    return records, cache_delta(before, after)
+    before = counters_snapshot()
+    with span("fi.batch", level="gate", n_faults=len(faults)):
+        try:
+            records = run_gate_batch(_WORKER["netlist"],
+                                     _WORKER["workload"],
+                                     faults, _WORKER["params"],
+                                     backend=_WORKER.get("backend",
+                                                         "compiled"))
+        except CampaignError:
+            raise
+        except Exception:
+            # a whole-batch failure cannot be attributed to one fault:
+            # isolate by re-running each fault in its own
+            # single-pattern run
+            records = [
+                run_gate_fault_scalar(_WORKER["netlist"],
+                                      _WORKER["workload"],
+                                      fault, _WORKER["params"],
+                                      backend="compiled")
+                for fault in faults
+            ]
+    after = counters_snapshot()
+    return records, counters_delta(before, after)
 
 
 def _rtl_fault_task(fault: Fault):
     """Pool task: classify one RTL fault; returns record + cache deltas."""
-    before = cache_counters()
-    record = run_rtl_fault(_WORKER["module"], _WORKER["workload"], fault,
-                           _WORKER["params"], backend="compiled")
-    after = cache_counters()
-    return record, cache_delta(before, after)
+    before = counters_snapshot()
+    with span("fi.fault", level="rtl", target=fault.target):
+        record = run_rtl_fault(_WORKER["module"], _WORKER["workload"],
+                               fault, _WORKER["params"],
+                               backend="compiled")
+    after = counters_snapshot()
+    return record, counters_delta(before, after)
 
 
 def _rtl_batch_task(faults: Sequence[Fault]):
     """Pool task: classify one vectorized RTL sweep; records + deltas."""
-    before = cache_counters()
-    try:
-        records = run_rtl_batch(_WORKER["module"], _WORKER["workload"],
-                                faults, _WORKER["params"])
-    except CampaignError:
-        raise
-    except Exception:
-        # a whole-sweep failure cannot be attributed to one fault:
-        # isolate by re-running each fault in its own scalar run
-        records = [
-            run_rtl_fault(_WORKER["module"], _WORKER["workload"], fault,
-                          _WORKER["params"], backend="compiled")
-            for fault in faults
-        ]
-    after = cache_counters()
-    return records, cache_delta(before, after)
+    before = counters_snapshot()
+    with span("fi.batch", level="rtl", n_faults=len(faults)):
+        try:
+            records = run_rtl_batch(_WORKER["module"], _WORKER["workload"],
+                                    faults, _WORKER["params"])
+        except CampaignError:
+            raise
+        except Exception:
+            # a whole-sweep failure cannot be attributed to one fault:
+            # isolate by re-running each fault in its own scalar run
+            records = [
+                run_rtl_fault(_WORKER["module"], _WORKER["workload"],
+                              fault, _WORKER["params"],
+                              backend="compiled")
+                for fault in faults
+            ]
+    after = counters_snapshot()
+    return records, counters_delta(before, after)
 
 
 def _beh_batch_task(faults: Sequence[Fault]):
     """Pool task: classify one behavioural batch; records + deltas."""
-    before = cache_counters()
-    try:
-        records = run_beh_batch(_WORKER["fsm"], _WORKER["workload"],
-                                faults, _WORKER["params"],
-                                backend=_WORKER.get("backend",
-                                                    "compiled"))
-    except CampaignError:
-        raise
-    except Exception:
-        # a whole-batch failure cannot be attributed to one fault:
-        # isolate by re-running each fault in its own scalar run
-        records = [
-            run_beh_fault_scalar(_WORKER["fsm"], _WORKER["workload"],
-                                 fault, _WORKER["params"],
-                                 backend="compiled")
-            for fault in faults
-        ]
-    after = cache_counters()
-    return records, cache_delta(before, after)
+    before = counters_snapshot()
+    with span("fi.batch", level="beh", n_faults=len(faults)):
+        try:
+            records = run_beh_batch(_WORKER["fsm"], _WORKER["workload"],
+                                    faults, _WORKER["params"],
+                                    backend=_WORKER.get("backend",
+                                                        "compiled"))
+        except CampaignError:
+            raise
+        except Exception:
+            # a whole-batch failure cannot be attributed to one fault:
+            # isolate by re-running each fault in its own scalar run
+            records = [
+                run_beh_fault_scalar(_WORKER["fsm"], _WORKER["workload"],
+                                     fault, _WORKER["params"],
+                                     backend="compiled")
+                for fault in faults
+            ]
+    after = counters_snapshot()
+    return records, counters_delta(before, after)
 
 
 class PoolInterrupted(KeyboardInterrupt):
@@ -763,6 +755,11 @@ def parallel_map(fn, tasks: Sequence, jobs: int,
     interrupt terminates the pool and *joins* it before re-raising, so
     no worker process outlives the call; an interrupt re-raises as
     :class:`PoolInterrupted` with the results completed so far.
+
+    When tracing is enabled the task function is transparently wrapped
+    so workers adopt the parent's trace context and ship their new
+    spans back with each result; the parent absorbs them as results
+    stream in, so partial (interrupted) runs keep their spans too.
     """
     if jobs <= 1 or len(tasks) <= 1:
         if initializer is not None:
@@ -774,13 +771,18 @@ def parallel_map(fn, tasks: Sequence, jobs: int,
         except KeyboardInterrupt:
             raise PoolInterrupted(results) from None
         return results
+    trace_ctx = current_context()
+    task_fn = fn if trace_ctx is None else TracedTask(fn, trace_ctx)
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
     pool = ctx.Pool(min(jobs, len(tasks)), initializer, initargs)
     results = []
     try:
-        for result in pool.imap(fn, tasks):
+        for result in pool.imap(task_fn, tasks):
+            if trace_ctx is not None:
+                result, events = result
+                absorb_events(events)
             results.append(result)
         pool.close()
         pool.join()
@@ -793,24 +795,6 @@ def parallel_map(fn, tasks: Sequence, jobs: int,
         pool.terminate()
         pool.join()
         raise
-
-
-def absorb_cache_deltas(deltas) -> None:
-    """Fold worker cache deltas into the parent's caches."""
-    for i, (_, cache) in enumerate(_CACHES):
-        merged: Dict[str, List[int]] = {}
-        for delta in deltas:
-            for backend, (h, m, e) in delta[i].items():
-                c = merged.setdefault(backend, [0, 0, 0])
-                c[0] += h
-                c[1] += m
-                c[2] += e
-        if merged:
-            cache.absorb(sum(c[0] for c in merged.values()),
-                         sum(c[1] for c in merged.values()),
-                         sum(c[2] for c in merged.values()),
-                         by_backend={b: tuple(c)
-                                     for b, c in merged.items()})
 
 
 # ----------------------------------------------------------------------
@@ -871,11 +855,19 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     flagged ``interrupted`` (throughput probes are skipped).
     """
     config = config.validated()
+    with span("fi.campaign", level=config.level, backend=config.backend,
+              n_faults=config.n_faults, jobs=config.jobs):
+        return _run_campaign(config)
+
+
+def _run_campaign(config: CampaignConfig) -> CampaignReport:
     _init_worker(config.params, config.level, config.seed, config.budget,
                  config.backend)
     workload: Workload = _WORKER["workload"]  # type: ignore[assignment]
     backend = config.backend
-    faults, design = campaign_faultload(config)
+    with span("fi.faultload", level=config.level) as faultload_span:
+        faults, design = campaign_faultload(config)
+        faultload_span.note(n_faults=len(faults))
 
     if config.level == "gate":
         chunk = (_vector_chunk(len(faults), config.jobs)
@@ -918,11 +910,17 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
         records = [rec for rec, _ in results]
     else:
         records = [rec for batch, _ in results for rec in batch]
+    for outcome, count in tally(records).items():
+        if count:
+            REGISTRY.counter(
+                "repro_fi_outcomes_total",
+                help="Fault classifications by outcome",
+                level=config.level, outcome=outcome).inc(count)
 
     throughput = [Throughput(backend, len(records) if interrupted
                              else len(faults), main_wall)]
     if interrupted:
-        cache_stats = {label: cache.stats for label, cache in _CACHES}
+        cache_stats = aggregate_stats()
         return CampaignReport(
             level=config.level, design=design, seed=config.seed,
             budget=config.budget, jobs=config.jobs,
@@ -936,6 +934,7 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
     if backend == "vectorized" and probe:
         # compiled-engine probe: the word-width batch baseline the
         # vectorized sweep replaces, on the same leading faults
+        probe_wall0 = time.time()
         t0 = time.perf_counter()
         compiled_records: List[FaultRecord] = []
         if config.level == "gate":
@@ -965,8 +964,11 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
                     f"{main_record.outcome}")
         throughput.append(
             Throughput("compiled", len(probe), compiled_wall))
+        record_span("fi.probe", probe_wall0, time.time(),
+                    engine="compiled", n_faults=len(probe))
 
     # interpreted-engine probe: same faults, same classifications
+    probe_wall0 = time.time()
     t0 = time.perf_counter()
     for fault, main_record in zip(probe, records):
         if config.level == "gate":
@@ -988,11 +990,10 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
                 f"{main_record.outcome}")
     interp_wall = time.perf_counter() - t0
     throughput.append(Throughput("interpreted", len(probe), interp_wall))
+    record_span("fi.probe", probe_wall0, time.time(),
+                engine="interpreted", n_faults=len(probe))
 
-    cache_stats = {label: cache.stats for label, cache in _CACHES}
-    for label, cache in _CACHES:
-        for b, s in cache.stats_by_backend.items():
-            cache_stats[f"{label}[{b}]"] = s
+    cache_stats = aggregate_stats()
 
     report = CampaignReport(
         level=config.level, design=design, seed=config.seed,

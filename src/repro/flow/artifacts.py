@@ -13,8 +13,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..compile_cache import CacheStats, CompileCache
+from ..compile_cache import CacheStats, CompileCache, format_cache_report
 from ..gatesim import COMPILE_CACHE, GateSimulator, GateVcdTracer
+from ..obs.trace import format_stage_table, trace_events, tracing_enabled
 from ..rtl import RTL_COMPILE_CACHE, emit_verilog, format_lint, lint
 from ..src_design.params import SrcParams
 from ..src_design.schedule import make_schedule
@@ -39,6 +40,17 @@ class ArtifactIndex:
         lines += [f"  {os.path.relpath(f, self.directory)}"
                   for f in self.files]
         return "\n".join(lines)
+
+
+def _write_stage_table(directory: str, index: ArtifactIndex) -> None:
+    """When span tracing is on, leave the per-stage wall-time table
+    next to the other artefacts."""
+    if not tracing_enabled() or not trace_events():
+        return
+    path = os.path.join(directory, "stage_times.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(format_stage_table() + "\n")
+    index.add(path)
 
 
 def write_artifacts(params: SrcParams, directory: str,
@@ -123,18 +135,12 @@ def write_artifacts(params: SrcParams, directory: str,
     index.add(wave_path)
 
     if backend in ("compiled", "vectorized"):
-        from ..hls import HLS_COMPILE_CACHE
-
         cache_path = os.path.join(directory, "compile_cache.txt")
         with open(cache_path, "w", encoding="utf-8") as fh:
-            for label, cache in (("gate-level", COMPILE_CACHE),
-                                 ("rtl", RTL_COMPILE_CACHE),
-                                 ("behavioural", HLS_COMPILE_CACHE)):
-                fh.write(f"{label:11s} " + cache.stats.format() + "\n")
-                for b, s in cache.stats_by_backend.items():
-                    fh.write(f"  [{b}] " + s.format() + "\n")
+            fh.write(format_cache_report() + "\n")
         index.add(cache_path)
 
+    _write_stage_table(directory, index)
     index_path = os.path.join(directory, "INDEX.txt")
     with open(index_path, "w", encoding="utf-8") as fh:
         fh.write(index.format() + "\n")
@@ -200,6 +206,7 @@ def write_verify_artifacts(report, directory: str) -> ArtifactIndex:
             fh.write("\n")
         index.add(path)
 
+    _write_stage_table(directory, index)
     index_path = os.path.join(directory, "INDEX.txt")
     with open(index_path, "w", encoding="utf-8") as fh:
         fh.write(index.format() + "\n")
@@ -273,6 +280,7 @@ def write_fi_artifacts(report, directory: str) -> ArtifactIndex:
     index.add(write_fi_bench_json(
         report, os.path.join(directory, "BENCH_fi.json")))
 
+    _write_stage_table(directory, index)
     index_path = os.path.join(directory, "INDEX.txt")
     with open(index_path, "w", encoding="utf-8") as fh:
         fh.write(index.format() + "\n")

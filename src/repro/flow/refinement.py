@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..gatesim import GateSimulator
+from ..obs.trace import span
 from ..rtl import RtlSimulator
 from ..src_design.algorithmic import AlgorithmicSrc
 from ..src_design.behavioral import (BehavioralSimulation,
@@ -189,21 +190,23 @@ def verify_refinement(
     prev_outputs: Optional[List[Tuple[int, ...]]] = None
     prev_level: Optional[Level] = None
     prev_clocked = False
-    for level in chain:
-        schedule = quantized if level.is_clocked else exact
-        outputs = run_level(params, level, schedule, inputs)
-        if prev_outputs is not None:
-            reference = prev_outputs
-            if level.is_clocked and not prev_clocked:
-                # quantisation boundary: re-run the golden model on the
-                # quantised schedule (Figure 7)
-                reference = run_level(params, Level.ALGORITHMIC,
-                                      quantized, inputs)
-            report.steps.append(RefinementStep(
-                source=prev_level, target=level,
-                result=compare_streams(reference, outputs),
-            ))
-        prev_outputs = outputs
-        prev_level = level
-        prev_clocked = level.is_clocked
+    with span("refine.chain", levels=len(chain), frames=len(inputs)):
+        for level in chain:
+            schedule = quantized if level.is_clocked else exact
+            with span("refine.level", level=level.value):
+                outputs = run_level(params, level, schedule, inputs)
+            if prev_outputs is not None:
+                reference = prev_outputs
+                if level.is_clocked and not prev_clocked:
+                    # quantisation boundary: re-run the golden model on
+                    # the quantised schedule (Figure 7)
+                    reference = run_level(params, Level.ALGORITHMIC,
+                                          quantized, inputs)
+                report.steps.append(RefinementStep(
+                    source=prev_level, target=level,
+                    result=compare_streams(reference, outputs),
+                ))
+            prev_outputs = outputs
+            prev_level = level
+            prev_clocked = level.is_clocked
     return report

@@ -24,6 +24,7 @@ from . import context
 from .event import Event
 from .module import Module
 from .process import MethodProcess, Process, ThreadProcess
+from ..obs.metrics import KERNEL_STATS as _KERNEL_STATS
 
 
 class SimulationError(RuntimeError):
@@ -62,6 +63,10 @@ class Simulation:
     def __init__(self, *tops: Module, max_deltas_per_step: int = 100_000):
         self.time_ps = 0
         self.delta_count = 0
+        self.activation_count = 0
+        # (deltas, activations) already folded into the process-wide
+        # observability totals; run() folds only the growth since
+        self._obs_folded = [0, 0]
         self._runnable: deque = deque()
         # update/delta queues are double-buffered: the drained list is
         # recycled as the next fill buffer instead of allocating a fresh
@@ -135,6 +140,7 @@ class Simulation:
         end_time = None if duration_ps is None else self.time_ps + duration_ps
         self._stopped = False
         deltas_here = 0
+        activations = 0
         runnable = self._runnable  # deque identity is fixed for the run
         while not self._stopped:
             # -- evaluate phase ----------------------------------------
@@ -143,11 +149,13 @@ class Simulation:
                 if hook is None:
                     while runnable:
                         runnable.popleft()._execute()
+                        activations += 1
                         if self._stopped:
                             break
                 else:
                     while runnable:
                         hook(runnable.popleft())
+                        activations += 1
                         if self._stopped:
                             break
                 if self._stopped:
@@ -198,6 +206,16 @@ class Simulation:
             self._drop_cancelled_head()
         if end_time is not None and not self._stopped:
             self.time_ps = max(self.time_ps, end_time)
+        # fold this run's scheduler counts into the process-wide
+        # observability totals (amortised: once per run() call, not per
+        # delta) so the metrics registry can report them without any
+        # cost inside the evaluate loop
+        self.activation_count += activations
+        folded = self._obs_folded
+        _KERNEL_STATS[0] += self.delta_count - folded[0]
+        _KERNEL_STATS[1] += self.activation_count - folded[1]
+        folded[0] = self.delta_count
+        folded[1] = self.activation_count
         return self.time_ps
 
     def _pop_next_timed(self) -> Optional[_TimedEntry]:

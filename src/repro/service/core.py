@@ -26,10 +26,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..compile_cache import absorb_deltas, aggregate_stats
+from ..obs.metrics import LatencyHistogram, REGISTRY, render_prometheus
+from ..obs.trace import absorb_events, record_span, tracing_enabled
 from .cache import RESULT_SCHEMA_VERSION, ResultCache
 from .jobs import Job, JobError, JobSpec, new_job_id
 from .shards import ShardPool, TaskRef
-from .tasks import aggregate_job, plan_job
+from .tasks import RESERVED_RESULT_KEYS, aggregate_job, plan_job
 
 
 @dataclass(frozen=True)
@@ -48,33 +51,10 @@ class ServiceConfig:
     backoff_base_s: float = 0.05
 
 
-class LatencyHistogram:
-    """Fixed-bucket latency histogram (seconds), Prometheus-style."""
-
-    BOUNDS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0,
-              300.0)
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.sum_seconds = 0.0
-        self.buckets = [0] * (len(self.BOUNDS) + 1)
-
-    def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.sum_seconds += seconds
-        for i, bound in enumerate(self.BOUNDS):
-            if seconds <= bound:
-                self.buckets[i] += 1
-                return
-        self.buckets[-1] += 1
-
-    def as_dict(self) -> Dict[str, object]:
-        labels = [f"le_{b:g}" for b in self.BOUNDS] + ["le_inf"]
-        return {
-            "count": self.count,
-            "sum_seconds": round(self.sum_seconds, 6),
-            "buckets": dict(zip(labels, self.buckets)),
-        }
+# LatencyHistogram moved to the unified metrics layer
+# (:mod:`repro.obs.metrics`); re-exported here because this was its
+# original home and callers import it from the service core.
+__all__ = ["CampaignService", "LatencyHistogram", "ServiceConfig"]
 
 
 class CampaignService:
@@ -267,6 +247,8 @@ class CampaignService:
             if job is None or job.terminal:
                 continue  # result of a cancelled/expired job
             if event == "done":
+                if isinstance(outcome, dict):
+                    self._absorb_telemetry(outcome)
                 self._results[job.id][ref.index] = outcome
                 job.tasks_done += 1
                 job.units_done += ref.units
@@ -295,6 +277,24 @@ class CampaignService:
                 heapq.heappush(self._deferred,
                                (now + delay, next(self._seq), ref))
 
+    def _absorb_telemetry(self, outcome: Dict[str, object]) -> None:
+        """Fold a worker's piggy-backed telemetry into this process.
+
+        Shards attach spans, compile-cache deltas and a metrics delta
+        to their result dicts under reserved keys (see
+        :data:`repro.service.tasks.RESERVED_RESULT_KEYS`); they are
+        popped here so job results stay telemetry-free.
+        """
+        spans = outcome.pop("_spans", None)
+        if spans:
+            absorb_events(spans)
+        cache_delta = outcome.pop("_cache", None)
+        if cache_delta:
+            absorb_deltas([cache_delta])
+        metrics_delta = outcome.pop("_metrics", None)
+        if metrics_delta:
+            REGISTRY.merge(metrics_delta)
+
     def _complete(self, job: Job, now: float) -> None:
         plan = self._plans[job.id]
         results = self._results.pop(job.id, {})
@@ -313,6 +313,12 @@ class CampaignService:
         hist = self._latency.setdefault(job.spec.kind,
                                         LatencyHistogram())
         hist.observe(job.wall_seconds or 0.0)
+        if tracing_enabled():
+            record_span("service.job",
+                        job.started_at or job.submitted_at,
+                        job.finished_at or time.time(),
+                        job=job.id, kind=job.spec.kind,
+                        state=job.state, cache_hit=job.cache_hit)
 
     # -- helpers for synchronous callers (tests, CLI fallbacks) --------
 
@@ -365,4 +371,85 @@ class CampaignService:
             },
             "latency": {kind: hist.as_dict()
                         for kind, hist in self._latency.items()},
+            "compile_caches": {
+                label: {"hits": stats.hits, "misses": stats.misses,
+                        "entries": stats.entries,
+                        "evictions": stats.evictions,
+                        "source_bytes": stats.source_bytes}
+                for label, stats in aggregate_stats().items()
+            },
         }
+
+    def prometheus_metrics(
+            self, now: Optional[float] = None) -> str:
+        """The same metrics in Prometheus text exposition v0.0.4.
+
+        Service-level sections of :meth:`metrics` are flattened into
+        ``repro_service_*`` families; the unified process registry
+        (kernel counters, FI outcomes, compile-cache counters absorbed
+        from workers) is appended verbatim.
+        """
+        doc = self.metrics(now)
+        service = doc["service"]
+        queue = doc["queue"]
+        workers = doc["workers"]
+        cache = doc["cache"]
+        jobs = doc["jobs"]
+        families = [
+            ("repro_service_uptime_seconds", "gauge",
+             "Seconds since service start",
+             [({}, service["uptime_seconds"])]),
+            ("repro_service_jobs", "gauge",
+             "Jobs by state",
+             [({"state": state}, count)
+              for state, count in sorted(jobs["by_state"].items())]),
+            ("repro_service_jobs_submitted_total", "counter",
+             "Jobs submitted by kind",
+             [({"kind": kind}, count)
+              for kind, count in sorted(jobs["by_kind"].items())]),
+            ("repro_service_job_retries_total", "counter",
+             "Task retries charged to jobs", [({}, jobs["retries"])]),
+            ("repro_service_row_cache_hits_total", "counter",
+             "Corpus rows served from the per-row cache",
+             [({}, jobs["row_cache_hits"])]),
+            ("repro_service_tasks_ready", "gauge",
+             "Tasks in the ready heap", [({}, queue["tasks_ready"])]),
+            ("repro_service_tasks_deferred", "gauge",
+             "Tasks in retry backoff",
+             [({}, queue["tasks_deferred"])]),
+            ("repro_service_tasks_inflight", "gauge",
+             "Tasks running on shards",
+             [({}, queue["tasks_inflight"])]),
+            ("repro_service_shards", "gauge",
+             "Shard counts by disposition",
+             [({"state": "live"}, workers["live"]),
+              ({"state": "busy"}, workers["busy"])]),
+            ("repro_service_shard_tasks_done_total", "counter",
+             "Tasks completed across all shards",
+             [({}, workers["tasks_done"])]),
+            ("repro_service_shard_crashes_total", "counter",
+             "Worker crashes observed", [({}, workers["crashes"])]),
+            ("repro_service_shard_hangs_total", "counter",
+             "Worker hangs killed", [({}, workers["hangs"])]),
+            ("repro_service_shard_respawns_total", "counter",
+             "Shards respawned after a crash",
+             [({}, workers["respawns"])]),
+            ("repro_service_shard_retired_total", "counter",
+             "Shards retired after exhausting their crash budget",
+             [({}, workers["retired"])]),
+            ("repro_service_result_cache_entries", "gauge",
+             "Entries in the result cache", [({}, cache["entries"])]),
+            ("repro_service_result_cache_hits_total", "counter",
+             "Result cache hits", [({}, cache["hits"])]),
+            ("repro_service_result_cache_misses_total", "counter",
+             "Result cache misses", [({}, cache["misses"])]),
+            ("repro_service_result_cache_evictions_total", "counter",
+             "Result cache evictions", [({}, cache["evictions"])]),
+        ]
+        if self._latency:
+            families.append(
+                ("repro_service_job_seconds", "histogram",
+                 "Wall-clock job latency by kind",
+                 [({"kind": kind}, self._latency[kind])
+                  for kind in sorted(self._latency)]))
+        return render_prometheus(families) + REGISTRY.to_prometheus()

@@ -179,8 +179,14 @@ class Job:
         return self.finished_at - self.submitted_at
 
     def add_event(self, event_kind: str, now: float, **fields) -> None:
-        event = {"event": event_kind, "job": self.id,
-                 "t": round(now - self.submitted_at, 4)}
+        t = round(now - self.submitted_at, 4)
+        if self.events and t <= self.events[-1]["t"]:
+            # the event log is a strictly ordered history: several
+            # events landing in one scheduler tick (e.g. the final
+            # "progress" and its "done") share a clock reading, so
+            # nudge past the predecessor to keep the order explicit
+            t = round(self.events[-1]["t"] + 0.0001, 4)
+        event = {"event": event_kind, "job": self.id, "t": t}
         event.update(fields)
         self.events.append(event)
 

@@ -9,7 +9,8 @@ the repo takes no new dependencies.  Supported surface::
     GET  /jobs/<id>           job status (?result=1 embeds the result)
     GET  /jobs/<id>/events    chunked ndjson event stream (live tail)
     POST /jobs/<id>/cancel    cancel a job
-    GET  /metrics             service metrics document
+    GET  /metrics             Prometheus text exposition (v0.0.4)
+    GET  /metrics.json        service metrics JSON document
     GET  /healthz             liveness probe
     POST /shards/<n>/kill     hard-kill one worker shard (chaos/ops)
 
@@ -47,9 +48,16 @@ _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
 
 
 def _response(status: int, doc: object) -> bytes:
-    body = (json.dumps(doc, indent=2) + "\n").encode()
+    # a str payload is pre-rendered plain text (the Prometheus
+    # exposition); anything else is serialised as JSON
+    if isinstance(doc, str):
+        body = doc.encode()
+        ctype = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = (json.dumps(doc, indent=2) + "\n").encode()
+        ctype = "application/json"
     head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n")
     return head.encode() + body
@@ -127,6 +135,8 @@ class ServiceServer:
             return 200, {"status": "ok",
                          "shards_live": service.pool.live_shards}
         if parts == ["metrics"] and method == "GET":
+            return 200, service.prometheus_metrics()
+        if parts == ["metrics.json"] and method == "GET":
             return 200, service.metrics()
         if parts == ["jobs"]:
             if method == "GET":

@@ -35,6 +35,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import current_context
+
 
 def _mp_context():
     methods = multiprocessing.get_all_start_methods()
@@ -49,6 +51,9 @@ def _shard_main(shard_id: int, task_q, result_q) -> None:
 
     # the parent owns Ctrl-C handling and tears shards down explicitly
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from ..compile_cache import counters_delta, counters_snapshot
+    from ..obs.metrics import REGISTRY, MetricsRegistry
+    from ..obs.trace import adopt_context, event_mark, events_since
     from .tasks import execute_task
 
     while True:
@@ -56,8 +61,32 @@ def _shard_main(shard_id: int, task_q, result_q) -> None:
         if item is None:
             return
         task_id, payload = item
+        trace_ctx = payload.pop("_trace", None) \
+            if isinstance(payload, dict) else None
         try:
+            mark = None
+            if trace_ctx is not None:
+                adopt_context(trace_ctx)
+                mark = event_mark()
+            cache_before = counters_snapshot()
+            metrics_before = REGISTRY.snapshot()
             result = execute_task(payload)
+            # piggy-back this task's telemetry on the result dict under
+            # reserved keys (only when non-empty, and only on dicts --
+            # the parent pops them before aggregation)
+            if isinstance(result, dict):
+                if mark is not None:
+                    spans = events_since(mark)
+                    if spans:
+                        result["_spans"] = spans
+                delta = counters_delta(cache_before,
+                                       counters_snapshot())
+                if any(delta):
+                    result["_cache"] = delta
+                metrics_delta = MetricsRegistry.diff(
+                    metrics_before, REGISTRY.snapshot())
+                if metrics_delta:
+                    result["_metrics"] = metrics_delta
             result_q.put(("ok", task_id, result))
         except BaseException as exc:  # ship the failure, keep serving
             result_q.put(("err", task_id,
@@ -123,6 +152,8 @@ class ShardPool:
         self.started = False
         self.total_crashes = 0
         self.total_hangs = 0
+        self.total_respawns = 0
+        self.total_retired = 0
         self._started_at = 0.0
 
     # -- lifecycle -----------------------------------------------------
@@ -198,7 +229,11 @@ class ShardPool:
             raise RuntimeError(f"shard {shard_id} is not free")
         shard.current = task
         shard.busy_since = time.time() if now is None else now
-        shard.task_q.put((task.id, task.payload))
+        payload = task.payload
+        trace_ctx = current_context()
+        if trace_ctx is not None and isinstance(payload, dict):
+            payload = dict(payload, _trace=trace_ctx)
+        shard.task_q.put((task.id, payload))
 
     # -- health + results ----------------------------------------------
 
@@ -224,9 +259,11 @@ class ShardPool:
         if shard.crashes > self.max_crashes:
             shard.dead = True
             shard.proc = None
+            self.total_retired += 1
             events.append(("shard_dead", shard.id, None))
         else:
             self._spawn(shard)
+            self.total_respawns += 1
             events.append(("shard_respawned", shard.id, None))
         if task is not None:
             events.append((kind, task, None))
@@ -290,5 +327,7 @@ class ShardPool:
             "tasks_done": sum(s.tasks_done for s in self.shards),
             "crashes": self.total_crashes,
             "hangs": self.total_hangs,
+            "respawns": self.total_respawns,
+            "retired": self.total_retired,
             "detail": [s.as_dict(now) for s in self.shards],
         }

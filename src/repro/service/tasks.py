@@ -36,8 +36,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import span
 from .cache import ResultKey, canonical_json, digest_of
 from .jobs import JobError, JobSpec
+
+#: result-dict keys reserved for worker telemetry piggy-backed on task
+#: results: spans, compile-cache counter deltas and a metrics-registry
+#: delta.  Attached by ``_shard_main`` only when non-empty; popped by
+#: ``CampaignService._collect`` before aggregation.
+RESERVED_RESULT_KEYS = ("_spans", "_cache", "_metrics")
 
 #: compiled batches carry the fault-free pattern too, so slices must
 #: stay under the 64-pattern machine word; the campaign's batch size
@@ -370,18 +377,19 @@ def _run_corpus_task(payload: Dict[str, object]) -> Dict[str, object]:
 def execute_task(payload: Dict[str, object]) -> Dict[str, object]:
     """Worker entry point: run one task payload to its result dict."""
     op = payload.get("op")
-    if op == "fi":
-        return _run_fi_task(payload)
-    if op == "verify":
-        return _run_verify_task(payload)
-    if op == "corpus":
-        return _run_corpus_task(payload)
-    if op == "sleep":               # pool health tests / ops smoke
-        time.sleep(float(payload.get("seconds", 0.1)))
-        return {"slept": payload.get("seconds", 0.1)}
-    if op == "crash":               # simulates a hard worker death
-        os._exit(13)
-    raise JobError(f"unknown task op {op!r}")
+    with span("service.task", op=op):
+        if op == "fi":
+            return _run_fi_task(payload)
+        if op == "verify":
+            return _run_verify_task(payload)
+        if op == "corpus":
+            return _run_corpus_task(payload)
+        if op == "sleep":           # pool health tests / ops smoke
+            time.sleep(float(payload.get("seconds", 0.1)))
+            return {"slept": payload.get("seconds", 0.1)}
+        if op == "crash":           # simulates a hard worker death
+            os._exit(13)
+        raise JobError(f"unknown task op {op!r}")
 
 
 # ----------------------------------------------------------------------
@@ -419,6 +427,13 @@ def aggregate_fi(meta: Dict[str, object],
             row["outcome"]] += 1
         by_kind.setdefault(row["target_kind"], {n: 0 for n in OUTCOMES})[
             row["outcome"]] += 1
+    from ..obs.metrics import REGISTRY
+    for outcome, count in tally(records).items():
+        if count:
+            REGISTRY.counter(
+                "repro_fi_outcomes_total",
+                help="Fault classifications by outcome",
+                level=meta["level"], outcome=outcome).inc(count)
     return _normalise({
         "kind": "fi",
         "campaign": {

@@ -13,6 +13,7 @@ from .equivalence import EquivalenceResult, Mismatch, check_equivalence
 from .power import PowerReport, ToggleMonitor, estimate_power
 from .stats import NetlistStats, netlist_stats
 from .verilog_netlist import emit_gate_verilog
+from ..obs.trace import span
 
 
 def synthesize(module, library=DEFAULT_LIBRARY, scan: bool = True,
@@ -22,11 +23,13 @@ def synthesize(module, library=DEFAULT_LIBRARY, scan: bool = True,
     Returns the final :class:`Netlist`.  This mirrors a Design Compiler
     ``compile`` run with the paper's settings (scan included).
     """
-    netlist = map_to_gates(module, library)
-    if optimize_netlist:
-        optimize(netlist)
-    if scan:
-        insert_scan_chain(netlist)
+    with span("synthesize", design=module.name, scan=scan) as sp:
+        netlist = map_to_gates(module, library)
+        if optimize_netlist:
+            optimize(netlist)
+        if scan:
+            insert_scan_chain(netlist)
+        sp.note(cells=len(netlist.cells))
     return netlist
 
 

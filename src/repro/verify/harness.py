@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..flow.refinement import Level
+from ..obs.trace import span
 from ..src_design.params import SMALL_PARAMS, SrcParams
 from ..synth import synthesize
 from .coverage import InputCoverage, ToggleCoverage
@@ -179,15 +180,15 @@ def _verify_case_task(case: StimulusCase):
     compile-cache deltas -- everything the parent needs to keep
     coverage and cache statistics identical to a sequential run.
     """
-    from ..fi.campaign import cache_counters, cache_delta
+    from ..compile_cache import counters_delta, counters_snapshot
 
-    before = cache_counters()
+    before = counters_snapshot()
     coverage = ToggleCoverage()
     case_report = run_differential(
         _WORKER["params"], _WORKER["specs"], case, _WORKER["builds"],
         coverage=coverage)
-    after = cache_counters()
-    return (case_report, coverage.counts, cache_delta(before, after))
+    after = counters_snapshot()
+    return (case_report, coverage.counts, counters_delta(before, after))
 
 
 def run_verify(config: VerifyConfig) -> VerifyReport:
@@ -205,33 +206,38 @@ def run_verify(config: VerifyConfig) -> VerifyReport:
     report = VerifyReport(config)
     report.input_coverage = InputCoverage(params.data_width)
     report.toggle_coverage = ToggleCoverage()
-    cases = generate_cases(params, config.seed, budget.n_cases,
-                           budget.n_inputs)
-    if config.jobs > 1 and len(cases) > 1:
-        from ..fi.campaign import absorb_cache_deltas, parallel_map
+    with span("verify.harness", levels=config.levels,
+              backend=config.backend, jobs=config.jobs):
+        cases = generate_cases(params, config.seed, budget.n_cases,
+                               budget.n_inputs)
+        if config.jobs > 1 and len(cases) > 1:
+            from ..compile_cache import absorb_deltas
+            from ..fi.campaign import parallel_map
 
-        results = parallel_map(
-            _verify_case_task, cases, config.jobs,
-            initializer=_init_verify_worker,
-            initargs=(params, config.levels, config.backend))
-        absorb_cache_deltas([r[2] for r in results])
-        for case, (case_report, toggle_counts, _) in zip(cases, results):
+            results = parallel_map(
+                _verify_case_task, cases, config.jobs,
+                initializer=_init_verify_worker,
+                initargs=(params, config.levels, config.backend))
+            absorb_deltas([r[2] for r in results])
+            for case, (case_report, toggle_counts, _) in zip(cases,
+                                                             results):
+                report.input_coverage.record_case(case.inputs)
+                report.toggle_coverage.absorb(toggle_counts)
+                report.case_reports.append(case_report)
+                if not case_report.passed:
+                    shrink = _shrink_failure(config, case_report, builds,
+                                             budget)
+                    report.failures.append(Failure(case_report, shrink))
+            return report
+        for case in cases:
             report.input_coverage.record_case(case.inputs)
-            report.toggle_coverage.absorb(toggle_counts)
+            case_report = run_differential(params, specs, case, builds,
+                                           coverage=report.toggle_coverage)
             report.case_reports.append(case_report)
             if not case_report.passed:
                 shrink = _shrink_failure(config, case_report, builds,
                                          budget)
                 report.failures.append(Failure(case_report, shrink))
-        return report
-    for case in cases:
-        report.input_coverage.record_case(case.inputs)
-        case_report = run_differential(params, specs, case, builds,
-                                       coverage=report.toggle_coverage)
-        report.case_reports.append(case_report)
-        if not case_report.passed:
-            shrink = _shrink_failure(config, case_report, builds, budget)
-            report.failures.append(Failure(case_report, shrink))
     return report
 
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..flow.refinement import Level, build_module
 from ..gatesim import GateSimulator
+from ..obs.trace import span
 from ..rtl import RtlSimulator
 from ..src_design.algorithmic import AlgorithmicSrc
 from ..src_design.behavioral import BehavioralSimulation
@@ -335,19 +336,25 @@ def run_differential(params: SrcParams, specs: Sequence[LevelSpec],
     report = CaseReport(case)
     ref_exact: Optional[List[Tuple[int, ...]]] = None
     ref_quant: Optional[List[Tuple[int, ...]]] = None
-    for spec in specs:
-        if spec.level is Level.ALGORITHMIC and not spec.is_clocked:
-            # the golden model itself: nothing to diff against
-            continue
-        if spec.is_clocked:
-            if ref_quant is None:
-                ref_quant = golden_outputs(params, case, quantized=True)
-            reference, ref_name = ref_quant, "golden(quantised)"
-        else:
-            if ref_exact is None:
-                ref_exact = golden_outputs(params, case, quantized=False)
-            reference, ref_name = ref_exact, "golden(exact)"
-        run = run_case_level(params, spec, case, builds, coverage=coverage)
-        report.diffs.append(
-            diff_against_reference(reference, ref_name, run))
+    with span("verify.case", kind=case.kind, seed=case.seed,
+              n_inputs=case.n_inputs):
+        for spec in specs:
+            if spec.level is Level.ALGORITHMIC and not spec.is_clocked:
+                # the golden model itself: nothing to diff against
+                continue
+            if spec.is_clocked:
+                if ref_quant is None:
+                    ref_quant = golden_outputs(params, case,
+                                               quantized=True)
+                reference, ref_name = ref_quant, "golden(quantised)"
+            else:
+                if ref_exact is None:
+                    ref_exact = golden_outputs(params, case,
+                                               quantized=False)
+                reference, ref_name = ref_exact, "golden(exact)"
+            with span("verify.level", level=spec.key):
+                run = run_case_level(params, spec, case, builds,
+                                     coverage=coverage)
+            report.diffs.append(
+                diff_against_reference(reference, ref_name, run))
     return report

@@ -91,3 +91,90 @@ def check_classification(table, n_faults, where=""):
     """A plain outcome->count table covering every fault exactly once."""
     assert_exact_keys(table, FI_OUTCOMES, where)
     assert sum(table.values()) == n_faults, where
+
+# ----------------------------------------------------------------------
+# observability surfaces: Chrome trace JSON and Prometheus text
+# ----------------------------------------------------------------------
+
+#: top-level shape of an exported Chrome trace file
+TRACE_TOP_KEYS = {"traceEvents", "displayTimeUnit", "otherData"}
+#: every complete ("X") span event carries exactly these keys
+TRACE_EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                    "args"}
+
+
+def check_chrome_trace(doc, where=""):
+    """Invariants of one exported Chrome trace-event JSON document.
+
+    Returns the list of "X" (complete-span) events for further
+    assertions by the caller.
+    """
+    assert_exact_keys(doc, TRACE_TOP_KEYS, where)
+    assert doc["displayTimeUnit"] == "ms", where
+    assert {"trace_id", "generator"} <= set(doc["otherData"]), where
+    spans = []
+    for event in doc["traceEvents"]:
+        if event.get("ph") == "M":
+            assert event.get("name") == "process_name", where
+            continue
+        assert_exact_keys(event, TRACE_EVENT_KEYS, where)
+        assert event["ph"] == "X", where
+        assert event["ts"] >= 0 and event["dur"] >= 1, where
+        args = event["args"]
+        assert {"trace_id", "span_id"} <= set(args), where
+        assert args["trace_id"] == doc["otherData"]["trace_id"], where
+        spans.append(event)
+    assert spans, f"{where}: trace holds no spans"
+    # export normalises timestamps and sorts by start time
+    assert [e["ts"] for e in spans] \
+        == sorted(e["ts"] for e in spans), where
+    return spans
+
+
+def check_prometheus_text(text, where=""):
+    """Invariants of a Prometheus text exposition (v0.0.4) payload.
+
+    Every sample line must parse as ``name{labels} value``, every
+    ``# TYPE`` must be a known metric type, and each histogram family
+    must expose cumulative ``_bucket`` samples ending at ``+Inf`` plus
+    ``_sum`` and ``_count``.  Returns ``{family: type}``.
+    """
+    import re
+
+    name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+    types = {}
+    samples = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, mtype = line.split(None, 3)
+            assert mtype in ("counter", "gauge", "histogram",
+                             "summary", "untyped"), f"{where}: {line}"
+            assert name not in types, f"{where}: duplicate TYPE {name}"
+            types[name] = mtype
+            continue
+        assert not line.startswith("#"), f"{where}: {line}"
+        metric, _, value = line.rpartition(" ")
+        name = metric.split("{", 1)[0]
+        assert name_re.match(name), f"{where}: bad name in: {line}"
+        if "{" in metric:
+            assert metric.endswith("}"), f"{where}: {line}"
+        float(value)  # raises on an unparsable sample value
+        samples.setdefault(name, []).append(line)
+    assert types, f"{where}: no TYPE lines"
+    for name, mtype in types.items():
+        if mtype == "histogram":
+            buckets = samples.get(f"{name}_bucket", [])
+            assert buckets, f"{where}: {name} has no _bucket samples"
+            assert any('le="+Inf"' in b for b in buckets), \
+                f"{where}: {name} lacks the +Inf bucket"
+            assert samples.get(f"{name}_sum"), f"{where}: {name}_sum"
+            assert samples.get(f"{name}_count"), \
+                f"{where}: {name}_count"
+        else:
+            assert samples.get(name), \
+                f"{where}: TYPE {name} has no samples"
+    return types

@@ -1,0 +1,123 @@
+"""End-to-end locks on the observability surfaces.
+
+A traced fault-injection campaign must export one well-formed Chrome
+trace with spans from several pipeline stages across worker
+processes; the service must expose the unified registry in valid
+Prometheus text exposition; and each job's event log must stay
+strictly ordered in time.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (disable_tracing, enable_tracing,
+                             trace_events, write_chrome_trace)
+from tests.schema_lock import (check_chrome_trace,
+                               check_prometheus_text)
+
+
+@pytest.fixture()
+def tracing():
+    trace_id = enable_tracing()
+    try:
+        yield trace_id
+    finally:
+        disable_tracing()
+
+
+def test_traced_fi_campaign_chrome_export(tmp_path, tracing):
+    """`repro fi --jobs 2 --trace` acceptance shape: one trace, >= 3
+    pipeline stages, spans from >= 2 worker processes, all nested
+    under the same trace id."""
+    from repro.fi import CampaignConfig, run_campaign
+    from repro.src_design.params import SMALL_PARAMS
+
+    config = CampaignConfig(params=SMALL_PARAMS, level="rtl",
+                            n_faults=6, jobs=2, seed=5, budget="smoke")
+    report = run_campaign(config)
+    assert not report.interrupted
+
+    path = tmp_path / "fi_trace.json"
+    write_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    spans = check_chrome_trace(doc, "fi")
+
+    names = {e["name"] for e in spans}
+    assert len(names & {"fi.campaign", "fi.faultload", "fi.workload",
+                        "fi.build_dut", "fi.fault", "fi.batch",
+                        "fi.probe"}) >= 3
+    pids = {e["pid"] for e in spans}
+    assert len(pids) >= 3  # the parent and both pool workers
+    # worker spans parent into the campaign's span tree
+    ids = {e["args"]["span_id"] for e in spans}
+    fault_spans = [e for e in spans
+                   if e["name"] in ("fi.fault", "fi.batch")]
+    assert fault_spans
+    for event in fault_spans:
+        assert event["args"]["parent_id"] in ids
+
+
+def test_service_prometheus_exposition():
+    """/metrics must serve the unified registry as parsable Prometheus
+    text: service families plus kernel/compile-cache/FI counters."""
+    from repro.service.core import CampaignService, ServiceConfig
+
+    service = CampaignService(ServiceConfig(shards=2))
+    service.start()
+    try:
+        job = service.submit({"kind": "fi",
+                              "options": {"budget": "smoke",
+                                          "level": "rtl",
+                                          "n_faults": 4}})
+        done = service.wait(job["id"], timeout=300)
+        assert done["state"] == "done"
+        text = service.prometheus_metrics()
+    finally:
+        service.stop()
+
+    types = check_prometheus_text(text, "service")
+    assert types["repro_service_uptime_seconds"] == "gauge"
+    assert types["repro_service_job_seconds"] == "histogram"
+    assert types["repro_fi_outcomes_total"] == "counter"
+    assert types["repro_kernel_delta_cycles_total"] == "counter"
+    assert 'repro_service_jobs{state="done"} 1' in text
+    # worker compile-cache activity was absorbed into the parent caches
+    assert types["repro_compile_cache_hits_total"] == "counter"
+
+
+def test_job_event_log_strictly_ordered():
+    """Per-job event timestamps are strictly monotonic from submission
+    through the terminal state when the scheduler clock advances."""
+    from repro.service.core import CampaignService, ServiceConfig
+
+    service = CampaignService(ServiceConfig(shards=1))
+    service.start()
+    try:
+        job = service.submit({"kind": "verify",
+                              "options": {"budget": "smoke",
+                                          "backend": "compiled",
+                                          "levels": "beh"}},
+                             now=1000.0)
+        now = 1000.0
+        import time as _time
+        deadline = _time.time() + 300
+        while not service.is_terminal(job["id"]):
+            now += 0.25
+            service.tick(now)
+            assert _time.time() < deadline, "job never finished"
+            _time.sleep(0.01)
+        events = service.job_events(job["id"])
+    finally:
+        service.stop()
+
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "submitted"
+    assert kinds[1] == "started"
+    assert kinds[-1] == "done"
+    times = [e["t"] for e in events]
+    assert times == sorted(times)
+    # ticks advance the clock between events, so order is strict
+    assert len(set(times)) == len(times), times

@@ -25,12 +25,15 @@ JOB_PROGRESS_KEYS = {"tasks_total", "tasks_done", "unit", "units_total",
 JOB_CACHE_KEYS = {"key", "hit", "stored", "row_hits"}
 
 METRICS_KEYS = {"service", "queue", "workers", "cache", "jobs",
-                "latency"}
+                "latency", "compile_caches"}
 METRICS_QUEUE_KEYS = {"jobs_queued", "jobs_running", "tasks_ready",
                       "tasks_deferred", "tasks_inflight"}
 METRICS_WORKERS_KEYS = {"shards", "live", "busy", "utilization",
                         "busy_seconds", "cumulative_utilization",
-                        "tasks_done", "crashes", "hangs", "detail"}
+                        "tasks_done", "crashes", "hangs", "respawns",
+                        "retired", "detail"}
+METRICS_COMPILE_CACHE_KEYS = {"hits", "misses", "entries", "evictions",
+                              "source_bytes"}
 METRICS_SHARD_KEYS = {"id", "alive", "busy", "task", "job",
                       "busy_for_s", "crashes", "hangs", "tasks_done"}
 METRICS_CACHE_KEYS = {"entries", "max_entries", "hits", "misses",
@@ -164,6 +167,11 @@ def test_metrics_schema(finished):
         assert_exact_keys(hist, LATENCY_KEYS)
         assert hist["count"] >= 1
     assert doc["workers"]["tasks_done"] >= 3
+    # the three per-process compile caches always report, plus any
+    # per-backend breakdown rows absorbed from the workers
+    assert {"gate", "rtl", "hls"} <= set(doc["compile_caches"])
+    for label, stats in doc["compile_caches"].items():
+        assert_exact_keys(stats, METRICS_COMPILE_CACHE_KEYS, label)
 
 
 def test_event_log_schema(finished):
