@@ -17,17 +17,21 @@ from repro.flow import (format_results, measure_algorithmic,
                         measure_beh_throughput, measure_behavioral,
                         measure_figure8, measure_kernel_cycle_dut,
                         measure_tlm, write_bench_json)
+from repro.native import toolchain_available, toolchain_info
 from repro.rtl import RtlSimulator
 from repro.src_design import build_rtl_design
 
 N_INPUTS = 300
 #: cycles for the batch-parallel behavioural throughput points
 BATCH_CYCLES = 400
-#: parallel patterns for the compiled point (the machine-word cap)
+#: parallel patterns for the compiled and native points (the
+#: machine-word cap both engines pack into)
 N_PATTERNS = 64
 #: parallel patterns for the vectorized point (numpy lane arrays have
 #: no word cap; 4096 sits past the engine's amortisation knee)
 N_PATTERNS_VEC = 4096
+#: best-of-N (minimum wall) repeats for every cross-engine comparison
+BEST_OF = 3
 
 
 @pytest.fixture(scope="module")
@@ -86,9 +90,34 @@ def test_fig08_table(bench_params, rtl_module, capsys):
                                 n_patterns=N_PATTERNS_VEC)
          for _ in range(3)),
         key=lambda r: r.wall_seconds)
+    # the native headline row: the same structure emitted as C, one
+    # toolchain call stepping all 64 patterns per simulated cycle
+    # (degrades to a second compiled row on toolchain-less hosts)
+    beh_native_batch = min(
+        (measure_beh_throughput(bench_params, BATCH_CYCLES,
+                                backend="native",
+                                n_patterns=N_PATTERNS)
+         for _ in range(BEST_OF)),
+        key=lambda r: r.wall_seconds)
+    # single-pattern latency rows: one stimulus vector per generated
+    # call, the FI scalar-probe access pattern.  The native engine
+    # pays a fixed FFI call floor here, so the rows are recorded for
+    # honesty but carry no cross-engine ordering assertion.
+    beh_lat = {
+        backend: min(
+            (measure_beh_throughput(bench_params, BATCH_CYCLES,
+                                    backend=backend, n_patterns=1,
+                                    label="BEH/latency")
+             for _ in range(BEST_OF)),
+            key=lambda r: r.wall_seconds)
+        for backend in ("compiled", "native")
+    }
     path = write_bench_json(
         "BENCH_fig08.json",
-        results + [beh_compiled, rtl_compiled, beh_batch, beh_vec])
+        results + [beh_compiled, rtl_compiled, beh_batch, beh_vec,
+                   beh_native_batch, beh_lat["compiled"],
+                   beh_lat["native"]],
+        extra={"best_of": BEST_OF, "toolchain": toolchain_info()})
     with capsys.disabled():
         print()
         print(format_results(
@@ -102,6 +131,11 @@ def test_fig08_table(bench_params, rtl_module, capsys):
               f"{beh_batch.cycles_per_second:.1f} pattern-cyc/s")
         print(f"BEH vectorized x{N_PATTERNS_VEC} patterns: "
               f"{beh_vec.cycles_per_second:.1f} pattern-cyc/s")
+        print(f"BEH native x{N_PATTERNS} patterns: "
+              f"{beh_native_batch.cycles_per_second:.1f} pattern-cyc/s")
+        print(f"BEH latency (1 pattern): compiled "
+              f"{beh_lat['compiled'].cycles_per_second:.1f}, native "
+              f"{beh_lat['native'].cycles_per_second:.1f} cyc/s")
         print(f"wrote {path}")
     speed = {r.level: r.cycles_per_second for r in results}
     assert speed["C++"] > speed["SystemC"] > speed["BEH"] > speed["RTL"]
@@ -117,6 +151,13 @@ def test_fig08_table(bench_params, rtl_module, capsys):
     assert beh_vec.cycles_per_second \
         >= 5 * beh_compiled.cycles_per_second
     assert beh_vec.cycles_per_second >= beh_batch.cycles_per_second
+    # the native tier's acceptance: never loses to the compiled batch
+    # row on the throughput comparison (both best-of-3); only checked
+    # when a toolchain actually compiled the native rows
+    if toolchain_available():
+        assert beh_native_batch.backend == "native"
+        assert beh_native_batch.cycles_per_second \
+            >= beh_batch.cycles_per_second
 
 
 def bench_cpp(benchmark, bench_params):
@@ -136,6 +177,11 @@ def bench_behavioral_compiled_batch(benchmark, bench_params):
               N_PATTERNS)
 
 
+def bench_behavioral_native_batch(benchmark, bench_params):
+    benchmark(measure_beh_throughput, bench_params, 200, "native",
+              N_PATTERNS)
+
+
 def bench_rtl(benchmark, bench_params, rtl_module):
     sim = RtlSimulator(rtl_module)
     benchmark(measure_kernel_cycle_dut, bench_params, sim, 24, "RTL")
@@ -146,4 +192,5 @@ test_bench_cpp_level = bench_cpp
 test_bench_systemc_level = bench_systemc
 test_bench_behavioral_level = bench_behavioral
 test_bench_behavioral_compiled_batch = bench_behavioral_compiled_batch
+test_bench_behavioral_native_batch = bench_behavioral_native_batch
 test_bench_rtl_level = bench_rtl

@@ -20,20 +20,24 @@ spans -- including spans from worker processes -- and writes one
 Chrome trace-event JSON loadable in chrome://tracing or Perfetto,
 plus a per-stage wall-time table on stdout.  Defaults: paper scale for synthesis/performance,
 reduced for anything gate-level.  ``--backend
-interpreted|compiled|vectorized`` selects the simulation engine for
-``fig8`` and ``fig9`` at every clocked level -- behavioural FSM, RTL
-and gate (compiled = specialised codegen with parallel-pattern packing
-into one machine word; vectorized = the same codegen over numpy uint64
-bitplane/lane arrays with no pattern-width cap; at the behavioural
-level each scheduled FSM is flattened into straight-line Python).
+interpreted|compiled|vectorized|native`` selects the simulation engine
+for ``fig8`` and ``fig9`` at every clocked level -- behavioural FSM,
+RTL and gate (compiled = specialised codegen with parallel-pattern
+packing into one machine word; vectorized = the same codegen over
+numpy uint64 bitplane/lane arrays with no pattern-width cap; native =
+the same codegen emitted as C and compiled by the host toolchain,
+falling back to compiled when no C compiler is found; at the
+behavioural level each scheduled FSM is flattened into straight-line
+code).
 
 ``verify`` runs the differential verification harness: seeded stimulus
 fuzzing of all levels against the golden model with counterexample
 shrinking and coverage.  Options: ``--levels alg,tlm,beh,rtl,gate``
 (also: tlm-mono, beh-unopt, rtl-unopt, vhdl, gate-beh), ``--seed N``,
 ``--budget smoke|small|medium|large``, ``--backend
-interpreted|compiled|vectorized|both|all`` (``both`` = interpreted +
-compiled, ``all`` = every engine, cross-checked), ``--jobs N`` (fan
+interpreted|compiled|vectorized|native|both|all`` (``both`` =
+interpreted + compiled, ``all`` = every engine, cross-checked),
+``--jobs N`` (fan
 the cases out over a worker pool), ``--out DIR`` (write coverage and
 counterexample artefacts), ``--self-check`` (inject a netlist mutation
 that must be caught and shrunk).
@@ -42,8 +46,9 @@ that must be caught and shrunk).
 classifies every fault as masked, sdc, detected or hang.  Options:
 ``--level rtl|beh|gate`` (``beh`` = SEUs in the scheduled-FSM state,
 simulated parallel-fault on the batch behavioural backends),
-``--backend compiled|vectorized`` (classification engine: word-width
-pattern batches vs. one whole-faultload numpy sweep), ``--model
+``--backend compiled|vectorized|native`` (classification engine:
+word-width pattern batches, one whole-faultload numpy sweep, or
+word-width C batches compiled by the host toolchain), ``--model
 stuck0,stuck1,pulse,seu`` (default: all), ``--n-faults N``, ``--jobs
 N``, ``--seed N``, ``--budget smoke|small|medium|large`` (workload
 length), ``--out DIR`` (write the campaign report and
@@ -58,7 +63,7 @@ refine -> differential verify (all levels x all engines) -> synthesize
 highest-SDC registers) -> re-synthesis -> re-injection, writing
 ``BENCH_corpus.json``.  Options: ``--n-designs N``, ``--seed N``,
 ``--budget smoke|small|medium|large``, ``--backend
-compiled|vectorized`` (FI engine), ``--strategy tmr|parity``,
+compiled|vectorized|native`` (FI engine), ``--strategy tmr|parity``,
 ``--model seu,...`` (corpus default: seu), ``--jobs N`` (one design
 per worker), ``--out DIR``.  Exits non-zero on any refine or
 cross-engine equivalence failure.

@@ -260,9 +260,16 @@ class HlsCorpusDesign:
     def run_level(self, level: str, backend: str = "interpreted"):
         if level == "beh":
             fsm = self.fsm()
-            sim = {"interpreted": FsmInterpreter,
-                   "compiled": CompiledFsm,
-                   "vectorized": VectorizedFsm}[backend](fsm)
+            if backend == "native":
+                from ..native import resolve_backend
+                backend = resolve_backend(backend)
+            if backend == "native":
+                from ..hls.native import NativeFsm
+                sim = NativeFsm(fsm)
+            else:
+                sim = {"interpreted": FsmInterpreter,
+                       "compiled": CompiledFsm,
+                       "vectorized": VectorizedFsm}[backend](fsm)
             frames, _ = _run_transactions(self, sim.set_input,
                                           sim.get_output, sim.step)
             return frames

@@ -27,8 +27,9 @@ from .harden import PARITY_PORT, harden_module, select_harden_targets
 from .inject import (generate_design_faultload, run_design_campaign,
                      sdc_counts_by_register)
 
-#: simulation engines every level is cross-checked on
-ENGINES = ("interpreted", "compiled", "vectorized")
+#: simulation engines every level is cross-checked on ("native"
+#: silently runs as "compiled" when no C toolchain is present)
+ENGINES = ("interpreted", "compiled", "vectorized", "native")
 
 
 @dataclass(frozen=True)

@@ -42,8 +42,8 @@ def build_dut(params: SrcParams, kind: str,
     * ``Gate-RTL`` -- the gate-level design from the RTL flow.
 
     *backend* selects the simulation engine ("interpreted",
-    "compiled" or "vectorized"); extra keyword options (e.g.
-    ``n_patterns``) go to the batch gate-level simulators.
+    "compiled", "vectorized" or "native"); extra keyword options
+    (e.g. ``n_patterns``) go to the batch gate-level simulators.
     """
     if kind == "BEH":
         return BehavioralPinAdapter(params, True, backend=backend)
@@ -77,7 +77,8 @@ def measure_cosim(params: SrcParams, dut_sim, cycles: int,
 def measure_gate_throughput(params: SrcParams, kind: str, cycles: int,
                             backend: str = "interpreted",
                             n_patterns: int = 1,
-                            seed: int = 0) -> SimPerfResult:
+                            seed: int = 0,
+                            label: Optional[str] = None) -> SimPerfResult:
     """Raw gate-level stimulus throughput for one Figure 9 gate DUT.
 
     Drives every input of the netlist with fresh random vectors each
@@ -87,10 +88,11 @@ def measure_gate_throughput(params: SrcParams, kind: str, cycles: int,
     :attr:`SimPerfResult.cycles_per_second` reports pattern-cycles per
     second.  The compiled backend packs patterns into one machine word
     (N <= 64); the vectorized backend packs them into numpy uint64
-    bitplane arrays with no width cap.
+    bitplane arrays with no width cap; the native backend packs them
+    into C ``uint64_t`` bitplanes compiled by the host toolchain.
     """
     netlist = _gate_netlist(params, kind)
-    if backend in ("compiled", "vectorized"):
+    if backend in ("compiled", "vectorized", "native"):
         sim = GateSimulator(netlist, backend=backend,
                             n_patterns=n_patterns)
     else:
@@ -125,7 +127,7 @@ def measure_gate_throughput(params: SrcParams, kind: str, cycles: int,
             sim.step()
         sim.get_logic(out_name)
     wall = time.perf_counter() - start
-    label = f"{kind}/throughput"
+    label = label or f"{kind}/throughput"
     return SimPerfResult(label, wall, float(cycles), 0, backend=backend,
                          n_patterns=n_patterns)
 

@@ -93,8 +93,9 @@ class CampaignConfig:
     budget: str = "small"            # workload size, see BUDGET_FRAMES
     models: Tuple[str, ...] = FAULT_MODELS
     exhaustive: bool = False
-    #: classification engine: 'compiled' (word-width pattern batches)
-    #: or 'vectorized' (whole-faultload numpy sweeps)
+    #: classification engine: 'compiled' (word-width pattern batches),
+    #: 'vectorized' (whole-faultload numpy sweeps) or 'native'
+    #: (word-width C batches; degrades to 'compiled' sans toolchain)
     backend: str = "compiled"
     #: faults per compiled-overlay batch (plus pattern 0 = fault-free);
     #: the vectorized engine ignores this -- its batch is the faultload
@@ -106,10 +107,10 @@ class CampaignConfig:
         if self.level not in LEVELS:
             raise CampaignError(
                 f"unknown level {self.level!r} (expected one of {LEVELS})")
-        if self.backend not in ("compiled", "vectorized"):
+        if self.backend not in ("compiled", "vectorized", "native"):
             raise CampaignError(
                 f"unknown campaign backend {self.backend!r} "
-                "(expected 'compiled' or 'vectorized')")
+                "(expected 'compiled', 'vectorized' or 'native')")
         if self.budget not in BUDGET_FRAMES:
             raise CampaignError(
                 f"unknown budget {self.budget!r} "
@@ -241,9 +242,9 @@ def run_gate_batch(netlist, workload: Workload, faults: Sequence[Fault],
     The fault-free pattern doubles as an in-run sanity check: if it
     diverges from the golden model the harness itself is broken.
 
-    *backend* selects the pattern engine: ``"compiled"`` caps batches
-    at the 64-pattern machine word, ``"vectorized"`` takes a whole
-    faultload in one numpy sweep.
+    *backend* selects the pattern engine: ``"compiled"`` and
+    ``"native"`` cap batches at the 64-pattern machine word,
+    ``"vectorized"`` takes a whole faultload in one numpy sweep.
     """
     overlay = build_overlay(netlist, faults)
     n = len(faults)
@@ -520,7 +521,8 @@ def run_beh_batch(fsm, workload: Workload, faults: Sequence[Fault],
     takes fault ``b``'s variable-bit flip at its injection cycle --
     the behavioural mirror of the gate level's parallel-fault batches.
     *backend* picks the batch engine (``"compiled"`` per-pattern
-    environments, ``"vectorized"`` uint64 lane arrays).
+    environments, ``"vectorized"`` uint64 lane arrays, ``"native"``
+    pattern-major C buffers).
     """
     n = len(faults)
     sim = BehavioralBatchSimulation(params, n + 1, fsm=fsm,
@@ -676,7 +678,8 @@ def _rtl_fault_task(fault: Fault):
     with span("fi.fault", level="rtl", target=fault.target):
         record = run_rtl_fault(_WORKER["module"], _WORKER["workload"],
                                fault, _WORKER["params"],
-                               backend="compiled")
+                               backend=_WORKER.get("backend",
+                                                   "compiled"))
     after = counters_snapshot()
     return record, counters_delta(before, after)
 
@@ -931,9 +934,10 @@ def _run_campaign(config: CampaignConfig) -> CampaignReport:
             interrupted=True)
     probe = faults[:min(config.probe_faults, len(faults))]
 
-    if backend == "vectorized" and probe:
+    if backend in ("vectorized", "native") and probe:
         # compiled-engine probe: the word-width batch baseline the
-        # vectorized sweep replaces, on the same leading faults
+        # vectorized sweep (or native C batch) replaces, on the same
+        # leading faults
         probe_wall0 = time.time()
         t0 = time.perf_counter()
         compiled_records: List[FaultRecord] = []
@@ -960,7 +964,7 @@ def _run_campaign(config: CampaignConfig) -> CampaignReport:
             if comp.outcome != main_record.outcome:
                 raise CampaignError(
                     f"engines disagree on {fault.format()}: compiled "
-                    f"says {comp.outcome}, vectorized says "
+                    f"says {comp.outcome}, {backend} says "
                     f"{main_record.outcome}")
         throughput.append(
             Throughput("compiled", len(probe), compiled_wall))

@@ -9,6 +9,7 @@ from .metrics import (ModelMetrics, collect_model_metrics, format_metrics,
                       netlist_metrics, program_metrics, rtl_metrics,
                       tlm_metrics)
 from .performance import (SimPerfResult, default_stimulus, format_results,
+                          host_info,
                           measure_algorithmic, measure_beh_throughput,
                           measure_behavioral, measure_cycle_dut,
                           measure_figure8, measure_kernel_cycle_dut,
@@ -30,7 +31,8 @@ __all__ = [
     "render_figure8", "render_figure9", "render_figure10",
     "default_stimulus", "format_metrics", "netlist_metrics",
     "program_metrics", "rtl_metrics", "tlm_metrics",
-    "format_results", "main_module_share", "measure_algorithmic",
+    "format_results", "host_info", "main_module_share",
+    "measure_algorithmic",
     "measure_beh_throughput", "measure_behavioral", "measure_cycle_dut",
     "measure_figure8", "measure_kernel_cycle_dut", "measure_tlm",
     "run_level",

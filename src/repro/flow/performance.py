@@ -72,6 +72,23 @@ class SimPerfResult:
                 f"{self.wall_seconds:.3f} s)")
 
 
+def host_info() -> Dict[str, object]:
+    """The machine identity recorded next to every benchmark run.
+
+    Cross-engine speedups are only comparable against numbers from the
+    same host class; consumers should match on this block before
+    reporting a regression against recorded data.
+    """
+    import platform
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+
+
 def write_bench_json(path: str, results: Sequence[SimPerfResult],
                      extra: Optional[Dict[str, object]] = None) -> str:
     """Write measured points as machine-readable JSON.
@@ -79,7 +96,9 @@ def write_bench_json(path: str, results: Sequence[SimPerfResult],
     The target directory can be redirected with ``REPRO_BENCH_DIR``;
     returns the path written.  Used by the benchmark scripts to leave
     ``BENCH_fig08.json`` / ``BENCH_fig09.json`` next to the test run so
-    the performance trajectory is trackable across changes.
+    the performance trajectory is trackable across changes.  Every
+    document records the measuring host (:func:`host_info`) so
+    speedups are only compared against a matching machine.
     """
     bench_dir = os.environ.get("REPRO_BENCH_DIR")
     if bench_dir:
@@ -87,6 +106,7 @@ def write_bench_json(path: str, results: Sequence[SimPerfResult],
         path = os.path.join(bench_dir, os.path.basename(path))
     payload: Dict[str, object] = {
         "results": [r.as_dict() for r in results],
+        "host": host_info(),
     }
     if extra:
         payload.update(extra)
@@ -222,7 +242,13 @@ def measure_beh_throughput(params: SrcParams, cycles: int,
                 for p in fsm.program.ports.values() if p.direction == "in"]
     out_name = next(p.name for p in fsm.program.ports.values()
                     if p.direction == "out")
-    if backend == "compiled":
+    if backend == "native":
+        from ..native import resolve_backend
+        backend = resolve_backend(backend)
+    if backend == "native":
+        from ..hls.native import NativeFsmBatch
+        sim = NativeFsmBatch(fsm, n_patterns)
+    elif backend == "compiled":
         sim = CompiledFsmBatch(fsm, n_patterns)
     elif backend == "vectorized":
         sim = VectorizedFsmBatch(fsm, n_patterns)
@@ -236,7 +262,7 @@ def measure_beh_throughput(params: SrcParams, cycles: int,
     # Stimulus is pre-generated so the timed region measures the FSM
     # engine, not the random-number generator (whose cost would grow
     # with n_patterns and flatten the batch advantage).
-    if backend in ("compiled", "vectorized"):
+    if backend in ("compiled", "vectorized", "native"):
         stim = [[(name, [rng.randrange(span) for _ in range(n_patterns)])
                  for name, span in in_ports] for _ in range(cycles)]
         start = time.perf_counter()

@@ -12,6 +12,7 @@ from .compiled import (
 )
 from .levelize import LevelUnit, levelize
 from .memory import AccessViolation, CheckingMemoryModel, MemoryModel
+from .native import NativeGateSimulator, compile_netlist_native
 from .simulator import BACKENDS, GateSimError, GateSimulator
 from .trace import GateVcdTracer
 from .vectorized import VectorizedGateSimulator
@@ -20,6 +21,7 @@ __all__ = [
     "AccessViolation", "BACKENDS", "COMPILE_CACHE", "CacheStats",
     "CheckingMemoryModel", "CompileCache", "CompiledGateSimulator",
     "CompiledProgram", "GateSimError", "GateSimulator", "GateVcdTracer",
-    "LevelUnit", "MemoryModel", "VectorizedGateSimulator",
-    "compile_netlist", "levelize", "structural_hash",
+    "LevelUnit", "MemoryModel", "NativeGateSimulator",
+    "VectorizedGateSimulator", "compile_netlist",
+    "compile_netlist_native", "levelize", "structural_hash",
 ]

@@ -24,7 +24,7 @@ class GateSimError(RuntimeError):
 
 
 #: valid values for the ``backend=`` argument of :class:`GateSimulator`
-BACKENDS = ("interpreted", "compiled", "vectorized")
+BACKENDS = ("interpreted", "compiled", "vectorized", "native")
 
 
 class _Unit:
@@ -57,6 +57,15 @@ class GateSimulator:
     def __new__(cls, netlist: Netlist = None, checking_memories: bool = False,
                 reporter=None, backend: str = "interpreted", **kwargs):
         if cls is GateSimulator and backend != "interpreted":
+            if backend == "native":
+                from ..native import resolve_backend
+                backend = resolve_backend(backend)
+            if backend == "native":
+                from .native import NativeGateSimulator
+                return NativeGateSimulator(
+                    netlist, checking_memories=checking_memories,
+                    reporter=reporter, **kwargs,
+                )
             if backend == "compiled":
                 from .compiled import CompiledGateSimulator
                 return CompiledGateSimulator(

@@ -9,6 +9,8 @@ from .interpreter import FsmInterpreter
 from .ir import (Assign, For, HlsError, HlsMemory, HlsPort, HlsProgram, If,
                  MemReadStmt, MemWriteStmt, PortWrite, Stmt, WaitCycle,
                  WaitUntil)
+from .native import (HlsNativeProgram, NativeFsm, NativeFsmBatch,
+                     compile_fsm_native)
 from .schedule import (Fsm, FsmState, MemReadOp, MemWriteOp, PortWriteOp,
                        RegWriteOp, Scheduler, SchedulingConstraints,
                        Transition, prune_dead_reg_writes)
@@ -18,12 +20,15 @@ from .vectorized import (HlsVectorizedProgram, VectorizedFsm,
 __all__ = [
     "Assign", "CompiledFsm", "CompiledFsmBatch", "For", "Fsm",
     "FsmInterpreter", "FsmState", "GeneratedFsm", "HLS_COMPILE_CACHE",
-    "HlsCompiledProgram", "HlsError", "HlsMemory", "HlsPort", "HlsProgram",
+    "HlsCompiledProgram", "HlsError", "HlsMemory", "HlsNativeProgram",
+    "HlsPort", "HlsProgram",
     "HlsVectorizedProgram", "If", "MemReadOp", "MemReadStmt", "MemWriteOp",
-    "MemWriteStmt", "PortWrite", "PortWriteOp", "RegWriteOp",
+    "MemWriteStmt", "NativeFsm", "NativeFsmBatch", "PortWrite",
+    "PortWriteOp", "RegWriteOp",
     "RegisterBinding", "Scheduler", "SchedulingConstraints", "Stmt",
     "Transition", "VectorizedFsm", "VectorizedFsmBatch", "WaitCycle",
-    "WaitUntil", "bind_registers", "compile_fsm", "compile_fsm_vectorized",
+    "WaitUntil", "bind_registers", "compile_fsm", "compile_fsm_native",
+    "compile_fsm_vectorized",
     "compute_liveness", "estimate_delay", "fsm_digest", "generate_rtl",
     "node_delay", "prune_dead_reg_writes",
 ]

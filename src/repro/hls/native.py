@@ -1,0 +1,481 @@
+"""Native C-source behavioural simulation: scheduled FSMs as C.
+
+Fourth engine tier of the behavioural backend family
+(:mod:`repro.hls.interpreter` / :mod:`repro.hls.compiled` /
+:mod:`repro.hls.vectorized` / this module).  The scheduled FSM is
+emitted once as a C dispatch chain -- ``if (state == k)`` branches
+carrying each state's operations as straight-line ``uint64_t``
+statements -- compiled to a shared object by the host toolchain (see
+:mod:`repro.native`) and advanced entirely outside the Python
+interpreter.  This is the single-pattern *latency* engine; the
+vectorized tier remains the wide sweep engine.
+
+The one exported kernel is a pattern-major batch stepper: pattern
+``p``'s environment lives at ``ENVS[p * n_names + slot]``, its memory
+image at ``MEMS[p * mem_words + base + addr]``, its control state at
+``STATES[p]``.  :class:`NativeFsm` is a single-pattern batch wearing
+the scalar interpreter surface.
+
+Semantics are bit-identical to the interpreter and the compiled
+backend (the cross-backend equivalence tests pin this): evaluation
+against the pre-edge environment, asynchronous memory reads
+(out-of-range reads 0, matching :mod:`repro.hls.memports`),
+end-of-cycle commits, pulse auto-clears.  Expression emission reuses
+the RTL native backend's :class:`~repro.rtl.native._CEmitter` with the
+compiled backend's per-read fresh memo / shared evaluation memo
+discipline.
+
+Programs are cached in :data:`~repro.hls.compiled.HLS_COMPILE_CACHE`
+under the ``"native"`` backend tag, keyed by the C source digest; a
+memory monitor needs per-access Python callbacks, which have no native
+form -- monitored simulations must use the interpreted or compiled
+engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compile_cache import CompileCache
+from ..datatypes.bits import mask
+from ..native import NativeModule, compile_and_load
+from ..rtl.native import _PRELUDE, _CEmitter, check_native_widths
+from .compiled import HLS_COMPILE_CACHE
+from .ir import HlsProgram
+from .schedule import Fsm
+
+__all__ = [
+    "HlsNativeProgram", "NativeFsm", "NativeFsmBatch",
+    "compile_fsm_native", "generate_native_source",
+]
+
+_CDEF = ("void nat_step_batch(uint64_t* ENVS, uint64_t* MEMS, "
+         "uint64_t* STATES, long cycles, int NP);")
+
+
+@dataclass
+class HlsNativeProgram:
+    """A compiled pattern-major FSM batch stepper."""
+
+    source: str
+    module: NativeModule
+    #: ``run(ENVS, MEMS, STATES, cycles, NP)`` (in-place)
+    run: object
+    name_index: Dict[str, int]
+    n_names: int
+    #: ``(name, base, depth, width, contents)`` rows of the flat image
+    mem_layout: list
+    mem_words: int
+    structural_key: str
+
+
+def _render(raw_lines: Sequence[str]) -> List[str]:
+    """``name = expr`` emitter pairs -> C statements."""
+    out = []
+    for line in raw_lines:
+        target, expr = line.split(" = ", 1)
+        if target.startswith("v"):
+            out.append(f"{target} = {expr};")
+        else:
+            out.append(f"uint64_t {target} = {expr};")
+    return out
+
+
+def _emit_state_body(fsm: Fsm, st, name_of: Dict[str, str],
+                     mem_of: Dict[str, Tuple[int, int]],
+                     pulse_ports: Sequence[str]) -> List[str]:
+    """One state's straight-line C cycle body (without the dispatch)."""
+    program = fsm.program
+    k = st.index
+    lines: List[str] = []
+
+    # memory reads: each address against the env-so-far (a fresh memo
+    # per read -- earlier reads' wires are visible to later addresses)
+    for i, op in enumerate(st.mem_reads):
+        mem = program.memories[op.mem]
+        base, depth = mem_of[op.mem]
+        em = _CEmitter(name_of, mem_of, f"r{k}_{i}_")
+        addr = em.emit(op.addr)
+        lines += _render(em.lines)
+        lines.append(
+            f"{name_of[op.wire]} = (({addr}) < {depth}ULL) "
+            f"? MEM[{base}ULL + ({addr})] : 0ULL;")
+
+    # evaluation phase: everything judged against one env snapshot,
+    # so register/port/write/guard expressions share one memo
+    em = _CEmitter(name_of, mem_of, f"e{k}_")
+    reg_tmps: List[str] = []
+    for i, op in enumerate(st.reg_writes):
+        value = em.emit(op.expr)
+        m = mask(program.variables[op.var])
+        em.lines.append(f"n{k}_{i} = ({value}) & {m:#x}ULL")
+        reg_tmps.append(f"n{k}_{i}")
+    port_tmps: List[str] = []
+    for i, op in enumerate(st.port_writes):
+        value = em.emit(op.expr)
+        m = mask(program.ports[op.port].width)
+        em.lines.append(f"p{k}_{i} = ({value}) & {m:#x}ULL")
+        port_tmps.append(f"p{k}_{i}")
+    write_tmps = []
+    for i, op in enumerate(st.mem_writes):
+        mem = program.memories[op.mem]
+        addr = em.emit(op.addr)
+        data = em.emit(op.data)
+        em.lines.append(f"wa{k}_{i} = {addr}")
+        em.lines.append(f"wd{k}_{i} = ({data}) & {mask(mem.width):#x}ULL")
+        write_tmps.append((f"wa{k}_{i}", f"wd{k}_{i}", op.mem, mem.depth))
+    cond_tmps: List[str] = []
+    for tr in st.transitions[:-1]:
+        cond_tmps.append(em.emit(tr.cond))
+    lines += _render(em.lines)
+
+    # next-state resolution (first true guard wins, last entry default)
+    if cond_tmps:
+        for i, (tmp, tr) in enumerate(zip(cond_tmps, st.transitions)):
+            kw = "if" if i == 0 else "else if"
+            lines.append(f"{kw} ({tmp}) {{ state = {tr.target}ULL; }}")
+        lines.append(f"else {{ state = {st.transitions[-1].target}ULL; }}")
+    else:
+        lines.append(f"state = {st.transitions[-1].target}ULL;")
+
+    # commit phase: registers, ports, pulse auto-clear, memory writes
+    for op, tmp in zip(st.reg_writes, reg_tmps):
+        lines.append(f"{name_of[op.var]} = {tmp};")
+    written = {op.port for op in st.port_writes}
+    for op, tmp in zip(st.port_writes, port_tmps):
+        lines.append(f"{name_of[op.port]} = {tmp};")
+    for port in pulse_ports:
+        if port not in written:
+            lines.append(f"{name_of[port]} = 0ULL;")
+    for addr_tmp, data_tmp, mem_name, depth in write_tmps:
+        base, _ = mem_of[mem_name]
+        lines.append(
+            f"if (({addr_tmp}) < {depth}ULL) "
+            f"{{ MEM[{base}ULL + ({addr_tmp})] = {data_tmp}; }}")
+    return lines
+
+
+def generate_native_source(fsm: Fsm):
+    """Emit the FSM as C; returns ``(source, name_index, mem_layout)``."""
+    program = fsm.program
+    for st in fsm.states:
+        check_native_widths(fsm.all_exprs(st), fsm.name)
+    name_of: Dict[str, str] = {}
+    name_index: Dict[str, int] = {}
+
+    def add_name(name: str) -> None:
+        if name not in name_of:
+            name_index[name] = len(name_of)
+            name_of[name] = f"v{len(name_of)}"
+
+    for var in program.variables:
+        add_name(var)
+    for port in program.ports.values():
+        add_name(port.name)
+    for st in fsm.states:
+        for op in st.mem_reads:
+            add_name(op.wire)
+
+    mem_of: Dict[str, Tuple[int, int]] = {}
+    mem_layout = []
+    base = 0
+    for mem in program.memories.values():
+        mem_of[mem.name] = (base, mem.depth)
+        mem_layout.append((mem.name, base, mem.depth, mem.width,
+                           tuple(mem.contents) if mem.contents is not None
+                           else None))
+        base += mem.depth
+    mem_words = base
+    pulse_ports = [p.name for p in program.ports.values()
+                   if p.direction == "out" and p.kind == "pulse"]
+
+    n_names = len(name_of)
+    lines = [_PRELUDE,
+             "void nat_step_batch(uint64_t* ENVS, uint64_t* MEMS, "
+             "uint64_t* STATES, long cycles, int NP)", "{",
+             "    for (int p = 0; p < NP; p++) {",
+             f"        uint64_t* E = ENVS + (long)p * {n_names}L;",
+             f"        uint64_t* MEM = MEMS + (long)p * {mem_words}L;",
+             "        (void)MEM;",
+             "        uint64_t state = STATES[p];"]
+    for name, idx in name_index.items():
+        lines.append(f"        uint64_t {name_of[name]} = E[{idx}];")
+    lines.append("        for (long c = 0; c < cycles; c++) {")
+    for i, st in enumerate(fsm.states):
+        kw = "if" if i == 0 else "else if"
+        lines.append(f"            {kw} (state == {st.index}ULL) {{")
+        body = _emit_state_body(fsm, st, name_of, mem_of, pulse_ports)
+        lines += ["                " + line for line in body]
+        lines.append("            }")
+    lines.append("        }")
+    for name, idx in name_index.items():
+        lines.append(f"        E[{idx}] = {name_of[name]};")
+    lines.append("        STATES[p] = state;")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n", name_index, mem_layout
+
+
+def compile_fsm_native(fsm: Fsm,
+                       cache: Optional[CompileCache] = None
+                       ) -> HlsNativeProgram:
+    """Compile *fsm* into a native batch stepper (cached).
+
+    Keyed by the digest of the generated C source in the shared HLS
+    compile cache under the ``"native"`` backend tag; the shared object
+    additionally persists in the on-disk cache so recompiles survive
+    process restarts.
+    """
+    if cache is None:
+        cache = HLS_COMPILE_CACHE
+    source, name_index, mem_layout = generate_native_source(fsm)
+    key = "hls-c:" + hashlib.sha256(source.encode()).hexdigest()
+
+    def factory() -> HlsNativeProgram:
+        mod = compile_and_load(source, _CDEF, tag="hls")
+        return HlsNativeProgram(
+            source=source,
+            module=mod,
+            run=mod.fn("nat_step_batch"),
+            name_index=dict(name_index),
+            n_names=len(name_index),
+            mem_layout=list(mem_layout),
+            mem_words=sum(d for _, _, d, _, _ in mem_layout),
+            structural_key=key,
+        )
+
+    return cache.get_or_compile(key, factory, backend="native")
+
+
+class _SliceEnv:
+    """Dict-like view over one pattern's slice of the env array.
+
+    Fault-injection pokes (``env[name] = env[name] ^ (1 << bit)``) and
+    probe reads hit the shared-object state directly, mirroring the
+    per-pattern env dicts of the compiled batch.
+    """
+
+    __slots__ = ("_buf", "_base", "_index")
+
+    def __init__(self, buf, base: int, index: Dict[str, int]):
+        self._buf = buf
+        self._base = base
+        self._index = index
+
+    def __getitem__(self, name: str) -> int:
+        return int(self._buf[self._base + self._index[name]])
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self._buf[self._base + self._index[name]] = value & mask(64)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __iter__(self):
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self):
+        return self._index.keys()
+
+    def get(self, name: str, default=None):
+        if name in self._index:
+            return self[name]
+        return default
+
+
+class NativeFsmBatch:
+    """N private FSM instances advanced by one native call.
+
+    The surface mirrors :class:`~repro.hls.compiled.CompiledFsmBatch`
+    -- ``set_input`` (broadcast) / ``set_input_patterns`` /
+    ``get_output_patterns`` / ``write_memory`` / ``step`` / ``reset``
+    -- with ``envs[p]`` dict-like views over the pattern-major state
+    array; faults are poked into individual patterns with plain
+    ``envs[p][name] ^= 1 << bit`` or :meth:`flip_bit`.
+    """
+
+    backend = "native"
+
+    def __init__(self, fsm: Fsm, n_patterns: int, mem_monitor=None,
+                 cache: Optional[CompileCache] = None):
+        if n_patterns < 1:
+            raise ValueError(f"n_patterns must be >= 1, got {n_patterns}")
+        if mem_monitor is not None:
+            raise ValueError(
+                "the native behavioural backend has no memory-monitor "
+                "support (use 'interpreted' or 'compiled')")
+        self.fsm = fsm
+        self.program: HlsProgram = fsm.program
+        self.n_patterns = n_patterns
+        self.mem_monitor = None
+        self.compiled = compile_fsm_native(fsm, cache=cache)
+        self.cycles = 0
+        prog = self.compiled
+        mod = prog.module
+        self._envs = mod.u64_buffer(prog.n_names * n_patterns)
+        self._mems = mod.u64_buffer(max(prog.mem_words * n_patterns, 1))
+        self._states = mod.u64_buffer([fsm.entry] * n_patterns)
+        # Python-side reads/pokes go through flat memoryviews -- raw
+        # FFI array indexing is ~4x slower (see NativeModule.u64_view)
+        self._envs_v = mod.u64_view(self._envs)
+        self._mems_v = mod.u64_view(self._mems)
+        self._states_v = mod.u64_view(self._states)
+        self._run = prog.run
+        self.envs = [
+            _SliceEnv(self._envs_v, p * prog.n_names, prog.name_index)
+            for p in range(n_patterns)
+        ]
+        self._load_rom_contents()
+
+    def _load_rom_contents(self) -> None:
+        prog = self.compiled
+        for p in range(self.n_patterns):
+            off = p * prog.mem_words
+            for name, base, depth, width, contents in prog.mem_layout:
+                if contents is not None:
+                    for i in range(depth):
+                        self._mems_v[off + base + i] = \
+                            contents[i] & mask(width)
+
+    # -- the CompiledFsmBatch-compatible surface -----------------------
+    def _in_port(self, name: str):
+        port = self.program.ports.get(name)
+        if port is None or port.direction != "in":
+            raise KeyError(f"{name!r} is not an input port")
+        return port
+
+    def set_input(self, name: str, value: int) -> None:
+        """Broadcast one value to every pattern."""
+        port = self._in_port(name)
+        value &= mask(port.width)
+        idx = self.compiled.name_index[name]
+        n = self.compiled.n_names
+        envs = self._envs_v
+        for p in range(self.n_patterns):
+            envs[p * n + idx] = value
+
+    def set_input_patterns(self, name: str,
+                           values: Sequence[int]) -> None:
+        port = self._in_port(name)
+        if len(values) != self.n_patterns:
+            raise ValueError(
+                f"expected {self.n_patterns} values, got {len(values)}")
+        m = mask(port.width)
+        idx = self.compiled.name_index[name]
+        n = self.compiled.n_names
+        envs = self._envs_v
+        for p, value in enumerate(values):
+            envs[p * n + idx] = value & m
+
+    def get_output_patterns(self, name: str) -> List[int]:
+        port = self.program.ports.get(name)
+        if port is None or port.direction != "out":
+            raise KeyError(f"{name!r} is not an output port")
+        idx = self.compiled.name_index[name]
+        n = self.compiled.n_names
+        envs = self._envs_v
+        return [envs[p * n + idx] for p in range(self.n_patterns)]
+
+    def write_memory(self, pattern: int, mem: str, address: int,
+                     value: int) -> None:
+        """External write into one pattern's private storage."""
+        spec = self.program.memories[mem]
+        if 0 <= address < spec.depth:
+            base = next(b for n, b, _, _, _ in self.compiled.mem_layout
+                        if n == mem)
+            off = pattern * self.compiled.mem_words
+            self._mems_v[off + base + address] = value & mask(spec.width)
+
+    def peek_memory(self, pattern: int, mem: str) -> List[int]:
+        """One pattern's private storage as a list."""
+        for name, base, depth, _, _ in self.compiled.mem_layout:
+            if name == mem:
+                off = pattern * self.compiled.mem_words
+                mems = self._mems_v
+                return [mems[off + base + i] for i in range(depth)]
+        raise KeyError(f"no memory named {mem!r}")
+
+    def flip_bit(self, pattern: int, name: str, bit: int) -> None:
+        """XOR one bit of one pattern's environment entry (fault pokes)."""
+        env = self.envs[pattern]
+        env[name] = env[name] ^ (1 << bit)
+
+    @property
+    def states(self) -> List[int]:
+        return [self._states_v[p] for p in range(self.n_patterns)]
+
+    def step(self, cycles: int = 1) -> None:
+        self._run(self._envs, self._mems, self._states, cycles,
+                  self.n_patterns)
+        self.cycles += cycles
+
+    def reset(self) -> None:
+        for p in range(self.n_patterns):
+            self._states_v[p] = self.fsm.entry
+        for i in range(self.compiled.n_names * self.n_patterns):
+            self._envs_v[i] = 0
+        for i in range(self.compiled.mem_words * self.n_patterns):
+            self._mems_v[i] = 0
+        self._load_rom_contents()
+        self.cycles = 0
+
+
+class NativeFsm:
+    """Single-pattern native FSM with the scalar interpreter surface.
+
+    Drop-in for :class:`~repro.hls.compiled.CompiledFsm` /
+    :class:`~repro.hls.interpreter.FsmInterpreter` where no memory
+    monitor is needed: ``env`` is the dict-like pattern-0 view (XOR
+    pokes work), ``set_input`` / ``get_output`` / ``write_memory`` /
+    ``step`` / ``reset`` behave identically.
+    """
+
+    backend = "native"
+
+    def __init__(self, fsm: Fsm, mem_monitor=None,
+                 cache: Optional[CompileCache] = None):
+        self._batch = NativeFsmBatch(fsm, 1, mem_monitor=mem_monitor,
+                                     cache=cache)
+        self.fsm = fsm
+        self.program: HlsProgram = fsm.program
+        self.mem_monitor = None
+        self.env = self._batch.envs[0]
+
+    @property
+    def state(self) -> int:
+        return int(self._batch._states_v[0])
+
+    @property
+    def cycles(self) -> int:
+        return self._batch.cycles
+
+    def set_input(self, name: str, value: int) -> None:
+        port = self.program.ports.get(name)
+        if port is None or port.direction != "in":
+            raise KeyError(f"{name!r} is not an input port")
+        self.env[name] = value & mask(port.width)
+
+    def get_output(self, name: str) -> int:
+        port = self.program.ports.get(name)
+        if port is None or port.direction != "out":
+            raise KeyError(f"{name!r} is not an output port")
+        return self.env[name]
+
+    def write_memory(self, mem: str, address: int, value: int) -> None:
+        self._batch.write_memory(0, mem, address, value)
+
+    def peek_memory(self, mem: str) -> List[int]:
+        return self._batch.peek_memory(0, mem)
+
+    def step(self, cycles: int = 1) -> None:
+        b = self._batch
+        b._run(b._envs, b._mems, b._states, cycles, 1)
+        b.cycles += cycles
+
+    def reset(self) -> None:
+        self._batch.reset()

@@ -7,6 +7,7 @@ from .compiled import RTL_COMPILE_CACHE, RtlCompiledProgram, compile_rtl
 from .lint import LintWarning, format_lint, lint
 from .ir import (CombAssign, MemReadPort, MemWritePort, RtlError, RtlMemory,
                  RtlModule, RtlPort, RtlRegister)
+from .native import NativeRtlProgram, NativeRtlSimulator, compile_rtl_native
 from .simulate import RtlSimulator
 from .vectorized import (RtlVectorizedProgram, VectorizedRtlSimulator,
                          compile_rtl_vectorized)
@@ -15,11 +16,13 @@ from .verilog import emit_verilog
 __all__ = [
     "Add", "BitAnd", "BitNot", "BitOr", "BitXor", "Case", "Cat", "Cmp",
     "CombAssign", "Const", "Expr", "Ext", "MemRead", "MemReadPort",
-    "MemWritePort", "Mul", "Mux", "RTL_COMPILE_CACHE", "Reduce", "Ref",
+    "MemWritePort", "Mul", "Mux", "NativeRtlProgram", "NativeRtlSimulator",
+    "RTL_COMPILE_CACHE", "Reduce", "Ref",
     "RtlCompiledProgram", "RtlError", "RtlMemory", "RtlModule", "RtlPort",
     "RtlRegister", "RtlSimulator", "RtlVectorizedProgram", "Shl", "Shr",
     "LintWarning", "Slice", "SMul", "Sra", "Sub", "VectorizedRtlSimulator",
-    "as_expr", "compile_rtl", "compile_rtl_vectorized",
+    "as_expr", "compile_rtl", "compile_rtl_native",
+    "compile_rtl_vectorized",
     "emit_verilog", "evaluate", "format_lint", "lint",
     "traverse",
 ]

@@ -30,33 +30,51 @@ class RtlSimulator:
     generated function (see :mod:`repro.rtl.compiled`);
     ``backend="vectorized"`` runs the same generated statements over
     numpy uint64 lanes, one stimulus pattern per lane (see
-    :class:`~repro.rtl.vectorized.VectorizedRtlSimulator`).  A memory
-    monitor needs per-access callbacks, so it forces the interpreted
-    engine.
+    :class:`~repro.rtl.vectorized.VectorizedRtlSimulator`);
+    ``backend="native"`` emits the same generated structure as C,
+    compiled by the host toolchain (see
+    :class:`~repro.rtl.native.NativeRtlSimulator`), degrading to
+    ``"compiled"`` when no C compiler is present.  A memory monitor
+    needs per-access callbacks, so it forces the interpreted engine.
     """
 
     def __new__(cls, module: RtlModule = None,
                 mem_monitor: Optional[MemMonitor] = None,
                 backend: str = "interpreted", **kwargs):
-        if (cls is RtlSimulator and backend == "vectorized"
-                and mem_monitor is None):
-            from .vectorized import VectorizedRtlSimulator
-            return VectorizedRtlSimulator(module, **kwargs)
+        if cls is RtlSimulator and mem_monitor is None:
+            if backend == "vectorized":
+                from .vectorized import VectorizedRtlSimulator
+                return VectorizedRtlSimulator(module, **kwargs)
+            if backend == "native":
+                from ..native import resolve_backend
+                if resolve_backend(backend) == "native":
+                    from .native import NativeRtlSimulator
+                    return NativeRtlSimulator(module, **kwargs)
+                # no toolchain: fall through, __init__ resolves again
         return object.__new__(cls)
 
     def __init__(self, module: RtlModule,
                  mem_monitor: Optional[MemMonitor] = None,
                  backend: str = "interpreted", **kwargs):
-        if backend not in ("interpreted", "compiled", "vectorized"):
+        if backend not in ("interpreted", "compiled", "vectorized",
+                           "native"):
             raise RtlError(
-                f"unknown backend {backend!r} "
-                "(expected 'interpreted', 'compiled' or 'vectorized')"
+                f"unknown backend {backend!r} (expected 'interpreted', "
+                "'compiled', 'vectorized' or 'native')"
             )
         if kwargs:
             raise RtlError(
                 f"unsupported options for the {backend!r} backend: "
                 f"{sorted(kwargs)}"
             )
+        if backend == "native":
+            if mem_monitor is not None:
+                # monitors need per-access callbacks
+                backend = "interpreted"
+            else:
+                # only reachable without a toolchain (see __new__)
+                from ..native import resolve_backend
+                backend = resolve_backend(backend)
         if backend == "vectorized":
             # only reachable with a memory monitor (see __new__)
             backend = "interpreted"

@@ -386,6 +386,9 @@ class BehavioralSimulation:
         self.options = _coerce_options(optimized)
         self.optimized = self.options == BehavioralOptions.optimized()
         self._handshake = self.options.handshake
+        if backend == "native":
+            from ..native import resolve_backend
+            backend = resolve_backend(backend)
         self.backend = backend
         if fsm is None:
             fsm = build_main_fsm(params, self.options)
@@ -395,10 +398,13 @@ class BehavioralSimulation:
             self.interp = CompiledFsm(fsm, mem_monitor=mem_monitor)
         elif backend == "vectorized":
             self.interp = VectorizedFsm(fsm, mem_monitor=mem_monitor)
+        elif backend == "native":
+            from ..hls.native import NativeFsm
+            self.interp = NativeFsm(fsm, mem_monitor=mem_monitor)
         else:
             raise ValueError(
-                f"unknown behavioural backend {backend!r} "
-                "(expected 'interpreted', 'compiled' or 'vectorized')")
+                f"unknown behavioural backend {backend!r} (expected "
+                "'interpreted', 'compiled', 'vectorized' or 'native')")
         # front-end state
         self.mode = 0
         self.wr_ptr = params.buffer_depth - 1
@@ -486,6 +492,9 @@ class BehavioralBatchSimulation:
         self.options = _coerce_options(optimized)
         self.optimized = self.options == BehavioralOptions.optimized()
         self._handshake = self.options.handshake
+        if backend == "native":
+            from ..native import resolve_backend
+            backend = resolve_backend(backend)
         self.backend = backend
         if fsm is None:
             fsm = build_main_fsm(params, self.options)
@@ -493,10 +502,13 @@ class BehavioralBatchSimulation:
             self.batch = CompiledFsmBatch(fsm, n_patterns)
         elif backend == "vectorized":
             self.batch = VectorizedFsmBatch(fsm, n_patterns)
+        elif backend == "native":
+            from ..hls.native import NativeFsmBatch
+            self.batch = NativeFsmBatch(fsm, n_patterns)
         else:
             raise ValueError(
                 f"unknown behavioural batch backend {backend!r} "
-                "(expected 'compiled' or 'vectorized')")
+                "(expected 'compiled', 'vectorized' or 'native')")
         self.n_patterns = n_patterns
         n = n_patterns
         if backend == "vectorized":

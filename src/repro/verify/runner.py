@@ -86,23 +86,25 @@ def parse_level_specs(text: str, backend: str = "interpreted"
     """Parse a ``--levels`` string into level specs.
 
     *backend* is ``interpreted``, ``compiled``, ``vectorized``,
-    ``both`` (interpreted + compiled) or ``all`` (every engine); it
-    applies to every level with an engine choice, and multi-engine
-    selections yield one spec per engine so the engines are
-    cross-checked against each other.
+    ``native``, ``both`` (interpreted + compiled) or ``all`` (every
+    engine); it applies to every level with an engine choice, and
+    multi-engine selections yield one spec per engine so the engines
+    are cross-checked against each other.  ``native`` degrades to
+    ``compiled`` when no C toolchain is present.
     """
     groups = {
         "interpreted": ("interpreted",),
         "compiled": ("compiled",),
         "vectorized": ("vectorized",),
+        "native": ("native",),
         "both": ("interpreted", "compiled"),
-        "all": ("interpreted", "compiled", "vectorized"),
+        "all": ("interpreted", "compiled", "vectorized", "native"),
     }
     if backend not in groups:
         raise ValueError(
             f"unknown backend {backend!r} "
             "(expected 'interpreted', 'compiled', 'vectorized', "
-            "'both' or 'all')"
+            "'native', 'both' or 'all')"
         )
     specs: List[LevelSpec] = []
     for token in text.split(","):

@@ -18,9 +18,12 @@ import pytest
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: simulation engines a benchmark row may name
-BACKENDS = {"interpreted", "compiled", "vectorized"}
+BACKENDS = {"interpreted", "compiled", "vectorized", "native"}
 #: backends that pack parallel patterns (n_patterns > 1 rows)
-BATCH_BACKENDS = {"compiled", "vectorized"}
+BATCH_BACKENDS = {"compiled", "vectorized", "native"}
+
+#: the machine-identity block every BENCH document records
+HOST_KEYS = {"platform", "machine", "cpu_count", "python"}
 
 #: per-row shape of every BENCH_* ``results`` list
 RESULT_KEYS = {"level", "backend", "n_patterns", "cycles_per_second",

@@ -1,9 +1,11 @@
 """Cross-backend behavioural equivalence over the verify stimulus set.
 
 Every stimulus class of the differential-verification harness runs
-through the behavioural model on all three FSM engines -- the cycle
-interpreter, the compiled backend and the vectorized numpy-lane
-backend -- and the output frame streams must match exactly.  A
+through the behavioural model on all four FSM engines -- the cycle
+interpreter, the compiled backend, the vectorized numpy-lane backend
+and the native C backend (which degrades to compiled when no host
+toolchain is present) -- and the output frame streams must match
+exactly.  A
 failure message carries the case's replay hint (master seed + case
 name), so any divergence is reproducible from the log alone.
 """
@@ -30,7 +32,7 @@ def cases(small_params):
 
 
 @pytest.mark.parametrize("kind", STIMULUS_KINDS)
-@pytest.mark.parametrize("backend", ["compiled", "vectorized"])
+@pytest.mark.parametrize("backend", ["compiled", "vectorized", "native"])
 @pytest.mark.parametrize("level", [Level.BEH_OPT, Level.BEH_UNOPT])
 def test_backends_frame_exact(cases, small_params, kind, backend, level):
     case = cases[kind]

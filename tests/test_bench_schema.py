@@ -10,16 +10,33 @@ import pytest
 
 from tests.schema_lock import (BACKENDS, BATCH_BACKENDS,
                                CORPUS_RATE_KEYS, FI_MODELS, FI_OUTCOMES,
-                               FI_RESULT_KEYS, check_fi_rates,
+                               FI_RESULT_KEYS, HOST_KEYS, check_fi_rates,
                                check_result_rows, load_bench)
+
+#: toolchain-identity block the BENCH writers record since the native
+#: engine landed -- pins whether native rows were actually compiled
+TOOLCHAIN_KEYS = {"available", "compiler", "loader", "cflags",
+                  "schema_version"}
+
+
+def _check_bench_meta(doc):
+    """The host/best_of/toolchain provenance block both BENCH figure
+    documents carry.  Returns whether the recording host compiled the
+    native rows (when it did not, they degrade to compiled rows)."""
+    assert set(doc["host"]) == HOST_KEYS
+    assert doc["host"]["cpu_count"] >= 1
+    assert doc["best_of"] >= 3
+    assert set(doc["toolchain"]) == TOOLCHAIN_KEYS
+    return bool(doc["toolchain"]["available"])
 
 
 def test_fig08_schema():
     doc = load_bench("BENCH_fig08.json")
-    assert set(doc) == {"results"}
+    assert set(doc) == {"results", "host", "best_of", "toolchain"}
+    native_recorded = _check_bench_meta(doc)
     check_result_rows(doc["results"])
     levels = {r["level"] for r in doc["results"]}
-    assert levels == {"C++", "SystemC", "BEH", "RTL"}
+    assert levels == {"C++", "SystemC", "BEH", "RTL", "BEH/latency"}
     # the clocked levels are measured on interpreted + compiled;
     # the behavioural level adds the vectorized sweep row
     for level in ("BEH", "RTL"):
@@ -29,6 +46,19 @@ def test_fig08_schema():
     beh_backends = {r["backend"] for r in doc["results"]
                     if r["level"] == "BEH"}
     assert "vectorized" in beh_backends
+    # single-pattern latency rows: compiled always, native whenever the
+    # recording host had a C toolchain (else its row degrades to a
+    # second compiled sample)
+    lat_backends = {r["backend"] for r in doc["results"]
+                    if r["level"] == "BEH/latency"}
+    assert "compiled" in lat_backends
+    assert lat_backends <= {"compiled", "native"}
+    for row in doc["results"]:
+        if row["level"] == "BEH/latency":
+            assert row["n_patterns"] == 1
+    if native_recorded:
+        assert "native" in beh_backends
+        assert "native" in lat_backends
 
 
 def test_fig08_preserves_paper_ordering():
@@ -57,7 +87,7 @@ def test_fig08_compiled_beats_interpreted_in_recorded_data():
             >= speed[(level, "interpreted", 1)], level
     batch = {r["backend"]: r for r in doc["results"]
              if r["level"] == "BEH" and r["n_patterns"] > 1}
-    assert set(batch) == BATCH_BACKENDS
+    assert {"compiled", "vectorized"} <= set(batch) <= BATCH_BACKENDS
     assert batch["compiled"]["n_patterns"] >= 64
     assert batch["compiled"]["cycles_per_second"] \
         >= 10 * speed[("BEH", "interpreted", 1)]
@@ -66,13 +96,23 @@ def test_fig08_compiled_beats_interpreted_in_recorded_data():
         >= 5 * speed[("BEH", "compiled", 1)]
     assert batch["vectorized"]["cycles_per_second"] \
         >= batch["compiled"]["cycles_per_second"]
+    # the native tier's recorded headline: its C batch row never loses
+    # to the compiled batch row (only present when the recording host
+    # had a toolchain; latency rows stay unasserted -- the FFI call
+    # floor dominates single-pattern work)
+    if doc["toolchain"]["available"]:
+        assert batch["native"]["n_patterns"] >= 64
+        assert batch["native"]["cycles_per_second"] \
+            >= batch["compiled"]["cycles_per_second"]
 
 
 def test_fig09_schema():
     doc = load_bench("BENCH_fig09.json")
     assert set(doc) == {"beh_speedup", "gate_speedup",
-                        "gate_speedup_vectorized", "n_patterns",
-                        "n_patterns_vectorized", "results"}
+                        "gate_speedup_vectorized", "gate_speedup_native",
+                        "n_patterns", "n_patterns_vectorized",
+                        "results", "host", "best_of", "toolchain"}
+    native_recorded = _check_bench_meta(doc)
     check_result_rows(doc["results"])
     assert set(doc["gate_speedup"]) == {"Gate-BEH", "Gate-RTL"}
     for value in doc["gate_speedup"].values():
@@ -80,6 +120,10 @@ def test_fig09_schema():
     assert set(doc["gate_speedup_vectorized"]) == {"Gate-BEH", "Gate-RTL"}
     for value in doc["gate_speedup_vectorized"].values():
         assert value >= 5.0  # the vectorized tier's recorded headline
+    assert set(doc["gate_speedup_native"]) == {"Gate-BEH", "Gate-RTL"}
+    if native_recorded:
+        for value in doc["gate_speedup_native"].values():
+            assert value >= 1.0  # native never loses to compiled batch
     assert doc["beh_speedup"] > 1.0
     assert doc["n_patterns"] >= 1
     assert doc["n_patterns_vectorized"] >= 1024
@@ -91,13 +135,32 @@ def test_fig09_schema():
     for level in levels:
         backends = {r["backend"] for r in throughput
                     if r["level"] == level}
-        assert backends == BACKENDS, level
+        if native_recorded:
+            assert backends == BACKENDS, level
+        else:
+            # the native row degrades to a second compiled sample
+            assert {"interpreted", "compiled", "vectorized"} \
+                <= backends <= BACKENDS, level
     for row in throughput:
-        if row["backend"] == "compiled":
+        if row["backend"] in ("compiled", "native"):
             assert row["n_patterns"] == doc["n_patterns"]
         elif row["backend"] == "vectorized" \
                 and row["level"].startswith("Gate-"):
             assert row["n_patterns"] == doc["n_patterns_vectorized"]
+    # single-pattern latency rows at every clocked level, compiled
+    # always plus native when the recording host compiled it
+    latency = [r for r in doc["results"]
+               if r["level"].endswith("/latency")]
+    assert {r["level"] for r in latency} \
+        == {"BEH/latency", "Gate-BEH/latency", "Gate-RTL/latency"}
+    for row in latency:
+        assert row["n_patterns"] == 1
+        assert row["backend"] in {"compiled", "native"}
+    if native_recorded:
+        for level in ("BEH", "Gate-BEH", "Gate-RTL"):
+            backends = {r["backend"] for r in latency
+                        if r["level"] == f"{level}/latency"}
+            assert backends == {"compiled", "native"}, level
 
 
 def test_fig09_compiled_beats_interpreted_in_recorded_data():
@@ -124,6 +187,21 @@ def test_fig09_vectorized_beats_compiled_in_recorded_data():
         >= by_key[("BEH/throughput", "compiled")]
 
 
+def test_fig09_native_beats_compiled_in_recorded_data():
+    """The native tier's recorded headline: the C batch row never
+    loses to the compiled batch row at any throughput level.  Only
+    meaningful when the recording host had a C toolchain."""
+    doc = load_bench("BENCH_fig09.json")
+    if not doc["toolchain"]["available"]:
+        pytest.skip("recorded run degraded native rows to compiled")
+    by_key = {(r["level"], r["backend"]): r["cycles_per_second"]
+              for r in doc["results"]}
+    for dut in ("BEH", "Gate-BEH", "Gate-RTL"):
+        level = f"{dut}/throughput"
+        assert by_key[(level, "native")] \
+            >= by_key[(level, "compiled")], dut
+
+
 def test_fi_schema():
     doc = load_bench("BENCH_fi.json")
     assert set(doc) == {"campaign", "classification", "by_model",
@@ -134,7 +212,7 @@ def test_fi_schema():
                              "budget", "jobs", "n_faults",
                              "workload_frames", "cycle_budget"}
     assert campaign["level"] in {"rtl", "beh", "gate"}
-    assert campaign["backend"] in {"compiled", "vectorized"}
+    assert campaign["backend"] in {"compiled", "vectorized", "native"}
     assert campaign["n_faults"] >= 1
     assert campaign["cycle_budget"] > 0
 
@@ -196,7 +274,7 @@ def test_corpus_schema():
     assert set(doc) == CORPUS_KEYS
     corpus = doc["corpus"]
     assert set(corpus) == CORPUS_CONFIG_KEYS
-    assert corpus["backend"] in {"compiled", "vectorized"}
+    assert corpus["backend"] in {"compiled", "vectorized", "native"}
     assert corpus["strategy"] in {"tmr", "parity"}
     assert corpus["n_designs"] >= 1
 

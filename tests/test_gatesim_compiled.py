@@ -27,7 +27,9 @@ LOGIC = (L0, L1, LX, LZ)
 
 
 #: the generated-code engines checked against the interpreter
-CODEGEN_BACKENDS = ("compiled", "vectorized")
+#: ("native" transparently runs as "compiled" when no C toolchain is
+#: present, so the equivalence sweep stays valid either way)
+CODEGEN_BACKENDS = ("compiled", "vectorized", "native")
 
 
 def both_backends(netlist, backend="compiled", **kw):
@@ -50,13 +52,23 @@ def test_backend_dispatch():
     interp = GateSimulator(nl)
     comp = GateSimulator(nl, backend="compiled")
     vec = GateSimulator(nl, backend="vectorized")
+    nat = GateSimulator(nl, backend="native")
     assert type(interp) is GateSimulator
     assert type(comp) is CompiledGateSimulator
     assert type(vec) is VectorizedGateSimulator
     assert interp.backend == "interpreted"
     assert comp.backend == "compiled"
     assert vec.backend == "vectorized"
-    assert set(BACKENDS) == {"interpreted", "compiled", "vectorized"}
+    from repro.native import toolchain_available
+    if toolchain_available():
+        from repro.gatesim import NativeGateSimulator
+        assert type(nat) is NativeGateSimulator
+        assert nat.backend == "native"
+    else:
+        assert type(nat) is CompiledGateSimulator
+        assert nat.backend == "compiled"
+    assert set(BACKENDS) == {"interpreted", "compiled", "vectorized",
+                             "native"}
 
 
 def test_unknown_backend_raises():

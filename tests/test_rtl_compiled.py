@@ -22,7 +22,9 @@ from repro.rtl.compiled import CompileCache
 
 
 #: the generated-code engines checked against the interpreter
-CODEGEN_BACKENDS = ("compiled", "vectorized")
+#: ("native" transparently runs as "compiled" when no C toolchain is
+#: present, so the equivalence sweep stays valid either way)
+CODEGEN_BACKENDS = ("compiled", "vectorized", "native")
 
 
 def both(module, backend="compiled"):
@@ -88,6 +90,10 @@ def test_backend_attribute():
     assert RtlSimulator(m).backend == "interpreted"
     assert RtlSimulator(m, backend="compiled").backend == "compiled"
     assert RtlSimulator(m, backend="vectorized").backend == "vectorized"
+    from repro.native import toolchain_available
+    native = RtlSimulator(m, backend="native")
+    assert native.backend == ("native" if toolchain_available()
+                              else "compiled")
 
 
 # ------------------------------------------------------------ operators
